@@ -1,0 +1,268 @@
+package clonos
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (shortened: the full sweeps live in cmd/clonos-bench):
+//
+//	BenchmarkFig5OverheadNexmark    — Figure 5 + §7.3 (overhead, subset of queries)
+//	BenchmarkFig6SingleFailureQ3    — Figures 6a/6e
+//	BenchmarkFig6SingleFailureQ8    — Figures 6b/6f
+//	BenchmarkFig6MultipleFailures   — Figures 6c/6g
+//	BenchmarkFig6ConcurrentFailures — Figures 6d/6h
+//	BenchmarkSpillPolicies          — §7.5 memory/spill study
+//	BenchmarkDSDSweep               — §5.4 determinant-sharing-depth ablation
+//
+// plus micro-benchmarks of the fault-tolerance hot paths (determinant
+// encoding, delta piggybacking, the NEXMark codec, buffer serialization,
+// in-flight log append/truncate).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"clonos/internal/buffer"
+	"clonos/internal/causal"
+	"clonos/internal/harness"
+	"clonos/internal/inflight"
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/netstack"
+	"clonos/internal/nexmark"
+	"clonos/internal/services"
+	"clonos/internal/synthetic"
+	"clonos/internal/types"
+)
+
+// benchFig5Queries is the Figure 5 subset exercised by the bench (the
+// full 12-query sweep runs via cmd/clonos-bench -experiment fig5).
+var benchFig5Queries = []string{"Q1", "Q3", "Q8"}
+
+func BenchmarkFig5OverheadNexmark(b *testing.B) {
+	for _, q := range benchFig5Queries {
+		b.Run(q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := harness.DefaultFig5Options()
+				opt.Queries = []string{q}
+				opt.Duration = 2500 * time.Millisecond
+				rows, err := harness.Fig5(io.Discard, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(r.Flink, "flink_rec/s")
+				b.ReportMetric(r.RelDSD1, "rel_dsd1")
+				b.ReportMetric(r.RelDSDFull, "rel_dsdfull")
+				b.ReportMetric(float64(r.LatP50DSD1), "p50ms_dsd1")
+			}
+		})
+	}
+}
+
+func benchFig6Single(b *testing.B, query string, failVertex int32) {
+	for i := 0; i < b.N; i++ {
+		opt := harness.DefaultFig6Options()
+		opt.Duration = 5 * time.Second
+		results, err := harness.Fig6Single(io.Discard, query, failVertex, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Summary.RecoveryOK {
+				b.ReportMetric(float64(r.Summary.Recovery.Milliseconds()), r.System+"_recovery_ms")
+			}
+			b.ReportMetric(float64(r.Summary.ThroughputGap.Milliseconds()), r.System+"_gap_ms")
+		}
+	}
+}
+
+func BenchmarkFig6SingleFailureQ3(b *testing.B) { benchFig6Single(b, "Q3", 3) }
+
+func BenchmarkFig6SingleFailureQ8(b *testing.B) { benchFig6Single(b, "Q8", 3) }
+
+func benchFig6Multi(b *testing.B, concurrent bool) {
+	for i := 0; i < b.N; i++ {
+		opt := harness.DefaultFig6Options()
+		opt.Duration = 6 * time.Second
+		results, err := harness.Fig6Multi(io.Discard, concurrent, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(float64(r.Summary.ThroughputGap.Milliseconds()), r.System+"_gap_ms")
+			b.ReportMetric(float64(r.Run.SinkCount), r.System+"_records")
+		}
+	}
+}
+
+func BenchmarkFig6MultipleFailures(b *testing.B) { benchFig6Multi(b, false) }
+
+func BenchmarkFig6ConcurrentFailures(b *testing.B) { benchFig6Multi(b, true) }
+
+func BenchmarkSpillPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := harness.DefaultMemOptions()
+		opt.Duration = 2 * time.Second
+		opt.PoolSizes = []int{64}
+		rows, err := harness.MemStudy(io.Discard, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, fmt.Sprintf("%s_rec/s", r.Policy))
+		}
+	}
+}
+
+func BenchmarkDSDSweep(b *testing.B) {
+	syn := synthetic.DefaultConfig()
+	syn.Depth = 4
+	for _, dsd := range []int{1, 2, 0} { // 0 = full
+		name := fmt.Sprintf("dsd=%d", dsd)
+		if dsd == 0 {
+			name = "dsd=full"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := job.DefaultConfig()
+				cfg.Mode = job.ModeClonos
+				cfg.DSD = dsd
+				cfg.Standby = false
+				res, err := harness.Run(harness.RunSpec{
+					Name:      name,
+					Cfg:       cfg,
+					SinkDedup: true,
+					NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("syn", syn.Parallelism*2) },
+					Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+						return synthetic.Build(topic, sink, syn), nil
+					},
+					StartDriver: func(topic *kafkasim.Topic) func() {
+						d := synthetic.Drive(topic, syn, 60000, 0)
+						d.Start()
+						return d.Stop
+					},
+					Duration: 2500 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(harness.SteadyThroughput(res.Samples, 0.3), "rec/s")
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the fault-tolerance hot paths ---
+
+func BenchmarkDeterminantEncode(b *testing.B) {
+	d := causal.Determinant{Kind: causal.KindTimer, Handler: 3, Key: 12345, When: 1_700_000_000_000, Offset: 42}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = d.Append(buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkDeltaEncodeDecode(b *testing.B) {
+	m := causal.NewManager(types.TaskID{Vertex: 1}, 1)
+	ch := types.ChannelID{Edge: 1}
+	m.StartEpochMain(1)
+	for i := 0; i < 64; i++ {
+		m.AppendOrder(int32(i % 4))
+		m.AppendTimestamp(int64(i))
+		m.AppendBufferSize(ch, 32768)
+	}
+	delta := m.DeltaFor(ch)
+	if delta == nil {
+		b.Fatal("empty delta")
+	}
+	b.SetBytes(int64(len(delta)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := causal.DecodeDelta(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNexmarkEventCodec(b *testing.B) {
+	cfg := nexmark.DefaultGeneratorConfig(1)
+	events := make([]nexmark.Event, 128)
+	for i := range events {
+		events[i] = nexmark.GenEvent(cfg, int64(i), int64(i))
+	}
+	c := nexmark.EventCodec{}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = c.EncodeAppend(buf[:0], events[i%len(events)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelWriterThroughput(b *testing.B) {
+	pool := buffer.NewPool(4, 32*1024)
+	w := netstack.NewChannelWriter(pool, nexmark.ResultCodec{}, func(buf *buffer.Buffer) error {
+		pool.Put(buf)
+		return nil
+	})
+	r := nexmark.Result{A: 7, B: 1234, C: 3.14, S: "label", T: 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteElement(types.Record(uint64(i), int64(i), r)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInFlightAppendTruncate(b *testing.B) {
+	pool := buffer.NewPool(64, 4096)
+	log, err := inflight.NewLog(types.ChannelID{Edge: 1}, pool, inflight.Config{Policy: inflight.PolicyInMemory, Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	b.ReportAllocs()
+	seq := uint64(1)
+	for i := 0; i < b.N; i++ {
+		epoch := types.EpochID(i/32 + 1)
+		if i%32 == 0 {
+			log.StartEpoch(epoch)
+			if epoch > 1 {
+				log.Truncate(epoch - 1)
+			}
+		}
+		buf := pool.Get()
+		buf.Data = append(buf.Data, make([]byte, 512)...)
+		buf.Seq = seq
+		buf.Epoch = epoch
+		seq++
+		if err := log.Append(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimestampServiceCached(b *testing.B) {
+	s := services.New(services.Config{TimestampGranularityMs: 1}, noopSvcLogger{}, nil, func(int64) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CurrentTimeMillis(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type noopSvcLogger struct{}
+
+func (noopSvcLogger) AppendTimestamp(int64)        {}
+func (noopSvcLogger) AppendRNG(int64)              {}
+func (noopSvcLogger) AppendService(uint16, []byte) {}

@@ -1,0 +1,263 @@
+package clonos
+
+import (
+	"testing"
+	"time"
+)
+
+func feedInts(topic *Topic, n int, keys uint64) {
+	for i := 0; i < n; i++ {
+		topic.Append(TopicRecord(uint64(i)%keys, int64(i), int64(i)))
+	}
+	topic.Close()
+}
+
+func TestPublicAPILinearJob(t *testing.T) {
+	topic := NewTopic("in", 2)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	g.FromTopic("src", 2, topic).
+		Map("double", func(ctx Context, e Element) (any, bool, error) {
+			return e.Value.(int64) * 2, true, nil
+		}).
+		ToSink("out", sink)
+
+	feedInts(topic, 300, 7)
+	jb, err := Start(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+	if !jb.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	if sink.Len() != 300 {
+		t.Fatalf("sink has %d records", sink.Len())
+	}
+	var sum int64
+	for _, r := range sink.All() {
+		sum += r.Value.(int64)
+	}
+	if want := int64(300*299) / 2 * 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestPublicAPIKeyByReduce(t *testing.T) {
+	topic := NewTopic("in", 1)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	g.FromTopic("src", 1, topic).
+		KeyBy(func(v any) uint64 { return uint64(v.(int64) % 3) }).
+		Reduce("sum", func(ctx Context, acc any, e Element) (any, error) {
+			s, _ := acc.(int64)
+			return s + e.Value.(int64), nil
+		}).
+		ToSink("out", sink)
+
+	feedInts(topic, 99, 5)
+	jb, err := Start(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+	if !jb.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	last := map[uint64]int64{}
+	for _, r := range sink.All() {
+		last[r.Key] = r.Value.(int64)
+	}
+	want := map[uint64]int64{}
+	for i := int64(0); i < 99; i++ {
+		want[uint64(i%3)] += i
+	}
+	for k, w := range want {
+		if last[k] != w {
+			t.Fatalf("key %d = %d, want %d", k, last[k], w)
+		}
+	}
+}
+
+func TestPublicAPIWindow(t *testing.T) {
+	topic := NewTopic("in", 1)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	g.FromTopic("src", 1, topic, SourceOptions{WatermarkEvery: 10}).
+		KeyBy(func(v any) uint64 { return 1 }).
+		Window("count", WindowSpec{Kind: TumblingEventTime, Size: 50}, Count()).
+		ToSink("out", sink)
+
+	feedInts(topic, 500, 1)
+	jb, err := Start(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+	if !jb.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	var total int64
+	for _, r := range sink.All() {
+		total += r.Value.(int64)
+	}
+	if total != 500 {
+		t.Fatalf("window counts sum to %d", total)
+	}
+}
+
+func TestPublicAPIJoin(t *testing.T) {
+	topic := NewTopic("in", 1)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	src := g.FromTopic("src", 1, topic)
+	evens := src.Filter("evens", func(ctx Context, e Element) (bool, error) {
+		return e.Value.(int64)%2 == 0, nil
+	}).KeyBy(func(v any) uint64 { return uint64(v.(int64) / 2 % 5) })
+	odds := src.Filter("odds", func(ctx Context, e Element) (bool, error) {
+		return e.Value.(int64)%2 == 1, nil
+	}).KeyBy(func(v any) uint64 { return uint64(v.(int64) / 2 % 5) })
+	evens.JoinWith("join", odds, func(l, r any) any {
+		return l.(int64) + r.(int64)
+	}).ToSink("out", sink)
+	if g.Err() != nil {
+		t.Fatal(g.Err())
+	}
+
+	feedInts(topic, 100, 1)
+	jb, err := Start(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+	if !jb.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	if sink.Len() == 0 {
+		t.Fatal("join produced nothing")
+	}
+}
+
+func TestPublicAPIFailureInjection(t *testing.T) {
+	topic := NewTopic("in", 1)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	sum := g.FromTopic("src", 1, topic).
+		KeyBy(func(v any) uint64 { return uint64(v.(int64) % 4) }).
+		Reduce("sum", func(ctx Context, acc any, e Element) (any, error) {
+			s, _ := acc.(int64)
+			return s + e.Value.(int64), nil
+		})
+	sum.ToSink("out", sink)
+
+	jb, err := Start(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+
+	const n = 4000
+	go func() {
+		for i := 0; i < n; i++ {
+			topic.Append(TopicRecord(uint64(i)%4, int64(i), int64(i)))
+			time.Sleep(100 * time.Microsecond)
+		}
+		topic.Close()
+	}()
+	time.Sleep(250 * time.Millisecond)
+	if err := jb.InjectFailure(sum.Task(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !jb.WaitFinished(60 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	for _, e := range jb.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	last := map[uint64]int64{}
+	for _, r := range sink.All() {
+		last[r.Key] = r.Value.(int64)
+	}
+	want := map[uint64]int64{}
+	for i := int64(0); i < n; i++ {
+		want[uint64(i%4)] += i
+	}
+	for k, w := range want {
+		if last[k] != w {
+			t.Errorf("key %d = %d, want %d (exactly-once violated)", k, last[k], w)
+		}
+	}
+	// The failure path must be visible in the events.
+	sawActivation := false
+	for _, ev := range jb.Events() {
+		if ev.Kind == "standby-activated" {
+			sawActivation = true
+		}
+	}
+	if !sawActivation {
+		t.Error("no standby activation recorded")
+	}
+}
+
+func TestGraphErrJoinAcrossGraphs(t *testing.T) {
+	g1 := NewJobGraph()
+	g2 := NewJobGraph()
+	a := g1.FromTopic("a", 1, NewTopic("a", 1))
+	bStream := g2.FromTopic("b", 1, NewTopic("b", 1))
+	a.JoinWith("bad", bStream, func(l, r any) any { return nil })
+	if g1.Err() == nil {
+		t.Fatal("cross-graph join accepted")
+	}
+}
+
+func TestPublicAPIExactlyOnceOutputSink(t *testing.T) {
+	world := NewExternalWorld()
+	topic := NewTopic("in", 1)
+	sink := NewSinkTopic(true)
+	g := NewJobGraph()
+	g.FromTopic("src", 1, topic).
+		Map("stamp", func(ctx Context, e Element) (any, bool, error) {
+			resp, err := ctx.Services().HTTPGet("svc/x")
+			if err != nil {
+				return nil, false, err
+			}
+			return len(resp), true, nil
+		}).
+		ToSinkExactlyOnce("out", sink)
+
+	cfg := DefaultConfig()
+	cfg.World = world
+	jb, err := Start(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jb.Stop()
+
+	const n = 2000
+	go func() {
+		for i := 0; i < n; i++ {
+			topic.Append(TopicRecord(uint64(i), int64(i), int64(i)))
+			time.Sleep(150 * time.Microsecond)
+		}
+		topic.Close()
+	}()
+	time.Sleep(200 * time.Millisecond)
+	if err := jb.InjectFailure(TaskID{Vertex: 1, Subtask: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !jb.WaitFinished(60 * time.Second) {
+		t.Fatalf("did not finish: %v", jb.Errors())
+	}
+	for _, e := range jb.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	if sink.Len() != n {
+		t.Fatalf("published %d, want %d", sink.Len(), n)
+	}
+	if sink.StoredDeltaCount() == 0 {
+		t.Fatal("no determinants stored at the sink topic")
+	}
+	if world.Calls() < n || world.Calls() > n+500 {
+		t.Fatalf("external calls = %d", world.Calls())
+	}
+}

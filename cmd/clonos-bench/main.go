@@ -1,0 +1,164 @@
+// Command clonos-bench regenerates the paper's tables and figures on the
+// Go reproduction of Clonos. Each experiment prints the rows/series the
+// corresponding figure plots; absolute numbers are scaled (single process,
+// ~10x faster clocks) but the comparative shapes follow the paper.
+//
+// Usage:
+//
+//	clonos-bench -experiment fig5        # Figure 5 + §7.3 overhead
+//	clonos-bench -experiment fig6a       # Figures 6a/6e (Q3, single failure)
+//	clonos-bench -experiment fig6b       # Figures 6b/6f (Q8, single failure)
+//	clonos-bench -experiment fig6c       # Figures 6c/6g (staggered failures)
+//	clonos-bench -experiment fig6d       # Figures 6d/6h (concurrent failures)
+//	clonos-bench -experiment table1      # Table 1
+//	clonos-bench -experiment mem         # §7.5 spill-policy study
+//	clonos-bench -experiment guarantees  # §5.4 guarantee ablation
+//	clonos-bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clonos/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig5 | fig6a | fig6b | fig6c | fig6d | table1 | mem | guarantees | dsd | all")
+	parallelism := flag.Int("parallelism", 2, "per-operator parallelism")
+	rate := flag.Int("rate", 0, "generator rate override (events/s)")
+	duration := flag.Duration("duration", 0, "per-run duration override")
+	queries := flag.String("queries", "", "comma-separated query subset for fig5 (default: all)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "\n==== %s ====\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s done in %s)\n", name, time.Since(start).Round(time.Second))
+	}
+
+	fig5 := func() error {
+		opt := harness.DefaultFig5Options()
+		opt.Parallelism = *parallelism
+		if *rate > 0 {
+			opt.Rate = *rate
+		}
+		if *duration > 0 {
+			opt.Duration = *duration
+		}
+		if *queries != "" {
+			opt.Queries = splitCSV(*queries)
+		}
+		_, err := harness.Fig5(w, opt)
+		return err
+	}
+	fig6 := func(query string, vertex int32, rateOverride int) func() error {
+		return func() error {
+			opt := harness.DefaultFig6Options()
+			opt.Parallelism = *parallelism
+			if rateOverride > 0 {
+				opt.Rate = rateOverride
+			}
+			if *rate > 0 {
+				opt.Rate = *rate
+			}
+			if *duration > 0 {
+				opt.Duration = *duration
+			}
+			_, err := harness.Fig6Single(w, query, vertex, opt)
+			return err
+		}
+	}
+	fig6multi := func(concurrent bool) func() error {
+		return func() error {
+			opt := harness.DefaultFig6Options()
+			if *rate > 0 {
+				opt.Rate = *rate
+				opt.MultiRate = *rate
+			}
+			if *duration > 0 {
+				opt.Duration = *duration
+			}
+			_, err := harness.Fig6Multi(w, concurrent, opt)
+			return err
+		}
+	}
+
+	experiments := map[string]func() error{
+		"fig5":   fig5,
+		"fig6a":  fig6("Q3", 3, 0), // fail the Q3 join operator
+		"fig6b":  fig6("Q8", 3, 0), // fail the Q8 windowed join
+		"fig6c":  fig6multi(false),
+		"fig6d":  fig6multi(true),
+		"table1": func() error { harness.Table1(w); return nil },
+		"mem": func() error {
+			opt := harness.DefaultMemOptions()
+			if *rate > 0 {
+				opt.Rate = *rate
+			}
+			if *duration > 0 {
+				opt.Duration = *duration
+			}
+			_, err := harness.MemStudy(w, opt)
+			return err
+		},
+		"guarantees": func() error {
+			opt := harness.DefaultGuaranteeOptions()
+			if *rate > 0 {
+				opt.Rate = *rate
+			}
+			_, err := harness.Guarantees(w, opt)
+			return err
+		},
+		"dsd": func() error {
+			opt := harness.DefaultDSDOptions()
+			if *rate > 0 {
+				opt.Rate = *rate
+			}
+			if *duration > 0 {
+				opt.Duration = *duration
+			}
+			_, err := harness.DSDSweep(w, opt)
+			return err
+		},
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "mem", "guarantees", "dsd"} {
+			run(name, experiments[name])
+		}
+		return
+	}
+	f, ok := experiments[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	run(*experiment, f)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

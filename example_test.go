@@ -1,0 +1,51 @@
+package clonos_test
+
+import (
+	"fmt"
+	"time"
+
+	"clonos"
+)
+
+// ExampleJobGraph builds and runs a small keyed-aggregation pipeline to
+// completion on a replayable topic.
+func ExampleJobGraph() {
+	topic := clonos.NewTopic("numbers", 1)
+	sink := clonos.NewSinkTopic(true)
+
+	g := clonos.NewJobGraph()
+	g.FromTopic("src", 1, topic).
+		KeyBy(func(v any) uint64 { return uint64(v.(int64) % 2) }).
+		Reduce("sum", func(ctx clonos.Context, acc any, e clonos.Element) (any, error) {
+			s, _ := acc.(int64)
+			return s + e.Value.(int64), nil
+		}).
+		ToSink("out", sink)
+
+	for i := int64(1); i <= 10; i++ {
+		topic.Append(clonos.TopicRecord(uint64(i), i, i))
+	}
+	topic.Close()
+
+	jb, err := clonos.Start(g, clonos.DefaultConfig())
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer jb.Stop()
+	if !jb.WaitFinished(30 * time.Second) {
+		fmt.Println("timed out")
+		return
+	}
+
+	// The last record per key carries its final sum.
+	final := map[uint64]int64{}
+	for _, rec := range sink.All() {
+		final[rec.Key] = rec.Value.(int64)
+	}
+	fmt.Println("even:", final[0])
+	fmt.Println("odd: ", final[1])
+	// Output:
+	// even: 30
+	// odd:  25
+}

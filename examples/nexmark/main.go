@@ -1,0 +1,89 @@
+// NEXMark runner: execute any of the benchmark queries on the engine,
+// optionally injecting a failure mid-run, and report throughput, latency
+// and recovery behaviour — a miniature of the paper's §7.4 experiments.
+//
+// Usage:
+//
+//	go run ./examples/nexmark -query Q8 -rate 20000 -duration 8s -fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"time"
+
+	"clonos"
+	"clonos/internal/harness"
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/metrics"
+	"clonos/internal/nexmark"
+	"clonos/internal/types"
+)
+
+func main() {
+	query := flag.String("query", "Q3", "NEXMark query (Q1-Q8, Q11-Q14)")
+	rate := flag.Int("rate", 20000, "events/second")
+	duration := flag.Duration("duration", 8*time.Second, "run duration")
+	parallelism := flag.Int("parallelism", 2, "operator parallelism")
+	fail := flag.Bool("fail", false, "inject a failure at 40% of the run")
+	mode := flag.String("mode", "clonos", "clonos | global")
+	flag.Parse()
+
+	cfg := clonos.DefaultConfig()
+	if *mode == "global" {
+		cfg.Mode = clonos.ModeGlobal
+		cfg.Standby = false
+	}
+	cfg.World = clonos.NewExternalWorld()
+
+	var failures []harness.FailurePlan
+	if *fail {
+		failures = append(failures, harness.FailurePlan{
+			After: time.Duration(float64(*duration) * 0.4),
+			Task:  types.TaskID{Vertex: 1, Subtask: 0},
+		})
+	}
+
+	res, err := harness.Run(harness.RunSpec{
+		Name:      *query,
+		Cfg:       cfg,
+		SinkDedup: true,
+		NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("nexmark", *parallelism*2) },
+		Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+			return nexmark.Build(*query, topic, sink, nexmark.DefaultQueryConfig(*parallelism))
+		},
+		StartDriver: func(topic *kafkasim.Topic) func() {
+			d := nexmark.NewDriver(topic, nexmark.DefaultGeneratorConfig(42), *rate, 0)
+			d.Start()
+			return d.Stop
+		},
+		Duration: *duration,
+		Failures: failures,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range res.Errors {
+		log.Fatalf("task error: %v", e)
+	}
+
+	p50, p99 := harness.LatencyPercentiles(res.Latency)
+	fmt.Printf("%s (%s): %d output records, steady throughput %.0f/s, latency p50=%dms p99=%dms\n",
+		*query, *mode, res.SinkCount, harness.SteadyThroughput(res.Samples, 0.3), p50, p99)
+	if *fail && len(res.FailTimes) > 0 {
+		if d, ok := metrics.RecoveryTime(res.Latency, res.FailTimes[0].UnixMilli(), 0.10, 500); ok {
+			fmt.Printf("recovery time (latency back within 10%%): %s\n", d.Round(10*time.Millisecond))
+		} else {
+			fmt.Println("latency did not settle within the run")
+		}
+		for _, ev := range res.Events {
+			switch ev.Kind {
+			case job.EventFailureDetected, job.EventStandbyActivated, job.EventGlobalRestart:
+				fmt.Printf("  event %-18s %v %s\n", ev.Kind, ev.Task, ev.Info)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module clonos
+
+go 1.22

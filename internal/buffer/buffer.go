@@ -1,0 +1,216 @@
+// Package buffer implements fixed-size network buffers and the buffer pools
+// that back output channels and in-flight record logs.
+//
+// The pool mechanics mirror Clonos §6.1: each output channel is served by a
+// small pool (keeping backpressure reactive), while the in-flight log owns a
+// second, larger pool. When the network layer dispatches a buffer downstream
+// it hands the full buffer to the in-flight log, and the log donates an
+// empty buffer back to the channel's pool — no copy, constant channel-pool
+// size, and the log pool shrinks as the log grows.
+package buffer
+
+import (
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// DefaultSize is the default capacity of a network buffer in bytes.
+// Flink's default is 32 KiB; the paper logs whole network buffers.
+const DefaultSize = 32 * 1024
+
+// Buffer is one network buffer: a bounded byte slice of serialized stream
+// elements plus the metadata stamped on it when it is dispatched.
+type Buffer struct {
+	// Data holds the serialized element stream. len(Data) is the bytes
+	// written so far; cap(Data) is the buffer size.
+	Data []byte
+	// Seq is the per-channel sequence number assigned at dispatch,
+	// starting at 1. Zero means not yet dispatched.
+	Seq uint64
+	// Epoch is the checkpoint epoch the buffer belongs to.
+	Epoch types.EpochID
+	// Delta carries the piggybacked causal-log delta attached at
+	// dispatch. It is not part of the record byte stream.
+	Delta []byte
+}
+
+// NewBuffer allocates a standalone buffer of the given capacity.
+func NewBuffer(size int) *Buffer {
+	return &Buffer{Data: make([]byte, 0, size)}
+}
+
+// Reset clears the buffer for reuse, keeping its backing array.
+func (b *Buffer) Reset() {
+	b.Data = b.Data[:0]
+	b.Seq = 0
+	b.Epoch = 0
+	b.Delta = nil
+}
+
+// Remaining reports how many bytes can still be written.
+func (b *Buffer) Remaining() int { return cap(b.Data) - len(b.Data) }
+
+// Len reports the bytes written so far.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// Pool is a blocking pool of equally sized buffers.
+//
+// The zero value is not usable; construct with NewPool. Get blocks until a
+// buffer is free or the pool is closed; Close unblocks all waiters (used
+// when a task crashes so its threads do not hang on buffer starvation).
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []*Buffer
+	size   int
+	total  int
+	closed bool
+}
+
+// NewPool creates a pool holding n buffers of the given byte size.
+func NewPool(n, size int) *Pool {
+	p := &Pool{size: size, total: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.free = make([]*Buffer, 0, n)
+	for i := 0; i < n; i++ {
+		p.free = append(p.free, NewBuffer(size))
+	}
+	return p
+}
+
+// BufferSize returns the byte size of buffers in this pool.
+func (p *Pool) BufferSize() int { return p.size }
+
+// Get returns a free buffer, blocking until one is available. It returns
+// nil if the pool is closed while waiting.
+func (p *Pool) Get() *Buffer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.free) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+// TryGet returns a free buffer or nil without blocking.
+func (p *Pool) TryGet() *Buffer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+// Put returns a buffer to the pool after resetting it.
+func (p *Pool) Put(b *Buffer) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.free = append(p.free, b)
+	p.cond.Signal()
+}
+
+// Donate adds a foreign buffer to this pool, growing it by one. It is the
+// "exchange" half of the §6.1 hand-off: the in-flight log keeps the sent
+// buffer and donates an empty one of its own to the channel pool.
+func (p *Pool) Donate(b *Buffer) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total++
+	if p.closed {
+		return
+	}
+	p.free = append(p.free, b)
+	p.cond.Signal()
+}
+
+// Take removes capacity from the pool: it gets a free buffer (blocking)
+// and permanently reduces the pool's total by one. It is the other half of
+// the exchange. Returns nil if the pool is closed.
+func (p *Pool) Take() *Buffer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.free) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.total--
+	return b
+}
+
+// TryTake is Take without blocking; it returns nil when no buffer is free.
+func (p *Pool) TryTake() *Buffer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.total--
+	return b
+}
+
+// Forfeit records that one outstanding buffer will never be returned —
+// the in-flight log took ownership of it at dispatch — keeping Total
+// honest when paired with a Donate of the log's replacement buffer.
+func (p *Pool) Forfeit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total--
+}
+
+// Available reports the number of free buffers.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Total reports the pool's current total capacity in buffers.
+func (p *Pool) Total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// AvailableRatio reports free/total, used by the spill-threshold policy.
+func (p *Pool) AvailableRatio() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total == 0 {
+		return 0
+	}
+	return float64(len(p.free)) / float64(p.total)
+}
+
+// Close unblocks all waiters; subsequent Get/Take calls return nil.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}

@@ -1,0 +1,172 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolGetPut(t *testing.T) {
+	p := NewPool(2, 64)
+	a := p.Get()
+	b := p.Get()
+	if a == nil || b == nil {
+		t.Fatal("expected two buffers")
+	}
+	if p.Available() != 0 {
+		t.Fatalf("available = %d, want 0", p.Available())
+	}
+	if got := p.TryGet(); got != nil {
+		t.Fatal("TryGet on empty pool returned a buffer")
+	}
+	p.Put(a)
+	if p.Available() != 1 {
+		t.Fatalf("available = %d, want 1", p.Available())
+	}
+}
+
+func TestPoolGetBlocksUntilPut(t *testing.T) {
+	p := NewPool(1, 64)
+	a := p.Get()
+	done := make(chan *Buffer)
+	go func() { done <- p.Get() }()
+	select {
+	case <-done:
+		t.Fatal("Get returned while pool empty")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(a)
+	select {
+	case b := <-done:
+		if b == nil {
+			t.Fatal("got nil buffer")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get never unblocked")
+	}
+}
+
+func TestPoolCloseUnblocks(t *testing.T) {
+	p := NewPool(1, 64)
+	_ = p.Get()
+	done := make(chan *Buffer)
+	go func() { done <- p.Get() }()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	select {
+	case b := <-done:
+		if b != nil {
+			t.Fatal("Get on closed pool returned a buffer")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Get")
+	}
+}
+
+func TestExchangeDonateTake(t *testing.T) {
+	channelPool := NewPool(2, 64)
+	logPool := NewPool(4, 64)
+
+	// Simulate §6.1: a sent buffer moves to the log, which donates a
+	// fresh one to the channel pool.
+	sent := channelPool.Get()
+	sent.Data = append(sent.Data, 1, 2, 3)
+	channelPool.Forfeit() // the log takes ownership of `sent`
+	replacement := logPool.Take()
+	if replacement == nil {
+		t.Fatal("log pool empty")
+	}
+	channelPool.Donate(replacement)
+
+	if channelPool.Total() != 2 { // exchange keeps the channel pool size constant
+		t.Fatalf("channel pool total = %d, want 2", channelPool.Total())
+	}
+	if logPool.Total() != 3 {
+		t.Fatalf("log pool total = %d, want 3", logPool.Total())
+	}
+	if channelPool.Available() != 2 {
+		t.Fatalf("channel pool available = %d, want 2", channelPool.Available())
+	}
+	// The sent buffer is owned by the log now; returning it to the log
+	// pool restores its capacity.
+	logPool.Donate(sent)
+	if logPool.Total() != 4 {
+		t.Fatalf("log pool total = %d, want 4", logPool.Total())
+	}
+	if sent.Len() != 0 {
+		t.Fatal("Donate did not reset buffer")
+	}
+}
+
+func TestAvailableRatio(t *testing.T) {
+	p := NewPool(4, 16)
+	if r := p.AvailableRatio(); r != 1 {
+		t.Fatalf("ratio = %v, want 1", r)
+	}
+	a := p.Get()
+	b := p.Get()
+	if r := p.AvailableRatio(); r != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", r)
+	}
+	p.Put(a)
+	p.Put(b)
+}
+
+func TestBufferResetAndRemaining(t *testing.T) {
+	b := NewBuffer(8)
+	if b.Remaining() != 8 {
+		t.Fatalf("remaining = %d, want 8", b.Remaining())
+	}
+	b.Data = append(b.Data, 1, 2, 3)
+	b.Seq = 5
+	b.Epoch = 2
+	b.Delta = []byte{1}
+	if b.Remaining() != 5 || b.Len() != 3 {
+		t.Fatalf("remaining=%d len=%d", b.Remaining(), b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Seq != 0 || b.Epoch != 0 || b.Delta != nil {
+		t.Fatalf("reset incomplete: %+v", b)
+	}
+}
+
+func TestPoolConcurrentStress(t *testing.T) {
+	p := NewPool(4, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b := p.Get()
+				if b == nil {
+					t.Error("nil buffer from open pool")
+					return
+				}
+				b.Data = append(b.Data, byte(j))
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 4 {
+		t.Fatalf("available = %d, want 4", p.Available())
+	}
+}
+
+func TestTryTakeReducesTotal(t *testing.T) {
+	p := NewPool(2, 16)
+	b := p.TryTake()
+	if b == nil {
+		t.Fatal("TryTake failed on full pool")
+	}
+	if p.Total() != 1 {
+		t.Fatalf("total = %d, want 1", p.Total())
+	}
+	if p.TryTake() == nil {
+		t.Fatal("second TryTake failed")
+	}
+	if p.TryTake() != nil {
+		t.Fatal("TryTake on empty pool succeeded")
+	}
+}

@@ -1,0 +1,167 @@
+package causal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clonos/internal/types"
+)
+
+// Delta wire format, piggybacked on every network buffer (§4.3):
+//
+//	numSets uvarint
+//	per set:
+//	  origin vertex varint | origin subtask varint | hops uvarint
+//	  numLogs uvarint
+//	  per log:
+//	    flag byte (1 = main, 0 = channel)
+//	    channel? edge varint | from varint | to varint
+//	    firstAbs uvarint | n uvarint | n determinants
+
+// EncodeDelta serializes forward sets onto dst.
+func EncodeDelta(dst []byte, sets []ForwardSet) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(sets)))
+	for _, fs := range sets {
+		dst = binary.AppendVarint(dst, int64(fs.Origin.Vertex))
+		dst = binary.AppendVarint(dst, int64(fs.Origin.Subtask))
+		dst = binary.AppendUvarint(dst, uint64(fs.Hops))
+		dst = binary.AppendUvarint(dst, uint64(len(fs.Logs)))
+		for _, key := range sortedLogKeys(fs.Logs) {
+			run := fs.Logs[key]
+			if key.Main {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+				dst = binary.AppendVarint(dst, int64(key.Channel.Edge))
+				dst = binary.AppendVarint(dst, int64(key.Channel.From))
+				dst = binary.AppendVarint(dst, int64(key.Channel.To))
+			}
+			dst = binary.AppendUvarint(dst, run.Start)
+			dst = binary.AppendUvarint(dst, uint64(len(run.Ents)))
+			for _, d := range run.Ents {
+				dst = d.Append(dst)
+			}
+		}
+	}
+	return dst
+}
+
+// sortedLogKeys orders a set's log keys deterministically: main first,
+// then channels by (edge, from, to).
+func sortedLogKeys(logs map[LogKey]Run) []LogKey {
+	keys := make([]LogKey, 0, len(logs))
+	if _, ok := logs[MainLogKey]; ok {
+		keys = append(keys, MainLogKey)
+	}
+	var chans []LogKey
+	for k := range logs {
+		if !k.Main {
+			chans = append(chans, k)
+		}
+	}
+	for i := 1; i < len(chans); i++ {
+		for j := i; j > 0 && lessChannel(chans[j].Channel, chans[j-1].Channel); j-- {
+			chans[j], chans[j-1] = chans[j-1], chans[j]
+		}
+	}
+	return append(keys, chans...)
+}
+
+func lessChannel(a, b types.ChannelID) bool {
+	if a.Edge != b.Edge {
+		return a.Edge < b.Edge
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// DecodeDelta parses a delta produced by EncodeDelta.
+func DecodeDelta(b []byte) ([]ForwardSet, error) {
+	i := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("causal: truncated delta")
+		}
+		i += n
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("causal: truncated delta")
+		}
+		i += n
+		return v, nil
+	}
+	nSets, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]ForwardSet, 0, nSets)
+	for s := uint64(0); s < nSets; s++ {
+		var fs ForwardSet
+		v, err := sv()
+		if err != nil {
+			return nil, err
+		}
+		fs.Origin.Vertex = types.VertexID(v)
+		if v, err = sv(); err != nil {
+			return nil, err
+		}
+		fs.Origin.Subtask = int32(v)
+		h, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		fs.Hops = int(h)
+		nLogs, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		fs.Logs = make(map[LogKey]Run, nLogs)
+		for l := uint64(0); l < nLogs; l++ {
+			if i >= len(b) {
+				return nil, fmt.Errorf("causal: truncated delta")
+			}
+			flag := b[i]
+			i++
+			key := MainLogKey
+			if flag == 0 {
+				var edge, from, to int64
+				if edge, err = sv(); err != nil {
+					return nil, err
+				}
+				if from, err = sv(); err != nil {
+					return nil, err
+				}
+				if to, err = sv(); err != nil {
+					return nil, err
+				}
+				key = LogKey{Channel: types.ChannelID{Edge: types.EdgeID(edge), From: int32(from), To: int32(to)}}
+			}
+			start, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			n, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			ents := make([]Determinant, 0, n)
+			for k := uint64(0); k < n; k++ {
+				d, used, err := decodeDeterminant(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += used
+				ents = append(ents, d)
+			}
+			fs.Logs[key] = Run{Start: start, Ents: ents}
+		}
+		sets = append(sets, fs)
+	}
+	return sets, nil
+}

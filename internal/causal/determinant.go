@@ -1,0 +1,232 @@
+// Package causal implements causal logging for the streaming engine
+// (Clonos §3.3, §4.3): determinants describing every nondeterministic
+// event, per-thread causal logs segmented by epoch, log deltas piggybacked
+// on outgoing network buffers, a replicated store of upstream determinants
+// at each downstream task, and the determinant-sharing-depth (DSD)
+// forwarding rule.
+package causal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clonos/internal/types"
+)
+
+// Kind discriminates determinant variants.
+type Kind uint8
+
+const (
+	// KindEpoch marks an epoch boundary inside a log, making logs
+	// self-describing for truncation and recovery extraction.
+	KindEpoch Kind = iota
+	// KindOrder records which input channel the main thread consumed a
+	// buffer from (record-processing order, §4.2).
+	KindOrder
+	// KindTimer records an asynchronous processing-time timer firing:
+	// handler, key, deadline, and the input offset at which it fired.
+	KindTimer
+	// KindTimestamp records a wall-clock reading returned by the
+	// Timestamp service.
+	KindTimestamp
+	// KindRNG records the random seed drawn at an epoch start by the
+	// RNG service.
+	KindRNG
+	// KindService records the serialized response of a (possibly
+	// user-defined) causal service call, e.g. an external HTTP request.
+	KindService
+	// KindRPC records a state-affecting RPC received by the task — in
+	// this engine the checkpoint-trigger RPC delivered to sources —
+	// with the input offset at which it was handled.
+	KindRPC
+	// KindBufferSize records, in an output channel's own log, the size
+	// of a dispatched buffer (nondeterministic due to timed flushes).
+	KindBufferSize
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEpoch:
+		return "EPOCH"
+	case KindOrder:
+		return "ORDER"
+	case KindTimer:
+		return "TIMER"
+	case KindTimestamp:
+		return "TS"
+	case KindRNG:
+		return "RNG"
+	case KindService:
+		return "SERVICE"
+	case KindRPC:
+		return "RPC"
+	case KindBufferSize:
+		return "BS"
+	default:
+		return fmt.Sprintf("DET(%d)", uint8(k))
+	}
+}
+
+// Determinant is one logged nondeterministic event. Field use by kind:
+//
+//	EPOCH:      Epoch
+//	ORDER:      Channel
+//	TIMER:      Handler, Key, When, Offset
+//	TS:         Value (ms)
+//	RNG:        Value (seed)
+//	SERVICE:    ServiceID, Payload
+//	RPC:        Epoch (checkpoint id), Offset
+//	BUFFERSIZE: Value (bytes)
+type Determinant struct {
+	Kind      Kind
+	Channel   int32
+	Handler   int32
+	Key       uint64
+	When      int64
+	Offset    uint64
+	Value     int64
+	Epoch     types.EpochID
+	ServiceID uint16
+	Payload   []byte
+}
+
+// Equal reports deep equality, used by tests and replay assertions.
+func (d Determinant) Equal(o Determinant) bool {
+	if d.Kind != o.Kind || d.Channel != o.Channel || d.Handler != o.Handler ||
+		d.Key != o.Key || d.When != o.When || d.Offset != o.Offset ||
+		d.Value != o.Value || d.Epoch != o.Epoch || d.ServiceID != o.ServiceID {
+		return false
+	}
+	return string(d.Payload) == string(o.Payload)
+}
+
+func (d Determinant) String() string {
+	switch d.Kind {
+	case KindEpoch:
+		return fmt.Sprintf("EPOCH %d", d.Epoch)
+	case KindOrder:
+		return fmt.Sprintf("ORDER ch=%d", d.Channel)
+	case KindTimer:
+		return fmt.Sprintf("TIMER h=%d key=%d when=%d off=%d", d.Handler, d.Key, d.When, d.Offset)
+	case KindTimestamp:
+		return fmt.Sprintf("TS %d", d.Value)
+	case KindRNG:
+		return fmt.Sprintf("RNG %d", d.Value)
+	case KindService:
+		return fmt.Sprintf("SERVICE id=%d %dB", d.ServiceID, len(d.Payload))
+	case KindRPC:
+		return fmt.Sprintf("RPC chk=%d off=%d", d.Epoch, d.Offset)
+	case KindBufferSize:
+		return fmt.Sprintf("BS %d", d.Value)
+	default:
+		return d.Kind.String()
+	}
+}
+
+// Append serializes d onto dst.
+func (d Determinant) Append(dst []byte) []byte {
+	dst = append(dst, byte(d.Kind))
+	switch d.Kind {
+	case KindEpoch:
+		dst = binary.AppendUvarint(dst, uint64(d.Epoch))
+	case KindOrder:
+		dst = binary.AppendVarint(dst, int64(d.Channel))
+	case KindTimer:
+		dst = binary.AppendVarint(dst, int64(d.Handler))
+		dst = binary.AppendUvarint(dst, d.Key)
+		dst = binary.AppendVarint(dst, d.When)
+		dst = binary.AppendUvarint(dst, d.Offset)
+	case KindTimestamp, KindRNG, KindBufferSize:
+		dst = binary.AppendVarint(dst, d.Value)
+	case KindService:
+		dst = binary.AppendUvarint(dst, uint64(d.ServiceID))
+		dst = binary.AppendUvarint(dst, uint64(len(d.Payload)))
+		dst = append(dst, d.Payload...)
+	case KindRPC:
+		dst = binary.AppendUvarint(dst, uint64(d.Epoch))
+		dst = binary.AppendUvarint(dst, d.Offset)
+	}
+	return dst
+}
+
+// decodeDeterminant decodes one determinant from b, returning it and the
+// bytes consumed.
+func decodeDeterminant(b []byte) (Determinant, int, error) {
+	if len(b) == 0 {
+		return Determinant{}, 0, fmt.Errorf("causal: empty determinant")
+	}
+	d := Determinant{Kind: Kind(b[0])}
+	i := 1
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("causal: truncated determinant")
+		}
+		i += n
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("causal: truncated determinant")
+		}
+		i += n
+		return v, nil
+	}
+	var err error
+	switch d.Kind {
+	case KindEpoch:
+		var e uint64
+		if e, err = uv(); err == nil {
+			d.Epoch = types.EpochID(e)
+		}
+	case KindOrder:
+		var c int64
+		if c, err = sv(); err == nil {
+			d.Channel = int32(c)
+		}
+	case KindTimer:
+		var h int64
+		if h, err = sv(); err != nil {
+			break
+		}
+		d.Handler = int32(h)
+		if d.Key, err = uv(); err != nil {
+			break
+		}
+		if d.When, err = sv(); err != nil {
+			break
+		}
+		d.Offset, err = uv()
+	case KindTimestamp, KindRNG, KindBufferSize:
+		d.Value, err = sv()
+	case KindService:
+		var id, n uint64
+		if id, err = uv(); err != nil {
+			break
+		}
+		d.ServiceID = uint16(id)
+		if n, err = uv(); err != nil {
+			break
+		}
+		if uint64(len(b)-i) < n {
+			err = fmt.Errorf("causal: truncated service payload")
+			break
+		}
+		d.Payload = append([]byte(nil), b[i:i+int(n)]...)
+		i += int(n)
+	case KindRPC:
+		var e uint64
+		if e, err = uv(); err != nil {
+			break
+		}
+		d.Epoch = types.EpochID(e)
+		d.Offset, err = uv()
+	default:
+		err = fmt.Errorf("causal: unknown determinant kind %d", b[0])
+	}
+	if err != nil {
+		return Determinant{}, 0, err
+	}
+	return d, i, nil
+}

@@ -1,0 +1,116 @@
+package causal
+
+import (
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// Log is one append-only determinant log with absolute indexing. Each task
+// keeps one Log for its main thread and one per output channel (§4.3).
+// Entries carry absolute indices that survive truncation, so per-consumer
+// sharing cursors and replicated copies stay consistent.
+type Log struct {
+	mu   sync.Mutex
+	base uint64 // absolute index of entries[0]
+	ents []Determinant
+	// epochAt maps an epoch to the absolute index of its EPOCH marker.
+	epochAt map[types.EpochID]uint64
+}
+
+// NewLog creates an empty log whose next entry has absolute index 0.
+func NewLog() *Log {
+	return &Log{epochAt: make(map[types.EpochID]uint64)}
+}
+
+// NewLogAt creates an empty log whose next entry has the given absolute
+// index; recovery seeds a standby's log at the predecessor's epoch-start
+// index so re-appended determinants land on identical positions.
+func NewLogAt(base uint64) *Log {
+	return &Log{base: base, epochAt: make(map[types.EpochID]uint64)}
+}
+
+// Append adds a determinant and returns its absolute index.
+func (l *Log) Append(d Determinant) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := l.base + uint64(len(l.ents))
+	if d.Kind == KindEpoch {
+		l.epochAt[d.Epoch] = idx
+	}
+	l.ents = append(l.ents, d)
+	return idx
+}
+
+// StartEpoch appends the boundary marker for the given epoch.
+func (l *Log) StartEpoch(e types.EpochID) uint64 {
+	return l.Append(Determinant{Kind: KindEpoch, Epoch: e})
+}
+
+// Base returns the absolute index of the oldest retained entry.
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// End returns the absolute index one past the newest entry.
+func (l *Log) End() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.ents))
+}
+
+// Len reports the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ents)
+}
+
+// Since returns a copy of the entries with absolute index >= abs, together
+// with the absolute index of the first returned entry (== max(abs, base)).
+func (l *Log) Since(abs uint64) ([]Determinant, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if abs < l.base {
+		abs = l.base
+	}
+	off := abs - l.base
+	if off >= uint64(len(l.ents)) {
+		return nil, l.base + uint64(len(l.ents))
+	}
+	out := make([]Determinant, len(l.ents)-int(off))
+	copy(out, l.ents[off:])
+	return out, abs
+}
+
+// EpochStart returns the absolute index of the EPOCH marker for e, if the
+// marker is still retained.
+func (l *Log) EpochStart(e types.EpochID) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx, ok := l.epochAt[e]
+	return idx, ok
+}
+
+// Truncate drops all entries belonging to epochs <= upTo, i.e. everything
+// before the EPOCH marker of upTo+1. Called when checkpoint upTo completes
+// (§4.3 "Truncating Causal Logs"). If the marker for upTo+1 is not
+// present, the log is left unchanged.
+func (l *Log) Truncate(upTo types.EpochID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cut, ok := l.epochAt[upTo+1]
+	if !ok || cut <= l.base {
+		return
+	}
+	n := cut - l.base
+	l.ents = append(l.ents[:0:0], l.ents[n:]...)
+	l.base = cut
+	for e, idx := range l.epochAt {
+		if idx < cut {
+			delete(l.epochAt, e)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package causal
+
+import (
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// Manager is one task's causal-logging subsystem: its own main-thread log,
+// one log per output channel, the replicated store of upstream logs, and
+// the per-downstream-channel sharing cursors that make each buffer's
+// piggybacked delta carry exactly the entries the receiver has not seen.
+type Manager struct {
+	self types.TaskID
+	dsd  int
+
+	mu       sync.Mutex
+	main     *Log
+	channels map[types.ChannelID]*Log
+	replicas *Store
+	// cursors[downstreamChannel] tracks what has been shared on that
+	// channel: next absolute index per own log and per replica log.
+	cursors map[types.ChannelID]*cursorSet
+	// externalCursors track sharing with external output systems (§5.5
+	// exactly-once output): sink tasks piggyback their main-log deltas
+	// on records written to e.g. Kafka.
+	externalCursors map[string]uint64
+}
+
+type cursorSet struct {
+	own      map[LogKey]uint64
+	replicas map[types.TaskID]map[LogKey]uint64
+}
+
+// NewManager creates the causal subsystem for task self with the given
+// determinant sharing depth. DSD 0 disables sharing entirely
+// (at-least-once mode, §5.4).
+func NewManager(self types.TaskID, dsd int) *Manager {
+	return &Manager{
+		self:            self,
+		dsd:             dsd,
+		main:            NewLog(),
+		channels:        make(map[types.ChannelID]*Log),
+		replicas:        NewStore(),
+		cursors:         make(map[types.ChannelID]*cursorSet),
+		externalCursors: make(map[string]uint64),
+	}
+}
+
+// Self returns the owning task.
+func (m *Manager) Self() types.TaskID { return m.self }
+
+// DSD returns the configured determinant sharing depth.
+func (m *Manager) DSD() int { return m.dsd }
+
+// Main returns the main-thread log.
+func (m *Manager) Main() *Log { return m.main }
+
+// Channel returns (creating on first use) the log of one output channel.
+func (m *Manager) Channel(id types.ChannelID) *Log {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.channels[id]
+	if !ok {
+		l = NewLog()
+		m.channels[id] = l
+	}
+	return l
+}
+
+// Replicas returns the replicated upstream-log store.
+func (m *Manager) Replicas() *Store { return m.replicas }
+
+// SeedForRecovery re-bases the task's own logs at the absolute indices the
+// predecessor's logs had at the epoch start, so determinants re-appended
+// during causally guided replay land on identical positions and remain
+// idempotent at downstream replicas.
+func (m *Manager) SeedForRecovery(mainStart uint64, channelStarts map[types.ChannelID]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.main = NewLogAt(mainStart)
+	m.channels = make(map[types.ChannelID]*Log)
+	for id, start := range channelStarts {
+		m.channels[id] = NewLogAt(start)
+	}
+	// Conservatively forget sharing cursors: all retained entries are
+	// re-shared; replicas deduplicate by absolute index.
+	m.cursors = make(map[types.ChannelID]*cursorSet)
+	m.externalCursors = make(map[string]uint64)
+}
+
+// DeltaForExternal assembles the delta of the task's own main log for an
+// external output system (§5.5): sink tasks attach it to outgoing records
+// so the output system can return the determinants during recovery. It
+// advances the named consumer's cursor and returns nil when nothing is
+// new or DSD is 0.
+func (m *Manager) DeltaForExternal(consumer string) []byte {
+	if m.dsd <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	from := m.externalCursors[consumer]
+	m.mu.Unlock()
+	ents, start := m.main.Since(from)
+	if len(ents) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	m.externalCursors[consumer] = start + uint64(len(ents))
+	m.mu.Unlock()
+	return EncodeDelta(nil, []ForwardSet{{
+		Origin: m.self,
+		Hops:   1,
+		Logs:   map[LogKey]Run{MainLogKey: {Start: start, Ents: ents}},
+	}})
+}
+
+// DeltaFor assembles and serializes the causal delta to piggyback on the
+// next buffer dispatched to the given downstream channel, advancing the
+// channel's cursors. Returns nil when DSD is 0 or nothing is new.
+func (m *Manager) DeltaFor(down types.ChannelID) []byte {
+	if m.dsd <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	cs, ok := m.cursors[down]
+	if !ok {
+		cs = &cursorSet{own: make(map[LogKey]uint64), replicas: make(map[types.TaskID]map[LogKey]uint64)}
+		m.cursors[down] = cs
+	}
+	// Own logs: main + every output-channel log (the paper replicates
+	// all of them to every downstream, §4.3).
+	own := ForwardSet{Origin: m.self, Hops: 1, Logs: make(map[LogKey]Run)}
+	if ents, start := m.main.Since(cs.own[MainLogKey]); len(ents) > 0 {
+		own.Logs[MainLogKey] = Run{Start: start, Ents: ents}
+		cs.own[MainLogKey] = start + uint64(len(ents))
+	}
+	for id, l := range m.channels {
+		key := ChannelLogKey(id)
+		if ents, start := l.Since(cs.own[key]); len(ents) > 0 {
+			own.Logs[key] = Run{Start: start, Ents: ents}
+			cs.own[key] = start + uint64(len(ents))
+		}
+	}
+	m.mu.Unlock()
+
+	sets := m.replicas.ForwardableSince(m.dsd, cs.replicas)
+	m.mu.Lock()
+	for _, fs := range sets {
+		rc, ok := cs.replicas[fs.Origin]
+		if !ok {
+			rc = make(map[LogKey]uint64)
+			cs.replicas[fs.Origin] = rc
+		}
+		for key, run := range fs.Logs {
+			rc[key] = run.Start + uint64(len(run.Ents))
+		}
+	}
+	m.mu.Unlock()
+
+	if len(own.Logs) > 0 {
+		sets = append([]ForwardSet{own}, sets...)
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	return EncodeDelta(nil, sets)
+}
+
+// Ingest merges a received delta into the replica store. The task runtime
+// calls this before processing the records of the carrying buffer.
+func (m *Manager) Ingest(delta []byte) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	sets, err := DecodeDelta(delta)
+	if err != nil {
+		return err
+	}
+	for _, fs := range sets {
+		for key, run := range fs.Logs {
+			m.replicas.Ingest(fs.Origin, fs.Hops, key, run.Start, run.Ents)
+		}
+	}
+	return nil
+}
+
+// StartEpochMain appends the epoch marker to the main-thread log.
+func (m *Manager) StartEpochMain(e types.EpochID) { m.main.StartEpoch(e) }
+
+// StartEpochMainAt appends the epoch marker and returns its absolute
+// index, recorded in checkpoints as the standby's log seed position.
+func (m *Manager) StartEpochMainAt(e types.EpochID) uint64 { return m.main.StartEpoch(e) }
+
+// StartEpochChannel appends the epoch marker to one channel log; called
+// when the barrier is dispatched on that channel.
+func (m *Manager) StartEpochChannel(id types.ChannelID, e types.EpochID) {
+	m.Channel(id).StartEpoch(e)
+}
+
+// Truncate drops all determinants of epochs <= upTo from the task's own
+// logs and its replicas, after checkpoint upTo completes.
+func (m *Manager) Truncate(upTo types.EpochID) {
+	m.mu.Lock()
+	logs := make([]*Log, 0, len(m.channels)+1)
+	logs = append(logs, m.main)
+	for _, l := range m.channels {
+		logs = append(logs, l)
+	}
+	m.mu.Unlock()
+	for _, l := range logs {
+		l.Truncate(upTo)
+	}
+	m.replicas.Truncate(upTo)
+}
+
+// AppendOrder logs that the main thread consumed a buffer from the given
+// gate channel index.
+func (m *Manager) AppendOrder(channel int32) {
+	m.main.Append(Determinant{Kind: KindOrder, Channel: channel})
+}
+
+// AppendTimer logs an asynchronous processing-time timer firing.
+func (m *Manager) AppendTimer(handler int32, key uint64, when int64, offset uint64) {
+	m.main.Append(Determinant{Kind: KindTimer, Handler: handler, Key: key, When: when, Offset: offset})
+}
+
+// AppendTimestamp logs a wall-clock reading.
+func (m *Manager) AppendTimestamp(ms int64) {
+	m.main.Append(Determinant{Kind: KindTimestamp, Value: ms})
+}
+
+// AppendRNG logs a fresh random seed.
+func (m *Manager) AppendRNG(seed int64) {
+	m.main.Append(Determinant{Kind: KindRNG, Value: seed})
+}
+
+// AppendService logs a causal-service response payload.
+func (m *Manager) AppendService(id uint16, payload []byte) {
+	m.main.Append(Determinant{Kind: KindService, ServiceID: id, Payload: payload})
+}
+
+// AppendRPC logs a state-affecting RPC (checkpoint trigger) and the input
+// offset at which it was handled.
+func (m *Manager) AppendRPC(checkpoint types.EpochID, offset uint64) {
+	m.main.Append(Determinant{Kind: KindRPC, Epoch: checkpoint, Offset: offset})
+}
+
+// AppendBufferSize logs the size of a buffer dispatched on one channel,
+// in that channel's own log.
+func (m *Manager) AppendBufferSize(id types.ChannelID, size int) {
+	m.Channel(id).Append(Determinant{Kind: KindBufferSize, Value: int64(size)})
+}

@@ -1,0 +1,331 @@
+package causal
+
+import (
+	"sort"
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// LogKey identifies one log of a task: its main-thread log or the log of
+// one of its output channels.
+type LogKey struct {
+	Main    bool
+	Channel types.ChannelID
+}
+
+// MainLogKey is the key of a task's main-thread log.
+var MainLogKey = LogKey{Main: true}
+
+// ChannelLogKey returns the key of an output channel's log.
+func ChannelLogKey(id types.ChannelID) LogKey { return LogKey{Channel: id} }
+
+// segment is a contiguous run of determinants with absolute indexing.
+type segment struct {
+	start uint64
+	ents  []Determinant
+}
+
+func (s segment) end() uint64 { return s.start + uint64(len(s.ents)) }
+
+// replicaLog stores possibly discontiguous received pieces of one log,
+// merged into sorted non-overlapping segments. Diamond topologies with
+// DSD > 1 can deliver overlapping or out-of-order ranges of the same
+// origin log along different paths.
+type replicaLog struct {
+	segs []segment
+}
+
+// insert merges a new run into the segment set.
+func (r *replicaLog) insert(start uint64, ents []Determinant) {
+	if len(ents) == 0 {
+		return
+	}
+	in := segment{start: start, ents: append([]Determinant(nil), ents...)}
+	var merged []segment
+	placed := false
+	for _, s := range r.segs {
+		switch {
+		case s.end() < in.start || in.end() < s.start:
+			// Disjoint; keep ordering.
+			if !placed && in.start < s.start {
+				merged = append(merged, in)
+				placed = true
+			}
+			merged = append(merged, s)
+		default:
+			// Overlapping or adjacent: coalesce into `in`.
+			in = coalesce(s, in)
+		}
+	}
+	if !placed {
+		merged = append(merged, in)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].start < merged[j].start })
+	r.segs = merged
+}
+
+// coalesce merges two overlapping/adjacent segments. Overlapping entries
+// are taken from whichever segment provides them (they are identical by
+// construction: the same origin log position).
+func coalesce(a, b segment) segment {
+	if b.start < a.start {
+		a, b = b, a
+	}
+	if b.end() <= a.end() {
+		return a // b fully contained
+	}
+	tail := b.ents[a.end()-b.start:]
+	out := segment{start: a.start, ents: make([]Determinant, 0, int(a.end()-a.start)+len(tail))}
+	out.ents = append(out.ents, a.ents...)
+	out.ents = append(out.ents, tail...)
+	return out
+}
+
+// contiguousFrom returns the longest contiguous run starting at abs, or
+// nil if abs is not covered.
+func (r *replicaLog) contiguousFrom(abs uint64) []Determinant {
+	for _, s := range r.segs {
+		if s.start <= abs && abs < s.end() {
+			return s.ents[abs-s.start:]
+		}
+	}
+	return nil
+}
+
+// since returns the contiguous entries available starting at abs and the
+// absolute index of the first returned entry. When abs falls in a gap or
+// past the end, nothing is returned.
+func (r *replicaLog) since(abs uint64) ([]Determinant, uint64) {
+	ents := r.contiguousFrom(abs)
+	return ents, abs
+}
+
+// epochStart scans retained segments for the EPOCH marker of e.
+func (r *replicaLog) epochStart(e types.EpochID) (uint64, bool) {
+	for _, s := range r.segs {
+		for i, d := range s.ents {
+			if d.Kind == KindEpoch && d.Epoch == e {
+				return s.start + uint64(i), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// truncate drops entries before the EPOCH marker of upTo+1, if present.
+func (r *replicaLog) truncate(upTo types.EpochID) {
+	cut, ok := r.epochStart(upTo + 1)
+	if !ok {
+		return
+	}
+	var kept []segment
+	for _, s := range r.segs {
+		switch {
+		case s.end() <= cut:
+			// drop entirely
+		case s.start >= cut:
+			kept = append(kept, s)
+		default:
+			kept = append(kept, segment{start: cut, ents: append([]Determinant(nil), s.ents[cut-s.start:]...)})
+		}
+	}
+	r.segs = kept
+}
+
+// end returns one past the highest retained index, or 0 when empty.
+func (r *replicaLog) end() uint64 {
+	if len(r.segs) == 0 {
+		return 0
+	}
+	return r.segs[len(r.segs)-1].end()
+}
+
+// Replica is everything a task holds about one origin task's logs.
+type Replica struct {
+	Origin types.TaskID
+	// Hops is the distance from the origin to this holder (1 = direct
+	// downstream). Forwarding only continues while Hops < DSD.
+	Hops int
+	logs map[LogKey]*replicaLog
+}
+
+// Extracted is the recovery view of an origin task's logs: the contiguous
+// determinant runs starting at the requested epoch's boundary marker.
+type Extracted struct {
+	Origin types.TaskID
+	// Main holds the main-thread determinants from the epoch marker on;
+	// MainStart is the absolute index of the first entry.
+	Main      []Determinant
+	MainStart uint64
+	// Channels holds each output-channel log from its epoch marker on.
+	Channels      map[types.ChannelID][]Determinant
+	ChannelStarts map[types.ChannelID]uint64
+}
+
+// Store is a task's replicated collection of upstream determinant logs.
+// Deltas piggybacked on incoming buffers are ingested here *before* the
+// buffer's records are processed, preserving Depend(e) ⊆ Log(e).
+type Store struct {
+	mu       sync.Mutex
+	byOrigin map[types.TaskID]*Replica
+}
+
+// NewStore creates an empty replica store.
+func NewStore() *Store {
+	return &Store{byOrigin: make(map[types.TaskID]*Replica)}
+}
+
+// Ingest merges a received run of an origin task's log. hops is the
+// distance from the origin to this task.
+func (s *Store) Ingest(origin types.TaskID, hops int, key LogKey, first uint64, ents []Determinant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.byOrigin[origin]
+	if !ok {
+		rep = &Replica{Origin: origin, Hops: hops, logs: make(map[LogKey]*replicaLog)}
+		s.byOrigin[origin] = rep
+	}
+	if hops < rep.Hops {
+		rep.Hops = hops
+	}
+	rl, ok := rep.logs[key]
+	if !ok {
+		rl = &replicaLog{}
+		rep.logs[key] = rl
+	}
+	rl.insert(first, ents)
+}
+
+// Origins returns the origin tasks currently replicated, with their hop
+// distance.
+func (s *Store) Origins() map[types.TaskID]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[types.TaskID]int, len(s.byOrigin))
+	for id, rep := range s.byOrigin {
+		out[id] = rep.Hops
+	}
+	return out
+}
+
+// ForwardableSince returns, for each origin with hops < dsd, the
+// contiguous entries of each of its logs starting at the given cursor
+// positions. cursors maps origin → log → next absolute index wanted; a
+// missing cursor starts from the oldest retained entry of that log.
+// The returned runs use the same nested shape, paired with start indices.
+func (s *Store) ForwardableSince(dsd int, cursors map[types.TaskID]map[LogKey]uint64) []ForwardSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ForwardSet
+	for origin, rep := range s.byOrigin {
+		if rep.Hops >= dsd {
+			continue
+		}
+		fs := ForwardSet{Origin: origin, Hops: rep.Hops + 1, Logs: make(map[LogKey]Run)}
+		for key, rl := range rep.logs {
+			var from uint64
+			if c, ok := cursors[origin]; ok {
+				from = c[key]
+			}
+			if from == 0 && len(rl.segs) > 0 {
+				from = rl.segs[0].start
+			}
+			ents, start := rl.since(from)
+			if len(ents) > 0 {
+				fs.Logs[key] = Run{Start: start, Ents: ents}
+			}
+		}
+		if len(fs.Logs) > 0 {
+			out = append(out, fs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Origin, out[j].Origin
+		if a.Vertex != b.Vertex {
+			return a.Vertex < b.Vertex
+		}
+		return a.Subtask < b.Subtask
+	})
+	return out
+}
+
+// Run is a contiguous determinant run with its absolute start index.
+type Run struct {
+	Start uint64
+	Ents  []Determinant
+}
+
+// ForwardSet is one origin task's forwardable logs.
+type ForwardSet struct {
+	Origin types.TaskID
+	Hops   int
+	Logs   map[LogKey]Run
+}
+
+// Extract builds the recovery view for an origin task from the requested
+// epoch. It reports false if no EPOCH marker for that epoch is retained
+// in the origin's main log — the caller may then escalate to a global
+// rollback (§5.3, DSD < D orphan case).
+func (s *Store) Extract(origin types.TaskID, fromEpoch types.EpochID) (Extracted, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.byOrigin[origin]
+	if !ok {
+		return Extracted{}, false
+	}
+	ex := Extracted{
+		Origin:        origin,
+		Channels:      make(map[types.ChannelID][]Determinant),
+		ChannelStarts: make(map[types.ChannelID]uint64),
+	}
+	main, ok := rep.logs[MainLogKey]
+	if !ok {
+		return Extracted{}, false
+	}
+	start, ok := main.epochStart(fromEpoch)
+	if !ok {
+		return Extracted{}, false
+	}
+	ex.MainStart = start
+	ex.Main = append([]Determinant(nil), main.contiguousFrom(start)...)
+	for key, rl := range rep.logs {
+		if key.Main {
+			continue
+		}
+		cs, ok := rl.epochStart(fromEpoch)
+		if !ok {
+			continue
+		}
+		ex.Channels[key.Channel] = append([]Determinant(nil), rl.contiguousFrom(cs)...)
+		ex.ChannelStarts[key.Channel] = cs
+	}
+	return ex, true
+}
+
+// Truncate drops determinants of epochs <= upTo from every replica.
+func (s *Store) Truncate(upTo types.EpochID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rep := range s.byOrigin {
+		for _, rl := range rep.logs {
+			rl.truncate(upTo)
+		}
+	}
+}
+
+// SizeEntries reports the total retained determinant count, a memory
+// proxy for the §7.5 experiments.
+func (s *Store) SizeEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rep := range s.byOrigin {
+		for _, rl := range rep.logs {
+			for _, seg := range rl.segs {
+				n += len(seg.ents)
+			}
+		}
+	}
+	return n
+}

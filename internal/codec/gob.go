@@ -1,0 +1,32 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// GobCodec encodes arbitrary values with encoding/gob. Concrete types
+// must be registered (see statestore.Register / gob.Register). It is the
+// default edge codec for pipelines that do not provide a hand-written one;
+// a fresh encoder per value trades efficiency for self-containment.
+type GobCodec struct{}
+
+type gobBox struct{ V any }
+
+// EncodeAppend implements Codec.
+func (GobCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobBox{V: v}); err != nil {
+		return dst, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(b []byte) (any, error) {
+	var box gobBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, err
+	}
+	return box.V, nil
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"clonos/internal/inflight"
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/nexmark"
+	"clonos/internal/services"
+)
+
+// TestBisectFig5Inversion is a diagnostic, not a regression test: it
+// isolates which engine feature is responsible for the Clonos-faster-
+// than-baseline inversion Figure 5 shows on single-core hosts. Run it
+// explicitly with CLONOS_BISECT=1; it takes ~2 minutes.
+func TestBisectFig5Inversion(t *testing.T) {
+	if os.Getenv("CLONOS_BISECT") == "" {
+		t.Skip("diagnostic sweep; set CLONOS_BISECT=1 to run")
+	}
+	const query = "Q4"
+	const parallelism = 2
+	const rate = 150000
+	const duration = 5 * time.Second
+
+	configs := []struct {
+		label string
+		cfg   func() job.Config
+	}{
+		{"global", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeGlobal
+			c.Standby = false
+			return c
+		}},
+		{"clonos-dsd1", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.DSD = 1
+			return c
+		}},
+		{"clonos-dsd1-nostandby", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.DSD = 1
+			c.Standby = false
+			return c
+		}},
+		{"clonos-atmostonce", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.Guarantee = job.AtMostOnce
+			c.Standby = false
+			return c
+		}},
+		{"clonos-noncausal", func() job.Config {
+			// In-flight logging without determinants (at-least-once):
+			// isolates the §6.1 buffer exchange from causal logging.
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.Guarantee = job.AtLeastOnce
+			c.Standby = false
+			return c
+		}},
+	}
+
+	const repeats = 3
+	samples := make(map[string][]float64)
+	for rep := 0; rep < repeats; rep++ {
+		for _, conf := range configs {
+			cfg := conf.cfg()
+			cfg.World = services.NewExternalWorld()
+			cfg.InFlight = inflight.Config{Policy: inflight.PolicySpillThreshold, Threshold: 0.25}
+			res, err := Run(RunSpec{
+				Name:      "bisect/" + conf.label,
+				Cfg:       cfg,
+				SinkDedup: true,
+				NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("nexmark", parallelism*2) },
+				Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+					return nexmark.Build(query, topic, sink, nexmark.DefaultQueryConfig(parallelism))
+				},
+				StartDriver: func(topic *kafkasim.Topic) func() {
+					d := nexmark.NewDriver(topic, nexmark.DefaultGeneratorConfig(42), rate, 0)
+					d.Start()
+					return d.Stop
+				},
+				Duration: duration,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", conf.label, err)
+			}
+			samples[conf.label] = append(samples[conf.label], SteadyThroughput(res.Samples, 0.3))
+		}
+	}
+	base := metricsMedian(samples["global"])
+	for _, conf := range configs {
+		med := metricsMedian(samples[conf.label])
+		rel := 0.0
+		if base > 0 {
+			rel = med / base
+		}
+		fmt.Printf("bisect %-22s %9.0f/s  (%.2f vs global)\n", conf.label, med, rel)
+	}
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/synthetic"
+)
+
+// DSDOptions scales the determinant-sharing-depth ablation (§5.4's
+// "trade-off determinant sharing depth for performance").
+type DSDOptions struct {
+	Rate     int
+	Duration time.Duration
+	// Depths to sweep; 0 means the full graph depth.
+	Depths    []int
+	Synthetic synthetic.Config
+	Repeats   int
+}
+
+// DefaultDSDOptions returns laptop-scale settings; the rate should
+// saturate the pipeline so throughput reflects the sharing overhead.
+func DefaultDSDOptions() DSDOptions {
+	syn := synthetic.DefaultConfig()
+	syn.Depth = 4
+	return DSDOptions{Rate: 150000, Duration: 4 * time.Second, Depths: []int{1, 2, 3, 0}, Synthetic: syn, Repeats: 5}
+}
+
+// DSDRow is one sharing depth's measurement.
+type DSDRow struct {
+	DSD        int // 0 = full
+	Throughput float64
+	P99Latency int64
+}
+
+// DSDSweep measures saturated throughput across determinant sharing
+// depths on a deep synthetic pipeline: deeper sharing replicates more
+// determinant bytes per buffer (the paper saw up to 26% at full depth on
+// D=6 queries versus 15-16% at DSD=1-2).
+func DSDSweep(w io.Writer, opt DSDOptions) ([]DSDRow, error) {
+	repeats := opt.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	// Interleave repeats across depths (1, 2, 3, full, 1, 2, ...) so
+	// cold-start and machine drift affect every depth equally.
+	tputs := make(map[int][]float64)
+	p99s := make(map[int]int64)
+	for rep := 0; rep < repeats; rep++ {
+		for _, dsd := range opt.Depths {
+			cfg := job.DefaultConfig()
+			cfg.Mode = job.ModeClonos
+			cfg.DSD = dsd
+			cfg.Standby = false
+			syn := opt.Synthetic
+			res, err := Run(RunSpec{
+				Name:      fmt.Sprintf("dsd-%d", dsd),
+				Cfg:       cfg,
+				SinkDedup: true,
+				NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("syn", syn.Parallelism*2) },
+				Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+					return synthetic.Build(topic, sink, syn), nil
+				},
+				StartDriver: func(topic *kafkasim.Topic) func() {
+					d := synthetic.Drive(topic, syn, opt.Rate, 0)
+					d.Start()
+					return d.Stop
+				},
+				Duration: opt.Duration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tputs[dsd] = append(tputs[dsd], SteadyThroughput(res.Samples, 0.3))
+			_, p99s[dsd] = LatencyPercentiles(res.Latency)
+		}
+	}
+	var rows []DSDRow
+	for _, dsd := range opt.Depths {
+		row := DSDRow{DSD: dsd, Throughput: metricsMedian(tputs[dsd]), P99Latency: p99s[dsd]}
+		rows = append(rows, row)
+		if w != nil {
+			name := fmt.Sprint(row.DSD)
+			if row.DSD == 0 {
+				name = "full"
+			}
+			fmt.Fprintf(w, "dsd=%-5s tput=%9.0f/s p99=%5dms\n", name, row.Throughput, row.P99Latency)
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, "\n§5.4 — determinant sharing depth vs saturated throughput")
+		var tbl [][]string
+		base := 0.0
+		for _, r := range rows {
+			if r.DSD == 1 {
+				base = r.Throughput
+			}
+		}
+		for _, r := range rows {
+			name := fmt.Sprint(r.DSD)
+			if r.DSD == 0 {
+				name = "full"
+			}
+			rel := "-"
+			if base > 0 {
+				rel = fmt.Sprintf("%.2f", r.Throughput/base)
+			}
+			tbl = append(tbl, []string{name, fmt.Sprintf("%.0f/s", r.Throughput), rel, fmt.Sprintf("%d ms", r.P99Latency)})
+		}
+		table(w, []string{"DSD", "throughput", "vs DSD=1", "p99 latency"}, tbl)
+	}
+	return rows, nil
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"clonos/internal/inflight"
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/metrics"
+	"clonos/internal/nexmark"
+	"clonos/internal/services"
+)
+
+// Fig5Options scales the overhead experiment.
+type Fig5Options struct {
+	// Queries to run; nil means all of Figure 5's.
+	Queries []string
+	// Parallelism per operator (the paper used 25; scaled down).
+	Parallelism int
+	// Rate is the generator rate in events/second; it should exceed the
+	// engine's capacity so the sink rate measures processing overhead
+	// (the paper measures at saturation).
+	Rate int
+	// Duration per configuration run.
+	Duration time.Duration
+	// Repeats takes the median over this many runs per configuration to
+	// damp scheduler noise (default 1).
+	Repeats int
+}
+
+// DefaultFig5Options returns laptop-scale settings.
+func DefaultFig5Options() Fig5Options {
+	return Fig5Options{Parallelism: 2, Rate: 150000, Duration: 5 * time.Second, Repeats: 3}
+}
+
+// Fig5Row is one query's relative-throughput measurements.
+type Fig5Row struct {
+	Query                      string
+	Flink, DSD1, DSDFull       float64 // absolute records/s at the sink
+	RelDSD1, RelDSDFull        float64 // relative to Flink
+	LatP50Flink, LatP50DSD1    int64
+	LatP99Flink, LatP99DSDFull int64
+}
+
+// Fig5 reproduces Figure 5: the relative throughput of Clonos (DSD=1 and
+// DSD=Full) against the global-rollback baseline under normal operation,
+// across the NEXMark queries, plus the §7.3 latency-overhead numbers.
+func Fig5(w io.Writer, opt Fig5Options) ([]Fig5Row, error) {
+	queries := opt.Queries
+	if len(queries) == 0 {
+		queries = nexmark.QueryNames
+	}
+	configs := []struct {
+		label string
+		cfg   func() job.Config
+	}{
+		{"flink", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeGlobal
+			c.Standby = false
+			return c
+		}},
+		{"dsd1", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.DSD = 1
+			return c
+		}},
+		{"dsdfull", func() job.Config {
+			c := job.DefaultConfig()
+			c.Mode = job.ModeClonos
+			c.DSD = 0 // full graph depth
+			return c
+		}},
+	}
+
+	repeats := opt.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var rows []Fig5Row
+	for _, q := range queries {
+		row := Fig5Row{Query: q}
+		// Interleave repeats across configurations (flink, dsd1, dsdfull,
+		// flink, ...) so cold-start and drift affect all three equally.
+		samples := make(map[string][]float64)
+		p50s := make(map[string]int64)
+		p99s := make(map[string]int64)
+		for rep := 0; rep < repeats; rep++ {
+			for _, conf := range configs {
+				cfg := conf.cfg()
+				cfg.World = services.NewExternalWorld()
+				cfg.InFlight = inflight.Config{Policy: inflight.PolicySpillThreshold, Threshold: 0.25}
+				res, err := Run(RunSpec{
+					Name:      q + "/" + conf.label,
+					Cfg:       cfg,
+					SinkDedup: true,
+					NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("nexmark", opt.Parallelism*2) },
+					Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+						return nexmark.Build(q, topic, sink, nexmark.DefaultQueryConfig(opt.Parallelism))
+					},
+					StartDriver: func(topic *kafkasim.Topic) func() {
+						d := nexmark.NewDriver(topic, nexmark.DefaultGeneratorConfig(42), opt.Rate, 0)
+						d.Start()
+						return d.Stop
+					},
+					Duration: opt.Duration,
+				})
+				if err != nil {
+					return rows, fmt.Errorf("fig5 %s/%s: %w", q, conf.label, err)
+				}
+				samples[conf.label] = append(samples[conf.label], SteadyThroughput(res.Samples, 0.3))
+				p50s[conf.label], p99s[conf.label] = LatencyPercentiles(res.Latency)
+			}
+		}
+		row.Flink = metricsMedian(samples["flink"])
+		row.LatP50Flink, row.LatP99Flink = p50s["flink"], p99s["flink"]
+		row.DSD1 = metricsMedian(samples["dsd1"])
+		row.LatP50DSD1 = p50s["dsd1"]
+		row.DSDFull = metricsMedian(samples["dsdfull"])
+		row.LatP99DSDFull = p99s["dsdfull"]
+		if row.Flink > 0 {
+			row.RelDSD1 = row.DSD1 / row.Flink
+			row.RelDSDFull = row.DSDFull / row.Flink
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "fig5 %-4s flink=%8.0f/s  dsd1=%8.0f/s (%.2f)  dsdfull=%8.0f/s (%.2f)\n",
+				row.Query, row.Flink, row.DSD1, row.RelDSD1, row.DSDFull, row.RelDSDFull)
+		}
+	}
+
+	if w != nil {
+		PrintFig5(w, rows)
+	}
+	return rows, nil
+}
+
+// metricsMedian returns the median of values.
+func metricsMedian(values []float64) float64 {
+	return metrics.PercentileF(values, 0.5)
+}
+
+// PrintFig5 renders the Figure 5 table and the §7.3 summary line.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "\nFigure 5 — relative throughput under normal operation (Flink = 1.00)")
+	var tbl [][]string
+	var sum1, sumF float64
+	n := 0
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Query,
+			fmt.Sprintf("%.2f", 1.0),
+			fmt.Sprintf("%.2f", r.RelDSD1),
+			fmt.Sprintf("%.2f", r.RelDSDFull),
+			fmt.Sprintf("%d ms", r.LatP50Flink),
+			fmt.Sprintf("%d ms", r.LatP50DSD1),
+		})
+		if r.RelDSD1 > 0 {
+			sum1 += r.RelDSD1
+			sumF += r.RelDSDFull
+			n++
+		}
+	}
+	table(w, []string{"query", "flink", "clonos DSD=1", "clonos DSD=full", "p50 lat flink", "p50 lat DSD=1"}, tbl)
+	if n > 0 {
+		fmt.Fprintf(w, "\n§7.3: average throughput penalty: DSD=1 %.0f%%, DSD=full %.0f%% (paper: 6%% and 7%%)\n",
+			(1-sum1/float64(n))*100, (1-sumF/float64(n))*100)
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"clonos/internal/inflight"
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/synthetic"
+)
+
+// MemOptions scales the §7.5 memory/spill study.
+type MemOptions struct {
+	Rate     int
+	Duration time.Duration
+	// PoolSizes are the in-flight log pool sizes (in buffers) to sweep;
+	// the paper swept megabytes of in-flight log space per task.
+	PoolSizes []int
+	Synthetic synthetic.Config
+	// CheckpointInterval stresses log growth between truncations.
+	CheckpointInterval time.Duration
+}
+
+// DefaultMemOptions returns laptop-scale settings.
+func DefaultMemOptions() MemOptions {
+	syn := synthetic.DefaultConfig()
+	syn.Depth = 2
+	return MemOptions{
+		Rate:               8000,
+		Duration:           5 * time.Second,
+		PoolSizes:          []int{64, 256, 512, 1024},
+		Synthetic:          syn,
+		CheckpointInterval: time.Second,
+	}
+}
+
+// MemRow is one (policy, pool size) measurement.
+type MemRow struct {
+	Policy     inflight.Policy
+	PoolBufs   int
+	Throughput float64
+	P99Latency int64
+}
+
+// MemStudy reproduces §7.5: throughput under the four in-flight log spill
+// policies across log pool sizes. The paper's findings to compare shapes
+// against: spill-buffer is conservative on memory but slow and erratic;
+// in-memory and spill-epoch block when the pool is small relative to the
+// checkpoint interval; spill-threshold is the well-rounded choice, with
+// deteriorating performance below ~50 MB and diminishing returns above
+// ~80 MB (scaled here to buffer counts).
+func MemStudy(w io.Writer, opt MemOptions) ([]MemRow, error) {
+	policies := []inflight.Policy{
+		inflight.PolicyInMemory,
+		inflight.PolicySpillEpoch,
+		inflight.PolicySpillBuffer,
+		inflight.PolicySpillThreshold,
+	}
+	var rows []MemRow
+	for _, pol := range policies {
+		for _, size := range opt.PoolSizes {
+			cfg := job.DefaultConfig()
+			cfg.Mode = job.ModeClonos
+			cfg.DSD = 1
+			cfg.Standby = false
+			cfg.CheckpointInterval = opt.CheckpointInterval
+			cfg.LogPoolBuffers = size
+			cfg.InFlight = inflight.Config{Policy: pol, Threshold: 0.25}
+			syn := opt.Synthetic
+			res, err := Run(RunSpec{
+				Name:      fmt.Sprintf("mem-%s-%d", pol, size),
+				Cfg:       cfg,
+				SinkDedup: true,
+				NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("syn", syn.Parallelism*2) },
+				Build: func(topic *kafkasim.Topic, sink *kafkasim.SinkTopic) (*job.Graph, error) {
+					return synthetic.Build(topic, sink, syn), nil
+				},
+				StartDriver: func(topic *kafkasim.Topic) func() {
+					d := synthetic.Drive(topic, syn, opt.Rate, 0)
+					d.Start()
+					return d.Stop
+				},
+				Duration: opt.Duration,
+			})
+			if err != nil {
+				return rows, err
+			}
+			_, p99 := LatencyPercentiles(res.Latency)
+			row := MemRow{Policy: pol, PoolBufs: size, Throughput: SteadyThroughput(res.Samples, 0.3), P99Latency: p99}
+			rows = append(rows, row)
+			if w != nil {
+				fmt.Fprintf(w, "mem %-16s pool=%4d bufs  tput=%9.0f/s  p99=%5dms\n", pol, size, row.Throughput, row.P99Latency)
+			}
+		}
+	}
+	if w != nil {
+		PrintMem(w, rows)
+	}
+	return rows, nil
+}
+
+// PrintMem renders the §7.5 table.
+func PrintMem(w io.Writer, rows []MemRow) {
+	fmt.Fprintln(w, "\n§7.5 — in-flight log spill policies vs log pool size")
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Policy.String(),
+			fmt.Sprintf("%d", r.PoolBufs),
+			fmt.Sprintf("%.0f/s", r.Throughput),
+			fmt.Sprintf("%d ms", r.P99Latency),
+		})
+	}
+	table(w, []string{"policy", "pool (buffers)", "throughput", "p99 latency"}, tbl)
+}

@@ -1,0 +1,453 @@
+// Package inflight implements the epoch-segmented in-flight record log
+// (Clonos §6.1): every buffer dispatched on an output channel is retained
+// until the checkpoint that covers it completes, so it can be replayed to
+// a recovering downstream task.
+//
+// The log owns a buffer pool distinct from the output channels' pools. At
+// dispatch the network layer hands the sent buffer to the log and the log
+// donates an empty buffer of its own back to the channel pool (no copy).
+// When the log's pool runs dry, dispatch blocks — natural backpressure —
+// unless a spill policy is releasing buffers to disk:
+//
+//	PolicyInMemory:       keep every buffer in memory.
+//	PolicySpillEpoch:     spill an epoch when the next one starts.
+//	PolicySpillBuffer:    spill each buffer synchronously on append.
+//	PolicySpillThreshold: spill everything unspilled whenever the pool's
+//	                      free ratio drops below a threshold.
+package inflight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"clonos/internal/buffer"
+	"clonos/internal/types"
+)
+
+// Policy selects the spill strategy.
+type Policy int
+
+const (
+	// PolicyInMemory keeps all buffers in memory.
+	PolicyInMemory Policy = iota
+	// PolicySpillEpoch spills each epoch as soon as the next one starts.
+	PolicySpillEpoch
+	// PolicySpillBuffer spills each buffer synchronously as it arrives.
+	PolicySpillBuffer
+	// PolicySpillThreshold spills all unspilled buffers whenever the
+	// pool's available ratio drops below Config.Threshold.
+	PolicySpillThreshold
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyInMemory:
+		return "in-memory"
+	case PolicySpillEpoch:
+		return "spill-epoch"
+	case PolicySpillBuffer:
+		return "spill-buffer"
+	case PolicySpillThreshold:
+		return "spill-threshold"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config configures a log.
+type Config struct {
+	Policy Policy
+	// Threshold is the free-buffer ratio below which PolicySpillThreshold
+	// spills (the paper found ~0.25–0.5 sensible).
+	Threshold float64
+	// Dir is the spill directory; empty means a fresh temp directory.
+	Dir string
+}
+
+// Entry describes one retained buffer.
+type Entry struct {
+	Seq     uint64
+	Epoch   types.EpochID
+	Size    int
+	Delta   []byte
+	buf     *buffer.Buffer // nil once spilled
+	spilled bool
+	fileOff int64
+}
+
+// Log is the in-flight record log of one output channel.
+type Log struct {
+	channel types.ChannelID
+	pool    *buffer.Pool
+	cfg     Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []*Entry
+	// epochStart maps an epoch to its first index in entries (absolute,
+	// i.e. offset by base).
+	epochStart map[types.EpochID]int
+	base       int // entries truncated so far
+	curEpoch   types.EpochID
+	memBytes   int
+
+	dir      string
+	ownDir   bool
+	files    map[types.EpochID]*os.File
+	fileOffs map[types.EpochID]int64
+
+	spillReq chan struct{}
+	stop     chan struct{}
+	done     sync.WaitGroup
+	closed   bool
+}
+
+// NewLog creates a log for one channel backed by the task's log pool.
+func NewLog(ch types.ChannelID, pool *buffer.Pool, cfg Config) (*Log, error) {
+	dir := cfg.Dir
+	ownDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "clonos-inflight-")
+		if err != nil {
+			return nil, fmt.Errorf("inflight: %w", err)
+		}
+		dir = d
+		ownDir = true
+	}
+	l := &Log{
+		channel:    ch,
+		pool:       pool,
+		cfg:        cfg,
+		epochStart: make(map[types.EpochID]int),
+		dir:        dir,
+		ownDir:     ownDir,
+		files:      make(map[types.EpochID]*os.File),
+		fileOffs:   make(map[types.EpochID]int64),
+		spillReq:   make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	if cfg.Policy == PolicySpillEpoch || cfg.Policy == PolicySpillThreshold {
+		l.done.Add(1)
+		go l.spiller()
+	}
+	return l, nil
+}
+
+// Channel returns the channel this log covers.
+func (l *Log) Channel() types.ChannelID { return l.channel }
+
+// StartEpoch marks the beginning of epoch e in the log.
+func (l *Log) StartEpoch(e types.EpochID) {
+	l.mu.Lock()
+	l.curEpoch = e
+	if _, ok := l.epochStart[e]; !ok {
+		l.epochStart[e] = l.base + len(l.entries)
+	}
+	l.mu.Unlock()
+	if l.cfg.Policy == PolicySpillEpoch {
+		l.kickSpiller()
+	}
+}
+
+// Append takes ownership of a dispatched buffer. The §6.1 exchange — the
+// caller pairs this with taking a replacement from the log pool and
+// donating it to the channel pool — is done by the dispatch layer.
+func (l *Log) Append(b *buffer.Buffer) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("inflight: log closed")
+	}
+	e := &Entry{Seq: b.Seq, Epoch: b.Epoch, Size: b.Len(), Delta: b.Delta, buf: b}
+	if _, ok := l.epochStart[b.Epoch]; !ok {
+		l.epochStart[b.Epoch] = l.base + len(l.entries)
+	}
+	l.entries = append(l.entries, e)
+	l.memBytes += e.Size
+	l.mu.Unlock()
+
+	switch l.cfg.Policy {
+	case PolicySpillBuffer:
+		// Synchronous spill: the paper notes the extra inline work and
+		// missing I/O batching this entails.
+		l.mu.Lock()
+		err := l.spillEntryLocked(e)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	case PolicySpillThreshold:
+		if l.pool.AvailableRatio() < l.cfg.Threshold {
+			l.kickSpiller()
+		}
+	}
+	return nil
+}
+
+func (l *Log) kickSpiller() {
+	select {
+	case l.spillReq <- struct{}{}:
+	default:
+	}
+}
+
+// spiller is the asynchronous spill thread.
+func (l *Log) spiller() {
+	defer l.done.Done()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.spillReq:
+		}
+		l.mu.Lock()
+		for _, e := range append([]*Entry(nil), l.entries...) {
+			if e.spilled {
+				continue
+			}
+			if l.cfg.Policy == PolicySpillEpoch && e.Epoch >= l.curEpoch {
+				continue // only completed epochs spill under spill-epoch
+			}
+			if err := l.spillEntryLocked(e); err != nil {
+				break // disk trouble: stay in memory, backpressure applies
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// spillEntryLocked writes one entry to its epoch file and releases its
+// buffer back to the log pool.
+func (l *Log) spillEntryLocked(e *Entry) error {
+	if e.spilled || e.buf == nil {
+		return nil
+	}
+	f, err := l.epochFileLocked(e.Epoch)
+	if err != nil {
+		return err
+	}
+	off := l.fileOffs[e.Epoch]
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], e.Seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(e.Size))
+	if _, err := f.WriteAt(hdr[:], off); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(e.buf.Data, off+12); err != nil {
+		return err
+	}
+	l.fileOffs[e.Epoch] = off + 12 + int64(e.Size)
+	e.fileOff = off + 12
+	e.spilled = true
+	l.memBytes -= e.Size
+	b := e.buf
+	e.buf = nil
+	l.pool.Donate(b)
+	return nil
+}
+
+func (l *Log) epochFileLocked(epoch types.EpochID) (*os.File, error) {
+	if f, ok := l.files[epoch]; ok {
+		return f, nil
+	}
+	name := filepath.Join(l.dir, fmt.Sprintf("ch_%d_%d_%d_epoch_%d.dat", l.channel.Edge, l.channel.From, l.channel.To, epoch))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.files[epoch] = f
+	l.fileOffs[epoch] = 0
+	return f, nil
+}
+
+// Truncate drops all entries of epochs <= upTo, returning their buffers
+// to the log pool and deleting their spill files.
+func (l *Log) Truncate(upTo types.EpochID) {
+	l.mu.Lock()
+	cut := 0
+	for cut < len(l.entries) && l.entries[cut].Epoch <= upTo {
+		cut++
+	}
+	dropped := l.entries[:cut]
+	l.entries = append(l.entries[:0:0], l.entries[cut:]...)
+	l.base += cut
+	for e := range l.epochStart {
+		if e <= upTo {
+			delete(l.epochStart, e)
+		}
+	}
+	var files []*os.File
+	for e, f := range l.files {
+		if e <= upTo {
+			files = append(files, f)
+			delete(l.files, e)
+			delete(l.fileOffs, e)
+		}
+	}
+	var bufs []*buffer.Buffer
+	for _, e := range dropped {
+		if e.buf != nil {
+			l.memBytes -= e.Size
+			bufs = append(bufs, e.buf)
+			e.buf = nil
+		}
+	}
+	l.mu.Unlock()
+	for _, b := range bufs {
+		l.pool.Donate(b)
+	}
+	for _, f := range files {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+}
+
+// Count reports retained entries; MemBytes reports in-memory payload
+// bytes; SpilledCount reports entries currently on disk.
+func (l *Log) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// MemBytes reports the bytes of buffered (unspilled) payload.
+func (l *Log) MemBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.memBytes
+}
+
+// SpilledCount reports how many retained entries live on disk.
+func (l *Log) SpilledCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.spilled {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadEntry returns the metadata and payload of the retained entry with
+// the given seq, reading from disk if it was spilled. It reports false
+// when the seq is not retained.
+func (l *Log) ReadEntry(seq uint64) (Entry, []byte, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.findLocked(seq)
+	if e == nil {
+		return Entry{}, nil, false, nil
+	}
+	data, err := l.payloadLocked(e)
+	if err != nil {
+		return Entry{}, nil, false, err
+	}
+	return *e, data, true, nil
+}
+
+func (l *Log) findLocked(seq uint64) *Entry {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	first := l.entries[0].Seq
+	if seq < first || seq > l.entries[len(l.entries)-1].Seq {
+		return nil
+	}
+	return l.entries[seq-first]
+}
+
+func (l *Log) payloadLocked(e *Entry) ([]byte, error) {
+	if !e.spilled {
+		out := make([]byte, e.Size)
+		copy(out, e.buf.Data)
+		return out, nil
+	}
+	f, ok := l.files[e.Epoch]
+	if !ok {
+		return nil, fmt.Errorf("inflight: spill file for epoch %d missing", e.Epoch)
+	}
+	out := make([]byte, e.Size)
+	if _, err := f.ReadAt(out, e.fileOff); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FirstSeqOfEpoch returns the seq of the first retained entry with epoch
+// >= e, or (0, false) when none is retained.
+func (l *Log) FirstSeqOfEpoch(e types.EpochID) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ent := range l.entries {
+		if ent.Epoch >= e {
+			return ent.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// FirstEpoch returns the epoch of the oldest retained entry, or false
+// when the log is empty.
+func (l *Log) FirstEpoch() (types.EpochID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return 0, false
+	}
+	return l.entries[0].Epoch, true
+}
+
+// LastSeq returns the newest retained seq, or (0, false) when empty.
+func (l *Log) LastSeq() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return 0, false
+	}
+	return l.entries[len(l.entries)-1].Seq, true
+}
+
+// Close stops the spiller, releases buffers to the pool, closes and
+// removes spill files.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.done.Wait()
+	l.mu.Lock()
+	var bufs []*buffer.Buffer
+	for _, e := range l.entries {
+		if e.buf != nil {
+			bufs = append(bufs, e.buf)
+			e.buf = nil
+		}
+	}
+	l.entries = nil
+	files := l.files
+	l.files = map[types.EpochID]*os.File{}
+	ownDir, dir := l.ownDir, l.dir
+	l.mu.Unlock()
+	for _, b := range bufs {
+		l.pool.Donate(b)
+	}
+	for _, f := range files {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+	if ownDir {
+		os.RemoveAll(dir)
+	}
+}

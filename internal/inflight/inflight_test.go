@@ -1,0 +1,249 @@
+package inflight
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clonos/internal/buffer"
+	"clonos/internal/types"
+)
+
+var testChannel = types.ChannelID{Edge: 1, From: 0, To: 0}
+
+func appendBuf(t *testing.T, l *Log, pool *buffer.Pool, seq uint64, epoch types.EpochID, payload []byte) {
+	t.Helper()
+	b := pool.Get()
+	if b == nil {
+		t.Fatal("pool closed")
+	}
+	b.Data = append(b.Data, payload...)
+	b.Seq = seq
+	b.Epoch = epoch
+	if err := l.Append(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestLog(t *testing.T, cfg Config, poolSize int) (*Log, *buffer.Pool) {
+	t.Helper()
+	pool := buffer.NewPool(poolSize, 64)
+	cfg.Dir = t.TempDir()
+	l, err := NewLog(testChannel, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	return l, pool
+}
+
+func TestAppendAndReadInMemory(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicyInMemory}, 8)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("alpha"))
+	appendBuf(t, l, pool, 2, 1, []byte("beta"))
+	if l.Count() != 2 || l.MemBytes() != 9 {
+		t.Fatalf("count=%d mem=%d", l.Count(), l.MemBytes())
+	}
+	e, data, ok, err := l.ReadEntry(2)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if string(data) != "beta" || e.Epoch != 1 {
+		t.Fatalf("entry = %+v data=%q", e, data)
+	}
+	if _, _, ok, _ := l.ReadEntry(3); ok {
+		t.Fatal("read of unknown seq succeeded")
+	}
+}
+
+func TestTruncateReturnsBuffersToPool(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicyInMemory}, 4)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("a"))
+	appendBuf(t, l, pool, 2, 1, []byte("b"))
+	l.StartEpoch(2)
+	appendBuf(t, l, pool, 3, 2, []byte("c"))
+	if pool.Available() != 1 {
+		t.Fatalf("available = %d, want 1", pool.Available())
+	}
+	l.Truncate(1)
+	if l.Count() != 1 {
+		t.Fatalf("count after truncate = %d", l.Count())
+	}
+	if pool.Available() != 3 {
+		t.Fatalf("available after truncate = %d, want 3", pool.Available())
+	}
+	if _, _, ok, _ := l.ReadEntry(1); ok {
+		t.Fatal("truncated entry still readable")
+	}
+	if seq, ok := l.FirstSeqOfEpoch(2); !ok || seq != 3 {
+		t.Fatalf("FirstSeqOfEpoch(2) = %d,%v", seq, ok)
+	}
+}
+
+func TestSpillBufferPolicy(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicySpillBuffer}, 2)
+	l.StartEpoch(1)
+	// With synchronous spilling, far more buffers than the pool holds
+	// can be appended without blocking.
+	for i := uint64(1); i <= 10; i++ {
+		appendBuf(t, l, pool, i, 1, []byte{byte(i)})
+	}
+	if l.Count() != 10 || l.SpilledCount() != 10 || l.MemBytes() != 0 {
+		t.Fatalf("count=%d spilled=%d mem=%d", l.Count(), l.SpilledCount(), l.MemBytes())
+	}
+	for i := uint64(1); i <= 10; i++ {
+		_, data, ok, err := l.ReadEntry(i)
+		if err != nil || !ok || data[0] != byte(i) {
+			t.Fatalf("read %d: ok=%v err=%v data=%v", i, ok, err, data)
+		}
+	}
+}
+
+func TestSpillEpochPolicy(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicySpillEpoch}, 8)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("a"))
+	appendBuf(t, l, pool, 2, 1, []byte("b"))
+	if l.SpilledCount() != 0 {
+		t.Fatal("current epoch spilled early")
+	}
+	l.StartEpoch(2)
+	appendBuf(t, l, pool, 3, 2, []byte("c"))
+	deadline := time.Now().Add(2 * time.Second)
+	for l.SpilledCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch 1 not spilled; spilled=%d", l.SpilledCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Epoch 2 (current) stays in memory.
+	if _, data, ok, err := l.ReadEntry(1); err != nil || !ok || string(data) != "a" {
+		t.Fatalf("read spilled: %v %v %q", ok, err, data)
+	}
+}
+
+func TestSpillThresholdPolicy(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicySpillThreshold, Threshold: 0.5}, 4)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("a"))
+	// Ratio now 3/4 >= 0.5: no spill.
+	time.Sleep(20 * time.Millisecond)
+	if l.SpilledCount() != 0 {
+		t.Fatal("spilled above threshold")
+	}
+	appendBuf(t, l, pool, 2, 1, []byte("b"))
+	appendBuf(t, l, pool, 3, 1, []byte("c")) // ratio 1/4 < 0.5
+	deadline := time.Now().Add(2 * time.Second)
+	for l.SpilledCount() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold spill did not run; spilled=%d", l.SpilledCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pool.Available() != 4 {
+		t.Fatalf("pool available = %d, want 4 after spilling", pool.Available())
+	}
+}
+
+func TestTruncateRemovesSpillFiles(t *testing.T) {
+	l, pool := newTestLog(t, Config{Policy: PolicySpillBuffer}, 2)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("a"))
+	l.StartEpoch(2)
+	appendBuf(t, l, pool, 2, 2, []byte("b"))
+	l.Truncate(1)
+	if _, _, ok, _ := l.ReadEntry(1); ok {
+		t.Fatal("truncated spilled entry still readable")
+	}
+	if _, data, ok, err := l.ReadEntry(2); err != nil || !ok || string(data) != "b" {
+		t.Fatalf("surviving entry unreadable: %v %v", ok, err)
+	}
+}
+
+func TestReplayAcrossMemoryAndDisk(t *testing.T) {
+	// Mixed residency: some entries spilled, some in memory; replay by
+	// seq must be seamless.
+	l, pool := newTestLog(t, Config{Policy: PolicySpillEpoch}, 8)
+	l.StartEpoch(1)
+	appendBuf(t, l, pool, 1, 1, []byte("e1a"))
+	appendBuf(t, l, pool, 2, 1, []byte("e1b"))
+	l.StartEpoch(2)
+	appendBuf(t, l, pool, 3, 2, []byte("e2a"))
+	deadline := time.Now().Add(2 * time.Second)
+	for l.SpilledCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("spill did not complete")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := []string{"e1a", "e1b", "e2a"}
+	first, ok := l.FirstSeqOfEpoch(1)
+	if !ok || first != 1 {
+		t.Fatalf("FirstSeqOfEpoch(1) = %d,%v", first, ok)
+	}
+	last, _ := l.LastSeq()
+	for seq := first; seq <= last; seq++ {
+		_, data, ok, err := l.ReadEntry(seq)
+		if err != nil || !ok || string(data) != want[seq-1] {
+			t.Fatalf("seq %d: %q ok=%v err=%v", seq, data, ok, err)
+		}
+	}
+}
+
+func TestLastSeqEmpty(t *testing.T) {
+	l, _ := newTestLog(t, Config{Policy: PolicyInMemory}, 2)
+	if _, ok := l.LastSeq(); ok {
+		t.Fatal("LastSeq on empty log reported ok")
+	}
+	if _, ok := l.FirstSeqOfEpoch(0); ok {
+		t.Fatal("FirstSeqOfEpoch on empty log reported ok")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	pool := buffer.NewPool(2, 64)
+	l, err := NewLog(testChannel, pool, Config{Policy: PolicyInMemory, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	b := pool.Get()
+	b.Seq = 1
+	if err := l.Append(b); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	l.Close() // idempotent
+}
+
+func TestQuickSeqLookup(t *testing.T) {
+	f := func(n uint8) bool {
+		pool := buffer.NewPool(int(n)+1, 64)
+		l, err := NewLog(testChannel, pool, Config{Policy: PolicyInMemory})
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+		l.StartEpoch(1)
+		for i := uint64(1); i <= uint64(n); i++ {
+			b := pool.Get()
+			b.Seq = i
+			b.Epoch = 1
+			b.Data = append(b.Data, byte(i))
+			if err := l.Append(b); err != nil {
+				return false
+			}
+		}
+		for i := uint64(1); i <= uint64(n); i++ {
+			e, data, ok, err := l.ReadEntry(i)
+			if err != nil || !ok || e.Seq != i || data[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package job
+
+import (
+	"time"
+
+	"clonos/internal/inflight"
+	"clonos/internal/services"
+)
+
+// Mode selects the fault-tolerance mechanism.
+type Mode int
+
+const (
+	// ModeGlobal is the baseline: coordinated checkpoints with global
+	// rollback recovery — every task restarts from the last completed
+	// checkpoint ("vanilla Flink").
+	ModeGlobal Mode = iota
+	// ModeClonos enables in-flight record logs, causal logging, and
+	// local recovery with optional standby tasks.
+	ModeClonos
+)
+
+func (m Mode) String() string {
+	if m == ModeClonos {
+		return "clonos"
+	}
+	return "global"
+}
+
+// Guarantee is the processing guarantee Clonos mode is configured for
+// (§5.4). ModeGlobal always behaves as exactly-once w.r.t. state.
+type Guarantee int
+
+const (
+	// ExactlyOnce enables in-flight logging and causal logging (DSD>=1).
+	ExactlyOnce Guarantee = iota
+	// AtLeastOnce keeps in-flight logging but disables determinants
+	// (DSD=0): divergent rollback recovery, duplicates possible.
+	AtLeastOnce
+	// AtMostOnce disables both: gap recovery, in-flight records lost.
+	AtMostOnce
+)
+
+func (g Guarantee) String() string {
+	switch g {
+	case AtLeastOnce:
+		return "at-least-once"
+	case AtMostOnce:
+		return "at-most-once"
+	default:
+		return "exactly-once"
+	}
+}
+
+// Config is the runtime configuration of one job.
+type Config struct {
+	Mode      Mode
+	Guarantee Guarantee
+	// DSD is the determinant sharing depth; 0 picks the graph depth
+	// ("full"). Ignored unless Mode is ModeClonos with ExactlyOnce.
+	DSD int
+	// Standby deploys one idle standby task per running task with
+	// state preloaded after every checkpoint (high-availability mode).
+	Standby bool
+	// Nodes simulates a cluster with that many nodes for placement and
+	// node-failure experiments (§6.3); 0 disables node simulation.
+	Nodes int
+	// StandbyAllocation places standby tasks relative to the tasks they
+	// mirror (§6.3).
+	StandbyAllocation AllocationStrategy
+
+	CheckpointInterval time.Duration
+	CheckpointTimeout  time.Duration
+	HeartbeatTimeout   time.Duration
+
+	// BufferSize is the network-buffer size in bytes.
+	BufferSize int
+	// ChannelBuffers is each output channel's pool size (Flink keeps
+	// this small so backpressure stays reactive; ~10).
+	ChannelBuffers int
+	// EndpointCredit is each receiver queue's capacity in buffers.
+	EndpointCredit int
+	// LogPoolBuffers is the per-task in-flight-log pool size (the
+	// paper's 80 MB / 32 KiB ≈ 2560; scaled down here).
+	LogPoolBuffers int
+	// FlushInterval is the output-flusher period (the source of
+	// nondeterministic buffer sizes).
+	FlushInterval time.Duration
+	// InFlight configures spill behaviour.
+	InFlight inflight.Config
+
+	// TimestampGranularityMs configures the Timestamp service cache.
+	TimestampGranularityMs int64
+	// World is the simulated external world reachable from UDFs.
+	World *services.ExternalWorld
+	// SnapshotDir persists checkpoints to disk when non-empty.
+	SnapshotDir string
+
+	// MailboxSize bounds the async event queue per task.
+	MailboxSize int
+	// IncrementalCheckpoints ships only the state entries changed since
+	// the previous snapshot (§6.4); the snapshot store reconstructs the
+	// full image. The first snapshot after start or recovery is full.
+	IncrementalCheckpoints bool
+}
+
+// DefaultConfig returns a configuration scaled for in-process experiments
+// (~10x faster clocks than the paper's cluster settings).
+func DefaultConfig() Config {
+	return Config{
+		Mode:                   ModeClonos,
+		Guarantee:              ExactlyOnce,
+		DSD:                    1,
+		Standby:                true,
+		CheckpointInterval:     500 * time.Millisecond,
+		CheckpointTimeout:      30 * time.Second,
+		HeartbeatTimeout:       600 * time.Millisecond,
+		BufferSize:             8 * 1024,
+		ChannelBuffers:         10,
+		EndpointCredit:         16,
+		LogPoolBuffers:         512,
+		FlushInterval:          5 * time.Millisecond,
+		InFlight:               inflight.Config{Policy: inflight.PolicySpillThreshold, Threshold: 0.25},
+		TimestampGranularityMs: 1,
+		MailboxSize:            1024,
+	}
+}
+
+// effectiveDSD resolves the configured sharing depth against the graph.
+func (c Config) effectiveDSD(g *Graph) int {
+	if c.Mode != ModeClonos || c.Guarantee != ExactlyOnce {
+		return 0
+	}
+	if c.DSD <= 0 {
+		d := g.Depth()
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return c.DSD
+}

@@ -1,0 +1,115 @@
+package job
+
+import (
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+	"clonos/internal/types"
+)
+
+// TestIncrementalCheckpointsRecovery runs the keyed-sum pipeline with
+// incremental checkpoints and a mid-run failure: recovery restores the
+// reconstructed full image and exactly-once semantics hold, while the
+// snapshot traffic shows deltas doing most of the shipping (§6.4).
+func TestIncrementalCheckpointsRecovery(t *testing.T) {
+	const n = 4000
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := keySumPipeline(topic, sink, 2)
+	cfg := quickConfig(ModeClonos)
+	cfg.IncrementalCheckpoints = true
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 4000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % 5, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for r.LatestCompletedCheckpoint() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoints: %v", r.Errors())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	checkSums(t, finalSums(sink), expectedSums(n, 5), "incremental checkpoints")
+
+	full, delta := r.snaps.SnapshotTraffic()
+	if delta == 0 {
+		t.Fatal("no incremental snapshots were taken")
+	}
+	if full == 0 {
+		t.Fatal("no full baseline snapshot was taken")
+	}
+	t.Logf("snapshot traffic: full=%dB delta=%dB", full, delta)
+}
+
+// TestIncrementalCheckpointsDeltaSmaller verifies the point of §6.4: with
+// a large, mostly-cold state, total snapshot traffic with incremental
+// checkpoints is far below full-snapshot mode for the same workload.
+func TestIncrementalCheckpointsDeltaSmaller(t *testing.T) {
+	runTraffic := func(incremental bool) uint64 {
+		topic := kafkasim.NewTopic("in", 1)
+		sink := kafkasim.NewSinkTopic(true)
+		g := keySumPipeline(topic, sink, 1)
+		cfg := quickConfig(ModeClonos)
+		cfg.IncrementalCheckpoints = incremental
+		cfg.Standby = false
+		r, err := NewRuntime(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer r.Stop()
+
+		// Phase 1: populate many keys (cold state). Phase 2: touch few.
+		gen := kafkasim.NewGenerator(topic, 10000, func(i int64) (kafkasim.Record, bool) {
+			key := uint64(i) % 2000 // wide key space first
+			if i >= 4000 {
+				key = uint64(i) % 3 // then a narrow hot set
+			}
+			return kafkasim.Record{Key: key, Ts: i, Value: i}, i < 20000
+		})
+		gen.Start()
+		defer gen.Stop()
+
+		deadline := time.Now().Add(20 * time.Second)
+		for r.LatestCompletedCheckpoint() < 8 {
+			if time.Now().After(deadline) {
+				t.Fatalf("checkpoints stalled: %v", r.Errors())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		full, delta := r.snaps.SnapshotTraffic()
+		if incremental && delta == 0 {
+			t.Fatal("no incremental snapshots were taken")
+		}
+		return full + delta
+	}
+	fullMode := runTraffic(false)
+	incMode := runTraffic(true)
+	t.Logf("snapshot traffic: full-mode=%dB incremental=%dB", fullMode, incMode)
+	if incMode >= fullMode {
+		t.Fatalf("incremental traffic (%dB) not below full-snapshot traffic (%dB)", incMode, fullMode)
+	}
+}

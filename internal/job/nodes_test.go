@@ -1,0 +1,152 @@
+package job
+
+import (
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+	"clonos/internal/types"
+)
+
+// runNodeFailure runs the keyed-sum pipeline on a simulated cluster,
+// kills one node mid-run, and returns the runtime and sink for checks.
+func runNodeFailure(t *testing.T, alloc AllocationStrategy, nodes int) (*Runtime, *kafkasim.SinkTopic, int) {
+	t.Helper()
+	const n = 4000
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := keySumPipeline(topic, sink, 2)
+	cfg := quickConfig(ModeClonos)
+	cfg.Nodes = nodes
+	cfg.StandbyAllocation = alloc
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+
+	gen := kafkasim.NewGenerator(topic, 5000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % 5, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	t.Cleanup(gen.Stop)
+
+	deadline := time.Now().Add(8 * time.Second)
+	for r.LatestCompletedCheckpoint() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint: %v", r.Errors())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Kill the node hosting the first sum subtask.
+	victim := r.NodeOf(types.TaskID{Vertex: 1, Subtask: 0})
+	if victim < 0 {
+		t.Fatal("node simulation inactive")
+	}
+	if err := r.InjectNodeFailure(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(90 * time.Second) {
+		t.Fatalf("job did not finish; errors: %v", r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	checkSums(t, finalSums(sink), expectedSums(n, 5), "node failure")
+	return r, sink, n
+}
+
+func TestNodeFailureAntiAffinity(t *testing.T) {
+	// Anti-affinity guarantees the standby of each task on the failed
+	// node survives it (standbys of *other* tasks may still be lost);
+	// this is verified by placement before the failure (see
+	// TestNodePlacementStrategies) and by the exactly-once outcome in
+	// runNodeFailure after the node dies.
+	r, _, _ := runNodeFailure(t, AllocAntiAffinity, 4)
+	for _, id := range r.Graph().AllTaskIDs() {
+		if run, sb := r.NodeOf(id), r.StandbyNodeOf(id); sb >= 0 && run == sb {
+			t.Fatalf("anti-affinity placed %v's standby on its own node %d", id, run)
+		}
+	}
+}
+
+func TestNodeFailureCoLocatedStandbyLost(t *testing.T) {
+	r, _, _ := runNodeFailure(t, AllocCoLocated, 4)
+	// Co-location: the standby dies with the node; recovery still
+	// succeeds (fresh replacement from the snapshot store) but the §6.3
+	// safety trade-off is visible.
+	lostSeen := false
+	for _, ev := range r.Events() {
+		if ev.Kind == EventNodeFailure && !containsStr(ev.Info, "standbys-lost=0") {
+			lostSeen = true
+		}
+	}
+	if !lostSeen {
+		t.Fatal("co-located standby survived its node's failure")
+	}
+}
+
+func TestNodePlacementStrategies(t *testing.T) {
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := keySumPipeline(topic, sink, 2)
+	for _, tc := range []struct {
+		alloc AllocationStrategy
+		check func(running, standby int) bool
+		name  string
+	}{
+		{AllocAntiAffinity, func(run, sb int) bool { return run != sb }, "anti-affinity"},
+		{AllocCoLocated, func(run, sb int) bool { return run == sb }, "co-located"},
+	} {
+		cfg := quickConfig(ModeClonos)
+		cfg.Nodes = 3
+		cfg.StandbyAllocation = tc.alloc
+		r, err := NewRuntime(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range r.Graph().AllTaskIDs() {
+			run, sb := r.NodeOf(id), r.StandbyNodeOf(id)
+			if sb < 0 {
+				t.Fatalf("%s: no standby node for %v", tc.name, id)
+			}
+			if !tc.check(run, sb) {
+				t.Errorf("%s: task %v on node %d, standby on %d", tc.name, id, run, sb)
+			}
+		}
+		r.Stop()
+	}
+	topic.Close()
+}
+
+func TestInjectNodeFailureDisabled(t *testing.T) {
+	topic := kafkasim.NewTopic("in", 1)
+	topic.Close()
+	g := buildLinear(topic, kafkasim.NewSinkTopic(true), 1)
+	r, err := NewRuntime(g, quickConfig(ModeClonos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.InjectNodeFailure(0); err == nil {
+		t.Fatal("node failure accepted with simulation disabled")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

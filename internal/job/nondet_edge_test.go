@@ -1,0 +1,92 @@
+package job
+
+import (
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+	"clonos/internal/services"
+	"clonos/internal/types"
+)
+
+func TestNondetFailureBeforeFirstCheckpoint(t *testing.T) {
+	const n = 3000
+	world := services.NewExternalWorld()
+	topic := kafkasim.NewTopic("in", 1)
+	sink := kafkasim.NewSinkTopic(true)
+	g := nondetPipeline(topic, sink, world)
+	cfg := quickConfig(ModeClonos)
+	cfg.CheckpointInterval = 10 * time.Second
+	cfg.World = world
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 5000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i % 4), Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	time.Sleep(250 * time.Millisecond)
+	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	if sink.Len() != n || world.Calls() < n || world.Calls() > n+500 {
+		t.Fatalf("records=%d calls=%d want %d (+ bounded unobserved tail)", sink.Len(), world.Calls(), n)
+	}
+}
+
+// TestNondetFailureAcrossEpochBoundary recreates the fraud-example
+// scenario that exposed a service-state determinism bug: with a longer
+// checkpoint interval and a failure shortly after the first checkpoint,
+// the timestamp cache's validity must not leak across epoch boundaries
+// (the standby starts the epoch cold; so must the original).
+func TestNondetFailureAcrossEpochBoundary(t *testing.T) {
+	const n = 5000
+	world := services.NewExternalWorld()
+	topic := kafkasim.NewTopic("in", 1)
+	sink := kafkasim.NewSinkTopic(true)
+	g := nondetPipeline(topic, sink, world)
+	cfg := DefaultConfig() // paper-scaled intervals: cp 500ms, hb 600ms
+	cfg.World = world
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 5000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i % 4), Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	time.Sleep(400 * time.Millisecond)
+	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	if sink.Len() != n || world.Calls() < n || world.Calls() > n+500 {
+		t.Fatalf("records=%d calls=%d want %d (+ bounded unobserved tail)", sink.Len(), world.Calls(), n)
+	}
+}

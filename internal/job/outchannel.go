@@ -1,0 +1,331 @@
+package job
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clonos/internal/buffer"
+	"clonos/internal/inflight"
+	"clonos/internal/netstack"
+	"clonos/internal/types"
+)
+
+// outChannel is the sender side of one physical channel: serializer,
+// output buffer pool, in-flight log, sequence numbering, and the replay /
+// deduplication machinery used during recovery.
+type outChannel struct {
+	id   types.ChannelID
+	task *Task
+
+	writer  *netstack.ChannelWriter
+	outPool *buffer.Pool
+	iflog   *inflight.Log
+
+	mu      sync.Mutex
+	nextSeq uint64
+	epoch   types.EpochID
+	// epochStartSeq is nextSeq at the current epoch's start, the floor
+	// for replay when the in-flight log has no entries yet.
+	epochStartSeq uint64
+	// pending suppresses direct sends: the receiver is down or a replay
+	// to it is in progress; dispatched buffers go to the log only
+	// (§6.1: processing never stops while downstream recovers).
+	pending bool
+	// sentUpTo is the highest seq already transmitted on the current
+	// connection; the direct path skips anything at or below it so the
+	// replay→direct handoff neither duplicates nor drops a buffer.
+	sentUpTo uint64
+	// dedupUpTo makes dispatch skip transmitting seqs <= it: sender-side
+	// deduplication after this task's own recovery (§5.2), covering
+	// output its predecessor already delivered.
+	dedupUpTo uint64
+	// replaySeq is the next seq the replay goroutine will transmit; a
+	// new replay request resets it, and the running loop picks the
+	// reset up (restartable replay for repeated downstream failures).
+	replaySeq uint64
+	// resetPending marks that the next transmitted message starts a
+	// fresh byte stream (divergent recovery): the receiver must drop
+	// partial deserializer state from the predecessor.
+	resetPending bool
+	// replayActive guards against concurrent replay goroutines.
+	replayActive bool
+}
+
+func newOutChannel(t *Task, id types.ChannelID, outPool *buffer.Pool, iflog *inflight.Log) *outChannel {
+	oc := &outChannel{id: id, task: t, outPool: outPool, iflog: iflog, nextSeq: 1, epochStartSeq: 1}
+	edge := t.graph().Edges[id.Edge]
+	oc.writer = netstack.NewChannelWriter(outPool, edge.CodecOrDefault(), oc.dispatch)
+	return oc
+}
+
+// dispatch receives a filled buffer from the writer (writer lock held):
+// stamp seq/epoch, log the BUFFERSIZE determinant, attach the causal
+// delta, append to the in-flight log (with the §6.1 buffer-pool
+// exchange), and transmit unless pending or deduplicated.
+func (oc *outChannel) dispatch(b *buffer.Buffer) error {
+	oc.mu.Lock()
+	seq := oc.nextSeq
+	oc.nextSeq++
+	b.Seq = seq
+	b.Epoch = oc.epoch
+	oc.mu.Unlock()
+
+	t := oc.task
+	if t.causal != nil {
+		t.causal.AppendBufferSize(oc.id, b.Len())
+		b.Delta = t.causal.DeltaFor(oc.id)
+	}
+
+	// Copy the payload for the wire before the in-flight log takes
+	// ownership of the buffer (the spiller may recycle it concurrently).
+	msg := &netstack.Message{
+		Channel: oc.id,
+		Seq:     seq,
+		Epoch:   b.Epoch,
+		Data:    append([]byte(nil), b.Data...),
+		Delta:   append([]byte(nil), b.Delta...),
+	}
+
+	if oc.iflog == nil {
+		// No in-flight logging (at-most-once / baseline): transmit and
+		// recycle the buffer immediately.
+		err := oc.maybeTransmit(msg)
+		oc.outPool.Put(b)
+		return err
+	}
+
+	// The log takes the sent buffer and donates one of its own to the
+	// channel pool. Take blocks when the log pool is exhausted — the
+	// backpressure behaviour §7.5 measures.
+	replacement := t.logPool.Take()
+	if replacement == nil {
+		return netstack.ErrWriterClosed
+	}
+	oc.outPool.Forfeit()
+	oc.outPool.Donate(replacement)
+	if err := oc.iflog.Append(b); err != nil {
+		return err
+	}
+	// The send decision comes *after* the log append so the replay
+	// goroutine's caught-up check (log tail under oc.mu) and this check
+	// serialize correctly — exactly one of them transmits each seq.
+	return oc.maybeTransmit(msg)
+}
+
+// maybeTransmit sends a message on the direct path unless the channel is
+// pending, the seq was already covered by a replay, or it is
+// deduplicated after recovery. A broken receiver flips the channel to
+// pending: the task keeps producing into the in-flight log while
+// downstream is dead (or loses the data, at-most-once).
+func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
+	oc.mu.Lock()
+	send := !oc.pending && m.Seq > oc.sentUpTo && m.Seq > oc.dedupUpTo
+	if send {
+		oc.sentUpTo = m.Seq
+		if oc.resetPending {
+			m.StreamReset = true
+			oc.resetPending = false
+		}
+	}
+	oc.mu.Unlock()
+	if !send {
+		return nil
+	}
+	err := oc.send(m)
+	if errors.Is(err, netstack.ErrChannelBroken) {
+		oc.mu.Lock()
+		oc.pending = true
+		oc.mu.Unlock()
+		return nil
+	}
+	return err
+}
+
+// send pushes a message to the live endpoint, returning the raw error.
+func (oc *outChannel) send(m *netstack.Message) error {
+	return oc.task.env.net.Send(m)
+}
+
+// startEpoch advances the channel's epoch after its barrier was flushed.
+func (oc *outChannel) startEpoch(e types.EpochID) {
+	oc.mu.Lock()
+	oc.epoch = e
+	oc.epochStartSeq = oc.nextSeq
+	oc.mu.Unlock()
+	if oc.iflog != nil {
+		oc.iflog.StartEpoch(e)
+	}
+	if oc.task.causal != nil {
+		oc.task.causal.StartEpochChannel(oc.id, e)
+	}
+}
+
+// restore resets sequencing after a checkpoint restore.
+func (oc *outChannel) restore(nextSeq uint64, epoch types.EpochID) {
+	oc.mu.Lock()
+	oc.nextSeq = nextSeq
+	oc.epochStartSeq = nextSeq
+	oc.sentUpTo = 0
+	oc.epoch = epoch
+	oc.mu.Unlock()
+	if oc.iflog != nil {
+		oc.iflog.StartEpoch(epoch)
+	}
+}
+
+// PrepareReplay arms a downstream in-flight replay request (§2.2 step 5):
+// it computes the first seq to retransmit (the requested epoch's first
+// logged buffer, past afterSeq), flips the channel to pending, and starts
+// (or redirects) the replay goroutine. It returns the start seq so the
+// requester can open its endpoint with AcceptFrom(start) — only then will
+// the replayed pushes be accepted, which serializes correctly against any
+// stale direct sends.
+func (oc *outChannel) PrepareReplay(fromEpoch types.EpochID, afterSeq uint64) (uint64, error) {
+	if oc.iflog == nil {
+		return 0, fmt.Errorf("job: channel %v has no in-flight log", oc.id)
+	}
+	oc.mu.Lock()
+	start, ok := oc.iflog.FirstSeqOfEpoch(fromEpoch)
+	if !ok {
+		// The requested epoch must not have been truncated away — that
+		// would mean the requester restored a checkpoint older than the
+		// latest completed one (a protocol violation; recovery always
+		// restores the newest completed checkpoint).
+		if first, has := oc.iflog.FirstEpoch(); has && first > fromEpoch {
+			oc.mu.Unlock()
+			return 0, fmt.Errorf("job: channel %v: replay request for epoch %d but oldest retained epoch is %d (stale restore point)",
+				oc.id, fromEpoch, first)
+		}
+		// Nothing retained for that epoch yet (e.g. this task is itself
+		// mid-recovery and the log is being rebuilt): start at the
+		// epoch's first seq.
+		start = oc.epochStartSeq
+	}
+	if afterSeq+1 > start {
+		start = afterSeq + 1
+	}
+	oc.pending = true
+	oc.replaySeq = start
+	oc.sentUpTo = start - 1
+	spawn := !oc.replayActive
+	oc.replayActive = true
+	oc.mu.Unlock()
+	if spawn {
+		go oc.replayLoop()
+	}
+	return start, nil
+}
+
+// replayLoop retransmits logged buffers from replaySeq onward, retrying
+// transient rejections (the receiver's endpoint opens only once its
+// replay request is processed) and following replaySeq resets from newer
+// requests. Once it catches up with the log tail it atomically hands the
+// channel back to direct sending.
+func (oc *outChannel) replayLoop() {
+	for {
+		if oc.task.crashed.Load() {
+			oc.mu.Lock()
+			oc.replayActive = false
+			oc.mu.Unlock()
+			return
+		}
+		oc.mu.Lock()
+		seq := oc.replaySeq
+		oc.mu.Unlock()
+		entry, data, ok, err := oc.iflog.ReadEntry(seq)
+		if err != nil {
+			oc.task.env.reportTaskError(oc.task.id, fmt.Errorf("replay %v: %w", oc.id, err))
+			oc.mu.Lock()
+			oc.replayActive = false
+			oc.mu.Unlock()
+			return
+		}
+		if !ok {
+			// Possibly caught up with the log tail. Decide atomically
+			// against dispatch: with oc.mu held, any entry appended
+			// before this check is visible in the log tail.
+			oc.mu.Lock()
+			if oc.replaySeq != seq {
+				oc.mu.Unlock() // redirected by a newer request
+				continue
+			}
+			last, has := oc.iflog.LastSeq()
+			if !has || seq > last {
+				oc.pending = false
+				oc.replayActive = false
+				oc.mu.Unlock()
+				return
+			}
+			oc.mu.Unlock()
+			continue
+		}
+		sendErr := oc.send(&netstack.Message{
+			Channel:  oc.id,
+			Seq:      entry.Seq,
+			Epoch:    entry.Epoch,
+			Data:     data,
+			Delta:    append([]byte(nil), entry.Delta...),
+			Replayed: true,
+		})
+		oc.mu.Lock()
+		if oc.replaySeq != seq {
+			oc.mu.Unlock()
+			continue // redirected mid-send; the push was rejected or superseded
+		}
+		if sendErr != nil {
+			oc.mu.Unlock()
+			// Receiver not (yet) accepting: wait briefly and retry the
+			// same seq; a fresh request redirects us if needed.
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		oc.replaySeq = seq + 1
+		if entry.Seq > oc.sentUpTo {
+			oc.sentUpTo = entry.Seq
+		}
+		oc.mu.Unlock()
+	}
+}
+
+// resumeDirect flips the channel to direct sending without any replay
+// (at-most-once gap recovery), renumbering past the receiver's view.
+func (oc *outChannel) resumeDirect(afterSeq uint64) {
+	oc.mu.Lock()
+	if afterSeq+1 > oc.nextSeq {
+		oc.nextSeq = afterSeq + 1
+	}
+	oc.sentUpTo = oc.nextSeq - 1
+	oc.pending = false
+	oc.resetPending = true
+	oc.mu.Unlock()
+}
+
+// setDedup configures sender-side deduplication after this task's own
+// recovery: buffers with seq <= upTo rebuild the in-flight log but are
+// not retransmitted (§2.2 step 6).
+func (oc *outChannel) setDedup(upTo uint64) {
+	oc.mu.Lock()
+	oc.dedupUpTo = upTo
+	oc.mu.Unlock()
+}
+
+// forceNextSeq aligns sequencing with the receiver for at-least-once
+// recovery, where divergent replay produces fresh (possibly duplicate)
+// records rather than byte-identical buffers.
+func (oc *outChannel) forceNextSeq(seq uint64) {
+	oc.mu.Lock()
+	oc.nextSeq = seq
+	oc.epochStartSeq = seq
+	oc.sentUpTo = seq - 1
+	oc.resetPending = true
+	oc.mu.Unlock()
+}
+
+func (oc *outChannel) close() {
+	if oc.iflog != nil {
+		oc.iflog.Close()
+	}
+	oc.outPool.Close()
+}

@@ -1,0 +1,411 @@
+package job
+
+import (
+	"fmt"
+	"time"
+
+	"clonos/internal/causal"
+	"clonos/internal/checkpoint"
+	"clonos/internal/operator"
+	"clonos/internal/types"
+)
+
+// ExtractDeterminants serves a recovering task's determinant-log request
+// (§2.2 step 3) from this task's replicated store. Thread-safe.
+func (t *Task) ExtractDeterminants(origin types.TaskID, fromEpoch types.EpochID) (causal.Extracted, bool) {
+	if t.causal == nil {
+		return causal.Extracted{}, false
+	}
+	return t.causal.Replicas().Extract(origin, fromEpoch)
+}
+
+// outChannelByID locates one of the task's output channels.
+func (t *Task) outChannelByID(id types.ChannelID) *outChannel {
+	for _, oc := range t.allOut {
+		if oc.id == id {
+			return oc
+		}
+	}
+	return nil
+}
+
+// localRecover runs the Clonos recovery protocol (§2.2) for one failed
+// task:
+//
+//  1. activate the standby (or build a fresh replacement) with the latest
+//     completed checkpoint,
+//  2. retrieve the predecessor's determinant logs from surviving tasks
+//     within DSD hops downstream,
+//  3. reconfigure the network (fresh input endpoints),
+//  4. configure sender-side deduplication from downstream endpoints,
+//  5. request in-flight replay from every upstream, and
+//  6. start causally guided re-execution.
+//
+// If determinants are needed but unavailable (an orphan per §5.3), it
+// returns a non-empty reason and the caller escalates to a global
+// rollback. The caller holds the runtime's restartGate read lock, so a
+// concurrent global restart cannot interleave with the steps below.
+func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
+	r.mu.Lock()
+	if r.stopped || r.restarting || !r.failedSet[failed] {
+		// Stale queue entry: a global restart already replaced this task.
+		r.mu.Unlock()
+		return ""
+	}
+	vertex := r.graph.Vertices[failed.Vertex]
+	old := r.tasks[failed]
+	// Step 1: standby activation (preloaded state in HA mode).
+	var t *Task
+	var snap *checkpoint.TaskSnapshot
+	if r.cfg.Standby {
+		t = r.standbys[failed]
+		delete(r.standbys, failed)
+		snap = r.standbySnap[failed]
+	}
+	if t == nil {
+		t = newTask(r, vertex, failed.Subtask)
+	}
+	// The coordinator paused (and aborted any in-flight checkpoint)
+	// before this recovery was enqueued, so LatestCompleted is stable
+	// here. A checkpoint may have *completed* between the failure and
+	// its detection — its truncations already ran — so recovery MUST
+	// restore from the latest completed checkpoint, not from a standby
+	// snapshot that predates it (whose epoch's logs may be gone).
+	cp := r.snaps.LatestCompleted()
+	if cp > 0 && (snap == nil || snap.Checkpoint != cp) {
+		if fresh, ok := r.snaps.Get(cp, failed); ok {
+			snap = fresh
+		}
+	}
+	r.mu.Unlock()
+
+	if old != nil {
+		old.crash() // ensure threads are gone even if detection raced
+	}
+	if snap != nil {
+		if err := t.restore(snap); err != nil {
+			r.reportTaskError(failed, err)
+			return "restore-failed"
+		}
+	}
+
+	// Step 3: retrieve determinant logs from tasks within DSD hops.
+	guided := false
+	if t.causal != nil {
+		merged := causal.NewStore()
+		// §5.5: sink operators piggybacked their determinants onto the
+		// external output system; retrieve them from there — a sink has
+		// no downstream tasks to ask.
+		for _, op := range vertex.Operators {
+			rec, ok := op.(operator.ExternalRecoverable)
+			if !ok {
+				continue
+			}
+			for _, blob := range rec.RecoverDeterminants(failed.String()) {
+				sets, err := causal.DecodeDelta(blob)
+				if err != nil {
+					r.reportTaskError(failed, err)
+					continue
+				}
+				for _, fs := range sets {
+					for key, run := range fs.Logs {
+						merged.Ingest(fs.Origin, fs.Hops, key, run.Start, run.Ents)
+					}
+				}
+			}
+		}
+		dsd := t.causal.DSD()
+		for _, did := range r.graph.Downstream(failed, dsd) {
+			r.mu.Lock()
+			holder := r.tasks[did]
+			holderFailed := r.failedSet[did]
+			r.mu.Unlock()
+			if holder == nil || holderFailed || holder.crashed.Load() {
+				continue
+			}
+			ex, ok := holder.ExtractDeterminants(failed, t.epoch)
+			if !ok {
+				continue
+			}
+			merged.Ingest(failed, 1, causal.MainLogKey, ex.MainStart, ex.Main)
+			for ch, dets := range ex.Channels {
+				merged.Ingest(failed, 1, causal.ChannelLogKey(ch), ex.ChannelStarts[ch], dets)
+			}
+		}
+		if ex, ok := merged.Extract(failed, t.epoch); ok {
+			t.setRecovery(ex)
+			guided = true
+		} else if r.dependantsExist(t, failed) {
+			// Orphans: surviving (or concurrently recovering) tasks may
+			// depend on this epoch's lost events but nobody retains the
+			// determinants (DSD < D with consecutive failures, §5.3
+			// case 2) — fall back to a full rollback.
+			r.recordEvent(EventOrphanFallback, failed, "")
+			return "orphan"
+		}
+	}
+
+	// Step 4 (part of step 2's reconnection): sender-side dedup per
+	// §5.2 — downstream survivors report how far they got.
+	for _, oc := range t.allOut {
+		ep := r.net.Endpoint(oc.id)
+		if ep == nil || ep.Broken() {
+			continue // downstream recovering too; it will request replay
+		}
+		lp := ep.LastPushed()
+		switch r.cfg.Guarantee {
+		case ExactlyOnce:
+			oc.setDedup(lp)
+		default:
+			// Divergent replay cannot reproduce identical buffers;
+			// renumber past the receiver's view (duplicates possible —
+			// at-least-once; or fresh data only — at-most-once).
+			oc.forceNextSeq(lp + 1)
+		}
+	}
+
+	// Step 2: network reconfiguration — fresh endpoints replace broken
+	// ones, created closed: stale direct sends are rejected until the
+	// replay request opens each endpoint at the expected first seq.
+	t.attachNetwork(false)
+
+	r.mu.Lock()
+	r.tasks[failed] = t
+	delete(r.failedSet, failed)
+	if guided {
+		r.recovering[failed] = true
+	}
+	// Re-deploy a fresh standby for the next failure.
+	if r.cfg.Standby {
+		r.standbys[failed] = newTask(r, vertex, failed.Subtask)
+	}
+	pending := r.pendingReplay[failed]
+	delete(r.pendingReplay, failed)
+	r.mu.Unlock()
+
+	r.recordEvent(EventStandbyActivated, failed, "")
+	t.start()
+
+	// Steps 4-5: request in-flight replay from upstreams (or plain
+	// reconnection for at-most-once gap recovery).
+	for _, chID := range t.inIDs {
+		r.routeUpstream(chID, t.epoch)
+	}
+	// Serve replay requests that were waiting for this task.
+	for _, req := range pending {
+		if oc := t.outChannelByID(req.channel); oc != nil {
+			r.serveReplay(oc, req.fromEpoch, req.afterSeq)
+		}
+	}
+	// Downstream tasks that are themselves recovering issued (or will
+	// issue) replay requests that may have reached this task's crashed
+	// predecessor; re-serve them proactively.
+	for _, oc := range t.allOut {
+		did := types.TaskID{Vertex: r.graph.Edges[oc.id.Edge].To.ID, Subtask: oc.id.To}
+		r.mu.Lock()
+		needs := r.recovering[did] || r.failedSet[did]
+		r.mu.Unlock()
+		if needs && r.cfg.Guarantee != AtMostOnce {
+			r.serveReplay(oc, t.epoch, 0)
+		}
+	}
+	if !guided {
+		// Nothing to replay causally: the task is live immediately.
+		r.onTaskLive(failed)
+	}
+	return ""
+}
+
+// routeUpstream delivers a replay (or reconnect) request for one input
+// channel to the current owner of its upstream side, deferring it when
+// that task is itself awaiting recovery.
+func (r *Runtime) routeUpstream(chID types.ChannelID, fromEpoch types.EpochID) {
+	up := types.TaskID{Vertex: r.graph.Edges[chID.Edge].From.ID, Subtask: chID.From}
+	r.mu.Lock()
+	upTask := r.tasks[up]
+	upFailed := r.failedSet[up]
+	if upTask != nil && upTask.crashed.Load() {
+		// Crashed but not yet detected: defer until its recovery.
+		upFailed = true
+	}
+	if upFailed || upTask == nil {
+		r.pendingReplay[up] = append(r.pendingReplay[up], replayRequest{channel: chID, fromEpoch: fromEpoch})
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	oc := upTask.outChannelByID(chID)
+	if oc == nil {
+		return
+	}
+	if r.cfg.Guarantee == AtMostOnce || r.cfg.Mode != ModeClonos {
+		// Gap recovery: no replay, just reconnect and accept fresh data.
+		oc.resumeDirect(0)
+		if ep := r.net.Endpoint(chID); ep != nil {
+			ep.AcceptFrom(0)
+		}
+		return
+	}
+	r.serveReplay(oc, fromEpoch, 0)
+}
+
+// serveReplay arms an in-flight replay on an upstream channel and opens
+// the receiving endpoint at the replay's first seq — in that order, so a
+// stale direct send racing the request can never mis-anchor the fresh
+// connection.
+func (r *Runtime) serveReplay(oc *outChannel, fromEpoch types.EpochID, afterSeq uint64) {
+	start, err := oc.PrepareReplay(fromEpoch, afterSeq)
+	if err != nil {
+		// Unserviceable replay (e.g. the epoch was truncated): the only
+		// consistent way forward is a full rollback.
+		r.reportTaskError(oc.task.id, err)
+		go r.globalRestart("unserviceable-replay")
+		return
+	}
+	if ep := r.net.Endpoint(oc.id); ep != nil {
+		ep.AcceptFrom(start)
+	}
+}
+
+// dependantsExist reports whether recovering the task divergently (no
+// determinants) could orphan someone (§5.3): some surviving process
+// depends — directly or through a chain of concurrently failed tasks —
+// on this epoch's lost events. A surviving downstream endpoint that
+// consumed buffers of the current epoch is a direct dependant; a failed
+// downstream is checked transitively using its checkpointed per-channel
+// epoch-start sequence numbers.
+func (r *Runtime) dependantsExist(t *Task, failed types.TaskID) bool {
+	return r.epochConsumed(failed, make(map[types.TaskID]bool))
+}
+
+// epochConsumed reports whether any surviving task received output of the
+// current epoch from id, following chains of failed tasks.
+func (r *Runtime) epochConsumed(id types.TaskID, visited map[types.TaskID]bool) bool {
+	if visited[id] {
+		return false
+	}
+	visited[id] = true
+	v := r.graph.Vertices[id.Vertex]
+	var snap *checkpoint.TaskSnapshot
+	if cp := r.snaps.LatestCompleted(); cp > 0 {
+		snap, _ = r.snaps.Get(cp, id)
+	}
+	for _, e := range v.OutEdges {
+		for to := int32(0); to < int32(e.To.Parallelism); to++ {
+			ch := channelID(e, id.Subtask, to)
+			start := uint64(1)
+			if snap != nil {
+				if s, ok := snap.NextSeq[ch]; ok && s > 0 {
+					start = s
+				}
+			}
+			did := types.TaskID{Vertex: e.To.ID, Subtask: to}
+			r.mu.Lock()
+			dt := r.tasks[did]
+			downGone := r.failedSet[did] || r.recovering[did] || (dt != nil && dt.crashed.Load())
+			r.mu.Unlock()
+			if downGone {
+				// The direct consumer is gone too; anyone observing its
+				// epoch output observed (transitively) ours.
+				if r.epochConsumed(did, visited) {
+					return true
+				}
+				continue
+			}
+			ep := r.net.Endpoint(ch)
+			if ep != nil && !ep.Broken() && ep.LastPushed() >= start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// globalRestart is the baseline recovery (and Clonos' §5.3 fallback):
+// tear down every task and restart the whole topology from the latest
+// completed checkpoint. It holds the restartGate write lock for its
+// duration, so it serializes against in-flight local recoveries (which
+// hold the read side) — in particular the asynchronous escalation from
+// an unserviceable replay cannot tear down a task that localRecover is
+// concurrently installing.
+func (r *Runtime) globalRestart(reason string) {
+	r.restartGate.Lock()
+	defer r.restartGate.Unlock()
+	r.mu.Lock()
+	if r.stopped || r.restarting {
+		r.mu.Unlock()
+		return
+	}
+	r.restarting = true
+	oldTasks := make([]*Task, 0, len(r.tasks))
+	for _, t := range r.tasks {
+		oldTasks = append(oldTasks, t)
+	}
+	oldStandbys := make([]*Task, 0, len(r.standbys))
+	for _, t := range r.standbys {
+		oldStandbys = append(oldStandbys, t)
+	}
+	r.mu.Unlock()
+
+	r.recordEvent(EventGlobalRestart, types.TaskID{}, reason)
+	r.coord.Pause()
+	r.coord.Reset()
+	for _, t := range oldTasks {
+		t.shutdown()
+	}
+	for _, t := range oldStandbys {
+		for _, oc := range t.allOut {
+			oc.close()
+		}
+	}
+
+	cp := r.snaps.LatestCompleted()
+	r.mu.Lock()
+	r.tasks = make(map[types.TaskID]*Task)
+	r.standbys = make(map[types.TaskID]*Task)
+	r.failedSet = make(map[types.TaskID]bool)
+	r.recovering = make(map[types.TaskID]bool)
+	r.pendingReplay = make(map[types.TaskID][]replayRequest)
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return
+	}
+
+	// Simulated scheduler/deployment delay of a full restart.
+	time.Sleep(r.cfg.HeartbeatTimeout / 2)
+
+	var fresh []*Task
+	r.mu.Lock()
+	for _, v := range r.graph.Vertices {
+		for s := int32(0); s < int32(v.Parallelism); s++ {
+			t := newTask(r, v, s)
+			r.tasks[t.id] = t
+			fresh = append(fresh, t)
+		}
+	}
+	for _, t := range fresh {
+		t.attachNetwork(true)
+	}
+	if r.cfg.Mode == ModeClonos && r.cfg.Standby {
+		for id := range r.tasks {
+			r.standbys[id] = newTask(r, r.graph.Vertices[id.Vertex], id.Subtask)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, t := range fresh {
+		if cp > 0 {
+			if snap, ok := r.snaps.Get(cp, t.id); ok {
+				if err := t.restore(snap); err != nil {
+					r.reportTaskError(t.id, fmt.Errorf("global restore: %w", err))
+				}
+			}
+		}
+		t.start()
+	}
+	r.mu.Lock()
+	r.restarting = false
+	r.mu.Unlock()
+	r.coord.Resume()
+}

@@ -1,0 +1,472 @@
+package job
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"clonos/internal/checkpoint"
+	"clonos/internal/netstack"
+	"clonos/internal/types"
+)
+
+// EventKind labels runtime events recorded for the experiment harness.
+type EventKind string
+
+// Runtime event kinds.
+const (
+	EventFailureInjected  EventKind = "failure-injected"
+	EventFailureDetected  EventKind = "failure-detected"
+	EventStandbyActivated EventKind = "standby-activated"
+	EventTaskLive         EventKind = "task-live"
+	EventGlobalRestart    EventKind = "global-restart"
+	EventCheckpointDone   EventKind = "checkpoint-complete"
+	EventOrphanFallback   EventKind = "orphan-global-fallback"
+	EventNodeFailure      EventKind = "node-failure"
+)
+
+// Event is one timestamped runtime event.
+type Event struct {
+	Time time.Time
+	Kind EventKind
+	Task types.TaskID
+	Info string
+}
+
+// Runtime is the job manager: it owns the execution graph's tasks, the
+// network, the checkpoint coordinator, the snapshot store, heartbeat
+// failure detection, standby tasks, and recovery.
+type Runtime struct {
+	cfg   Config
+	graph *Graph
+	net   *netstack.Network
+	snaps *checkpoint.Store
+	coord *checkpoint.Coordinator
+
+	mu          sync.Mutex
+	tasks       map[types.TaskID]*Task
+	standbys    map[types.TaskID]*Task
+	standbySnap map[types.TaskID]*checkpoint.TaskSnapshot
+	finished    map[types.TaskID]bool
+	failedSet   map[types.TaskID]bool
+	recovering  map[types.TaskID]bool
+	// pendingReplay holds replay requests addressed to tasks that are
+	// themselves awaiting recovery (consecutive failures).
+	pendingReplay map[types.TaskID][]replayRequest
+	// nodeOf / standbyNodeOf simulate cluster placement (§6.3).
+	nodeOf        map[types.TaskID]int
+	standbyNodeOf map[types.TaskID]int
+	events        []Event
+	errs          []error
+	restarting    bool
+	stopped       bool
+
+	// restartGate serializes global restarts against local recoveries:
+	// localRecover runs under the read side, globalRestart under the
+	// write side, so a restart triggered asynchronously (e.g. by an
+	// unserviceable replay) can never tear the topology down while a
+	// local recovery is installing and starting a replacement task.
+	restartGate sync.RWMutex
+
+	recoverCh chan types.TaskID
+	allDone   chan struct{}
+	doneOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type replayRequest struct {
+	channel   types.ChannelID
+	fromEpoch types.EpochID
+	afterSeq  uint64
+}
+
+// NewRuntime builds a runtime for the graph.
+func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MailboxSize <= 0 {
+		cfg.MailboxSize = 1024
+	}
+	r := &Runtime{
+		cfg:           cfg,
+		graph:         g,
+		net:           netstack.NewNetwork(),
+		snaps:         checkpoint.NewStore(cfg.SnapshotDir),
+		tasks:         make(map[types.TaskID]*Task),
+		standbys:      make(map[types.TaskID]*Task),
+		standbySnap:   make(map[types.TaskID]*checkpoint.TaskSnapshot),
+		finished:      make(map[types.TaskID]bool),
+		failedSet:     make(map[types.TaskID]bool),
+		recovering:    make(map[types.TaskID]bool),
+		pendingReplay: make(map[types.TaskID][]replayRequest),
+		nodeOf:        make(map[types.TaskID]int),
+		standbyNodeOf: make(map[types.TaskID]int),
+		recoverCh:     make(chan types.TaskID, 256),
+		allDone:       make(chan struct{}),
+		stop:          make(chan struct{}),
+	}
+	r.coord = checkpoint.NewCoordinator(
+		cfg.CheckpointInterval,
+		cfg.CheckpointTimeout,
+		r.expectedAcks,
+		r.triggerCheckpoint,
+		r.onCheckpointComplete,
+	)
+	return r, nil
+}
+
+// Graph returns the job's dataflow graph.
+func (r *Runtime) Graph() *Graph { return r.graph }
+
+// Config returns the runtime configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Start deploys and launches every task (plus standbys in HA mode), the
+// checkpoint coordinator, the failure detector, and the recovery worker.
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	for _, v := range r.graph.Vertices {
+		for s := int32(0); s < int32(v.Parallelism); s++ {
+			t := newTask(r, v, s)
+			r.tasks[t.id] = t
+		}
+	}
+	for _, t := range r.tasks {
+		t.attachNetwork(true)
+	}
+	if r.cfg.Mode == ModeClonos && r.cfg.Standby {
+		for id := range r.tasks {
+			r.standbys[id] = newTask(r, r.graph.Vertices[id.Vertex], id.Subtask)
+		}
+	}
+	r.assignNodes()
+	tasks := make([]*Task, 0, len(r.tasks))
+	for _, t := range r.tasks {
+		tasks = append(tasks, t)
+	}
+	r.mu.Unlock()
+	for _, t := range tasks {
+		t.start()
+	}
+	r.coord.Start()
+	r.wg.Add(2)
+	go r.detector()
+	go r.recoveryWorker()
+	return nil
+}
+
+// Stop tears the job down.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	tasks := make([]*Task, 0, len(r.tasks))
+	for _, t := range r.tasks {
+		tasks = append(tasks, t)
+	}
+	standbys := make([]*Task, 0, len(r.standbys))
+	for _, t := range r.standbys {
+		standbys = append(standbys, t)
+	}
+	r.mu.Unlock()
+	close(r.stop)
+	r.coord.Stop()
+	for _, t := range tasks {
+		t.shutdown()
+	}
+	for _, t := range standbys {
+		for _, oc := range t.allOut {
+			oc.close()
+		}
+	}
+	r.wg.Wait()
+}
+
+// WaitFinished blocks until every task reached end-of-stream or the
+// timeout elapsed; it reports whether the job finished.
+func (r *Runtime) WaitFinished(timeout time.Duration) bool {
+	select {
+	case <-r.allDone:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// InjectFailure crashes a running task abruptly; the heartbeat detector
+// notices after the configured timeout and drives recovery.
+func (r *Runtime) InjectFailure(id types.TaskID) error {
+	r.mu.Lock()
+	t, ok := r.tasks[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("job: unknown task %v", id)
+	}
+	r.recordEvent(EventFailureInjected, id, "")
+	t.crash()
+	return nil
+}
+
+// LatestCompletedCheckpoint returns the newest completed checkpoint ID.
+func (r *Runtime) LatestCompletedCheckpoint() types.CheckpointID {
+	return r.snaps.LatestCompleted()
+}
+
+// Events returns a copy of the recorded runtime events.
+func (r *Runtime) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Errors returns task errors reported so far.
+func (r *Runtime) Errors() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// TaskRecordCounts sums records in/out across live tasks of a vertex.
+func (r *Runtime) TaskRecordCounts(v types.VertexID) (in, out uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, t := range r.tasks {
+		if id.Vertex == v {
+			in += t.recordsIn.Load()
+			out += t.recordsOut.Load()
+		}
+	}
+	return in, out
+}
+
+func (r *Runtime) recordEvent(kind EventKind, id types.TaskID, info string) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Time: time.Now(), Kind: kind, Task: id, Info: info})
+	r.mu.Unlock()
+}
+
+// expectedAcks lists unfinished tasks (the coordinator's ack set).
+func (r *Runtime) expectedAcks() []types.TaskID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []types.TaskID
+	for _, id := range r.graph.AllTaskIDs() {
+		if !r.finished[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// triggerCheckpoint sends the checkpoint RPC to every source task.
+func (r *Runtime) triggerCheckpoint(cp types.CheckpointID) {
+	r.mu.Lock()
+	var sources []*Task
+	for id, t := range r.tasks {
+		if r.graph.Vertices[id.Vertex].Source != nil && !r.finished[id] {
+			sources = append(sources, t)
+		}
+	}
+	r.mu.Unlock()
+	for _, t := range sources {
+		t.TriggerCheckpoint(cp)
+	}
+}
+
+// onCheckpointComplete truncates logs everywhere and dispatches fresh
+// state snapshots to standby tasks (§6.4).
+func (r *Runtime) onCheckpointComplete(cp types.CheckpointID) {
+	r.snaps.MarkCompleted(cp)
+	r.recordEvent(EventCheckpointDone, types.TaskID{}, fmt.Sprintf("cp=%d", cp))
+	r.mu.Lock()
+	tasks := make([]*Task, 0, len(r.tasks))
+	for _, t := range r.tasks {
+		tasks = append(tasks, t)
+	}
+	for id := range r.standbys {
+		if snap, ok := r.snaps.Get(cp, id); ok {
+			r.standbySnap[id] = snap
+		}
+	}
+	r.mu.Unlock()
+	for _, t := range tasks {
+		t.NotifyCheckpointComplete(cp)
+	}
+}
+
+// onSnapshot stores a task snapshot and acks the coordinator.
+func (r *Runtime) onSnapshot(snap *checkpoint.TaskSnapshot) {
+	if err := r.snaps.Put(snap); err != nil {
+		r.reportTaskError(snap.Task, err)
+		return
+	}
+	r.coord.Ack(snap.Checkpoint, snap.Task)
+}
+
+// onTaskLive is called when a task finishes causally guided replay (or
+// starts fresh); once no recovery remains, checkpointing resumes.
+func (r *Runtime) onTaskLive(id types.TaskID) {
+	r.mu.Lock()
+	delete(r.recovering, id)
+	empty := len(r.recovering) == 0 && len(r.failedSet) == 0
+	r.mu.Unlock()
+	r.recordEvent(EventTaskLive, id, "")
+	if empty {
+		r.coord.Resume()
+	}
+}
+
+// onTaskFinished marks end-of-stream completion.
+func (r *Runtime) onTaskFinished(id types.TaskID) {
+	r.mu.Lock()
+	r.finished[id] = true
+	all := true
+	for _, tid := range r.graph.AllTaskIDs() {
+		if !r.finished[tid] {
+			all = false
+			break
+		}
+	}
+	r.mu.Unlock()
+	if all {
+		r.doneOnce.Do(func() { close(r.allDone) })
+	}
+}
+
+// reportTaskError records an internal task error.
+func (r *Runtime) reportTaskError(id types.TaskID, err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, fmt.Errorf("%v: %w", id, err))
+	r.mu.Unlock()
+}
+
+// detector watches heartbeats and enqueues failed tasks for recovery.
+func (r *Runtime) detector() {
+	defer r.wg.Done()
+	period := r.cfg.HeartbeatTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		r.mu.Lock()
+		if r.restarting {
+			r.mu.Unlock()
+			continue
+		}
+		var newlyFailed []types.TaskID
+		for id, t := range r.tasks {
+			// Tasks already declared failed (recovery queued) are
+			// skipped; tasks in guided replay are NOT — a standby that
+			// crashes mid-recovery must be detected and replaced too.
+			if r.finished[id] || r.failedSet[id] {
+				continue
+			}
+			age := time.Duration(now - t.heartbeatAt.Load())
+			if age > r.cfg.HeartbeatTimeout {
+				r.failedSet[id] = true
+				delete(r.recovering, id)
+				newlyFailed = append(newlyFailed, id)
+			}
+		}
+		r.mu.Unlock()
+		for _, id := range newlyFailed {
+			r.recordEvent(EventFailureDetected, id, "")
+			r.coord.Pause()
+			select {
+			case r.recoverCh <- id:
+			case <-r.stop:
+				return
+			}
+		}
+	}
+}
+
+// recoveryWorker serializes recovery handling.
+func (r *Runtime) recoveryWorker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case id := <-r.recoverCh:
+			if r.cfg.Mode == ModeGlobal {
+				// Drain concurrently detected failures: one restart
+				// covers them all.
+				drained := true
+				for drained {
+					select {
+					case <-r.recoverCh:
+					default:
+						drained = false
+					}
+				}
+				r.globalRestart("failure")
+			} else {
+				r.restartGate.RLock()
+				reason := r.localRecover(id)
+				r.restartGate.RUnlock()
+				if reason != "" {
+					// Escalations release the gate first: globalRestart
+					// takes its write side.
+					r.globalRestart(reason)
+				}
+			}
+		}
+	}
+}
+
+// DebugString summarizes runtime state for diagnostics: per-task
+// lifecycle, pending recoveries, and checkpoint progress.
+func (r *Runtime) DebugString() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "latest completed checkpoint: %d\n", r.snaps.LatestCompleted())
+	for _, id := range r.graph.AllTaskIDs() {
+		t := r.tasks[id]
+		state := "missing"
+		if t != nil {
+			switch taskState(t.state.Load()) {
+			case stateCreated:
+				state = "created"
+			case stateRunning:
+				state = "running"
+			case stateRecovering:
+				state = "recovering"
+			case stateFinished:
+				state = "finished"
+			case stateCrashed:
+				state = "crashed"
+			}
+		}
+		flags := ""
+		if r.failedSet[id] {
+			flags += " failed"
+		}
+		if r.recovering[id] {
+			flags += " guided-replay"
+		}
+		if r.finished[id] {
+			flags += " eos"
+		}
+		fmt.Fprintf(&b, "  %v: %s%s\n", id, state, flags)
+	}
+	for up, reqs := range r.pendingReplay {
+		fmt.Fprintf(&b, "  pending replay requests for %v: %d\n", up, len(reqs))
+	}
+	return b.String()
+}

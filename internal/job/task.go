@@ -1,0 +1,948 @@
+package job
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"clonos/internal/buffer"
+	"clonos/internal/causal"
+	"clonos/internal/checkpoint"
+	"clonos/internal/inflight"
+	"clonos/internal/netstack"
+	"clonos/internal/operator"
+	"clonos/internal/services"
+	"clonos/internal/statestore"
+	"clonos/internal/timers"
+	"clonos/internal/types"
+)
+
+// taskState tracks a task's lifecycle.
+type taskState int32
+
+const (
+	stateCreated taskState = iota
+	stateRunning
+	stateRecovering
+	stateFinished
+	stateCrashed
+)
+
+type mailKind int
+
+const (
+	mailTimer mailKind = iota
+	mailRPC
+)
+
+// mailEvent is one asynchronous event delivered to the task's main loop:
+// a processing-time timer firing or a checkpoint-trigger RPC. Routing
+// through the mailbox serializes these with record processing so they can
+// be causally logged with an exact input offset.
+type mailEvent struct {
+	kind  mailKind
+	timer timers.Timer
+	cp    types.CheckpointID
+}
+
+// Task is one parallel instance of a vertex: the main-thread loop, its
+// timer and flusher threads, input gate, output channels, state, and the
+// causal subsystem.
+type Task struct {
+	id     types.TaskID
+	vertex *Vertex
+	env    *Runtime
+
+	inIDs   []types.ChannelID
+	inPorts []int
+	gate    *netstack.Gate
+	desers  []*netstack.Deserializer
+
+	outEdges []*taskOutEdge
+	allOut   []*outChannel
+	logPool  *buffer.Pool
+
+	store    *statestore.Store
+	timerSvc *timers.Service
+	causal   *causal.Manager // nil unless Clonos exactly-once
+	svcs     *services.Services
+	chn      *chain
+	srcCtx   *opContext
+
+	mailbox chan mailEvent
+	abort   chan struct{}
+	crashed atomic.Bool
+	state   atomic.Int32
+	done    chan struct{}
+
+	// Main-thread execution state (no locking: main loop only).
+	epoch        types.EpochID
+	offset       uint64
+	curWm        int64
+	chanWms      []int64
+	aligning     bool
+	alignCp      types.CheckpointID
+	barriersSeen []bool
+	barriersLeft int
+	eosSeen      []bool
+	eosLeft      int
+	rebalanceCtr *statestore.KeyedState
+	replay       *replayCursor
+	pendingBatch []types.Element
+	sourceDone   bool
+	recordsIn    atomic.Uint64
+	recordsOut   atomic.Uint64
+	heartbeatAt  atomic.Int64
+	lastErr      atomic.Value
+	flushStop    chan struct{}
+	// fullSnapshotNext forces the next snapshot to be full (first one of
+	// an incarnation); later ones may be incremental (§6.4).
+	fullSnapshotNext bool
+}
+
+// taskOutEdge groups an edge's channels for partitioning.
+type taskOutEdge struct {
+	edge  *Edge
+	chans []*outChannel
+}
+
+// replayCursor walks the recovered main-thread determinant log.
+type replayCursor struct {
+	dets []causal.Determinant
+	pos  int
+}
+
+func (rc *replayCursor) hasNext() bool { return rc != nil && rc.pos < len(rc.dets) }
+func (rc *replayCursor) peek() causal.Determinant {
+	return rc.dets[rc.pos]
+}
+
+// window returns the determinants within n positions of the cursor, for
+// diagnostics.
+func (rc *replayCursor) window(n int) []causal.Determinant {
+	lo := rc.pos - n
+	if lo < 0 {
+		lo = 0
+	}
+	hi := rc.pos + n
+	if hi > len(rc.dets) {
+		hi = len(rc.dets)
+	}
+	return rc.dets[lo:hi]
+}
+
+// newTask builds a task instance (running or standby) without touching
+// the network; attachNetwork and start complete activation.
+func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
+	cfg := env.cfg
+	t := &Task{
+		id:               types.TaskID{Vertex: vertex.ID, Subtask: subtask},
+		vertex:           vertex,
+		env:              env,
+		mailbox:          make(chan mailEvent, cfg.MailboxSize),
+		abort:            make(chan struct{}),
+		done:             make(chan struct{}),
+		flushStop:        make(chan struct{}),
+		store:            statestore.NewStore(),
+		epoch:            1,
+		curWm:            math.MinInt64,
+		fullSnapshotNext: true,
+	}
+	t.rebalanceCtr = t.store.Keyed("__rebalance")
+	t.timerSvc = timers.NewService(nil, t.onTimerFired)
+
+	logging := cfg.Mode == ModeClonos && cfg.Guarantee != AtMostOnce
+	if logging {
+		t.logPool = buffer.NewPool(cfg.LogPoolBuffers, cfg.BufferSize)
+	}
+	if cfg.Mode == ModeClonos && cfg.Guarantee == ExactlyOnce {
+		t.causal = causal.NewManager(t.id, cfg.effectiveDSD(env.graph))
+	}
+
+	var logger services.Logger
+	if t.causal != nil {
+		logger = t.causal
+	} else {
+		logger = noopLogger{}
+	}
+	t.svcs = services.New(services.Config{
+		TimestampGranularityMs: cfg.TimestampGranularityMs,
+		World:                  cfg.World,
+	}, logger, t, func(when int64) {
+		t.timerSvc.RegisterProc(timers.Timer{HandlerID: tsRefreshHandler, When: when})
+	})
+
+	for _, e := range vertex.OutEdges {
+		oe := &taskOutEdge{edge: e}
+		for to := int32(0); to < int32(e.To.Parallelism); to++ {
+			chID := channelID(e, subtask, to)
+			outPool := buffer.NewPool(cfg.ChannelBuffers, cfg.BufferSize)
+			var log *inflight.Log
+			if logging {
+				l, err := inflight.NewLog(chID, t.logPool, cfg.InFlight)
+				if err == nil {
+					log = l
+					log.StartEpoch(1)
+				}
+			}
+			oc := newOutChannel(t, chID, outPool, log)
+			if t.causal != nil {
+				t.causal.StartEpochChannel(chID, 1)
+			}
+			oe.chans = append(oe.chans, oc)
+			t.allOut = append(t.allOut, oc)
+		}
+		t.outEdges = append(t.outEdges, oe)
+	}
+
+	t.inIDs, t.inPorts = inChannels(vertex, subtask)
+	t.chanWms = make([]int64, len(t.inIDs))
+	for i := range t.chanWms {
+		t.chanWms[i] = math.MinInt64
+	}
+	t.eosSeen = make([]bool, len(t.inIDs))
+	t.eosLeft = len(t.inIDs)
+	t.barriersSeen = make([]bool, len(t.inIDs))
+
+	t.chn = newChain(t)
+	t.srcCtx = t.chn.sourceContext()
+	if t.causal != nil {
+		t.causal.StartEpochMain(1)
+	}
+	return t
+}
+
+// graph returns the job graph.
+func (t *Task) graph() *Graph { return t.env.graph }
+
+// attachNetwork creates the input gate, replacing any previous (broken)
+// endpoints — the network-reconfiguration step of recovery (§6.2).
+// accepting=false creates the endpoints closed until the recovery
+// protocol's replay requests open them.
+func (t *Task) attachNetwork(accepting bool) {
+	if len(t.inIDs) > 0 {
+		t.gate = netstack.NewGate(t.env.net, t.inIDs, t.env.cfg.EndpointCredit, accepting)
+		t.desers = nil
+		for i, id := range t.inIDs {
+			e := t.env.graph.Edges[id.Edge]
+			t.desers = append(t.desers, netstack.NewDeserializer(e.CodecOrDefault()))
+			if t.causal != nil {
+				// Ingest piggybacked determinant deltas on arrival (the
+				// causal log manager sits at the network layer, Fig. 3):
+				// a recovering upstream's determinant request then covers
+				// every buffer this task has received, including those
+				// still queued ahead of the main thread.
+				t.gate.Endpoint(i).SetOnAccept(func(m *netstack.Message) {
+					if err := t.causal.Ingest(m.Delta); err != nil {
+						t.fail(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// restore loads a checkpoint into the task (standby activation or global
+// rollback restart).
+func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
+	if err := t.store.Restore(snap.State); err != nil {
+		return err
+	}
+	if err := t.timerSvc.Restore(snap.Timers); err != nil {
+		return err
+	}
+	t.rebalanceCtr = t.store.Keyed("__rebalance")
+	t.epoch = snap.Checkpoint + 1
+	t.offset = 0
+	t.fullSnapshotNext = true
+	if t.causal != nil {
+		t.causal.SeedForRecovery(snap.MainLogBase, snap.ChannelLogBase)
+		t.causal.StartEpochMain(t.epoch)
+	}
+	for _, oc := range t.allOut {
+		next := snap.NextSeq[oc.id]
+		if next == 0 {
+			next = 1
+		}
+		oc.restore(next, t.epoch)
+		if t.causal != nil {
+			t.causal.StartEpochChannel(oc.id, t.epoch)
+		}
+	}
+	return nil
+}
+
+// setRecovery installs the recovered determinants for causally guided
+// replay: the main-thread cursor and each output channel's buffer cuts.
+func (t *Task) setRecovery(ex causal.Extracted) {
+	if len(ex.Main) > 0 {
+		t.replay = &replayCursor{dets: ex.Main}
+	}
+	for _, oc := range t.allOut {
+		for _, d := range ex.Channels[oc.id] {
+			if d.Kind == causal.KindBufferSize {
+				oc.writer.PushCut(int(d.Value))
+			}
+		}
+	}
+}
+
+// start launches the task's threads.
+func (t *Task) start() {
+	t.state.Store(int32(stateRunning))
+	t.heartbeatNow()
+	t.timerSvc.Start()
+	go t.heartbeater()
+	go t.flusher()
+	go t.run()
+}
+
+// heartbeater refreshes the heartbeat while the task process is alive —
+// including while the main thread is legitimately blocked on
+// backpressure. A crash stops it, which is what the detector sees.
+func (t *Task) heartbeater() {
+	period := t.env.cfg.HeartbeatTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.abort:
+			return
+		case <-tick.C:
+			t.heartbeatNow()
+		}
+	}
+}
+
+// Replaying implements services.Replayer.
+func (t *Task) Replaying() bool { return t.replay.hasNext() }
+
+// Next implements services.Replayer: services consume TS/RNG/SERVICE
+// determinants inline during guided replay.
+func (t *Task) Next(kind causal.Kind) (causal.Determinant, error) {
+	if !t.replay.hasNext() {
+		return causal.Determinant{}, fmt.Errorf("task %v: determinant log exhausted", t.id)
+	}
+	d := t.replay.peek()
+	if d.Kind != kind {
+		return causal.Determinant{}, fmt.Errorf("task %v: replay wants %v, log has %v (pos %d/%d, offset %d, context %v)",
+			t.id, kind, d.Kind, t.replay.pos, len(t.replay.dets), t.offset, t.replay.window(3))
+	}
+	t.replay.pos++
+	return d, nil
+}
+
+// onTimerFired runs on the timer thread: enqueue into the mailbox.
+func (t *Task) onTimerFired(tm timers.Timer) {
+	select {
+	case t.mailbox <- mailEvent{kind: mailTimer, timer: tm}:
+	case <-t.abort:
+	}
+}
+
+// TriggerCheckpoint delivers the coordinator's RPC (sources only).
+func (t *Task) TriggerCheckpoint(cp types.CheckpointID) {
+	select {
+	case t.mailbox <- mailEvent{kind: mailRPC, cp: cp}:
+	case <-t.abort:
+	}
+}
+
+// NotifyCheckpointComplete truncates logs covered by a completed
+// checkpoint (§4.3); safe off the main thread.
+func (t *Task) NotifyCheckpointComplete(cp types.CheckpointID) {
+	if t.causal != nil {
+		t.causal.Truncate(cp)
+	}
+	for _, oc := range t.allOut {
+		if oc.iflog != nil {
+			oc.iflog.Truncate(cp)
+		}
+	}
+	for _, op := range t.vertex.Operators {
+		if aware, ok := op.(operator.CheckpointAware); ok {
+			aware.OnCheckpointComplete(uint64(cp))
+		}
+	}
+}
+
+// crash simulates a task failure: the main loop aborts without flushing,
+// pools close to unblock stuck threads, input endpoints break so senders
+// observe a dead connection. All volatile state is lost with the object.
+func (t *Task) crash() {
+	if !t.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	t.state.Store(int32(stateCrashed))
+	close(t.abort)
+	if t.logPool != nil {
+		t.logPool.Close()
+	}
+	for _, oc := range t.allOut {
+		oc.outPool.Close()
+	}
+	if t.gate != nil {
+		for i := 0; i < t.gate.NumChannels(); i++ {
+			t.gate.Endpoint(i).Break()
+		}
+	}
+	t.timerSvc.Stop()
+	close(t.flushStop)
+}
+
+// shutdown stops a task cleanly (job teardown), reusing the crash path.
+func (t *Task) shutdown() {
+	t.crash()
+	<-t.done
+	for _, oc := range t.allOut {
+		oc.close()
+	}
+}
+
+// fail reports an internal error and crashes the task; the failure
+// detector then drives recovery exactly as for an injected failure.
+func (t *Task) fail(err error) {
+	t.lastErr.Store(err)
+	t.env.reportTaskError(t.id, err)
+	t.crash()
+}
+
+func (t *Task) heartbeatNow() {
+	t.heartbeatAt.Store(time.Now().UnixNano())
+}
+
+// flusher periodically flushes partial output buffers — the
+// nondeterministic buffer cuts captured by BUFFERSIZE determinants.
+func (t *Task) flusher() {
+	tick := time.NewTicker(t.env.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.flushStop:
+			return
+		case <-tick.C:
+			for _, oc := range t.allOut {
+				if err := oc.writer.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// run is the main thread.
+func (t *Task) run() {
+	defer close(t.done)
+	if err := t.chn.open(); err != nil {
+		t.fail(err)
+		return
+	}
+	if t.vertex.Source != nil {
+		if err := t.vertex.Source.Open(t.srcCtx); err != nil {
+			t.fail(err)
+			return
+		}
+	}
+	if t.replay.hasNext() {
+		t.state.Store(int32(stateRecovering))
+		t.runReplay()
+		if t.crashed.Load() {
+			return
+		}
+		t.replay = nil
+		t.state.Store(int32(stateRunning))
+		t.env.onTaskLive(t.id)
+	} else if t.env.cfg.Mode == ModeClonos {
+		t.env.onTaskLive(t.id)
+	}
+	t.timerSvc.SetLive(true)
+	if t.vertex.Source != nil {
+		t.runSourceLive()
+	} else {
+		t.runLive()
+	}
+}
+
+// runLive is the normal-operation loop of a non-source task.
+func (t *Task) runLive() {
+	for !t.crashed.Load() {
+		t.heartbeatNow()
+		select {
+		case ev := <-t.mailbox:
+			t.handleMail(ev)
+			continue
+		default:
+		}
+		if idx, m, ok := t.gate.TryNext(); ok {
+			t.handleBuffer(idx, m)
+			if t.eosLeft == 0 {
+				t.finishTask()
+				return
+			}
+			continue
+		}
+		select {
+		case ev := <-t.mailbox:
+			t.handleMail(ev)
+		case <-t.gate.Ready():
+		case <-t.abort:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// runReplay re-executes the recovered epoch guided by the determinant log
+// (§5.2): ORDER determinants drive buffer consumption, TIMER/RPC
+// determinants re-fire asynchronous events at identical offsets, and
+// services replay TS/RNG/SERVICE results inline.
+func (t *Task) runReplay() {
+	for t.replay.hasNext() && !t.crashed.Load() {
+		t.heartbeatNow()
+		d := t.replay.peek()
+		switch d.Kind {
+		case causal.KindEpoch:
+			// Structural marker: re-appended by restore/snapshot, not
+			// by the cursor.
+			t.replay.pos++
+		case causal.KindOrder:
+			t.replay.pos++
+			m, err := t.gate.NextFrom(int(d.Channel), t.abort)
+			if err != nil {
+				return
+			}
+			t.handleBuffer(int(d.Channel), m)
+			if t.eosLeft == 0 {
+				t.finishTask()
+				return
+			}
+		case causal.KindTimer:
+			if t.vertex.Source != nil && t.offset < d.Offset {
+				// The timer fired after more source elements: emit them
+				// first so the firing lands at the identical offset.
+				if !t.emitNextSourceElement(true) {
+					return
+				}
+				continue
+			}
+			t.replay.pos++
+			if d.Offset != t.offset {
+				t.fail(fmt.Errorf("task %v: timer determinant at offset %d replayed at %d", t.id, d.Offset, t.offset))
+				return
+			}
+			tm := timers.Timer{HandlerID: d.Handler, Key: d.Key, When: d.When}
+			t.timerSvc.TakeProc(tm)
+			t.fireTimer(tm)
+		case causal.KindRPC:
+			if t.vertex.Source == nil {
+				t.fail(fmt.Errorf("task %v: RPC determinant on non-source", t.id))
+				return
+			}
+			if t.offset < d.Offset {
+				if !t.emitNextSourceElement(true) {
+					return
+				}
+				continue
+			}
+			t.replay.pos++
+			if t.causal != nil {
+				t.causal.AppendRPC(d.Epoch, d.Offset)
+			}
+			t.snapshot(d.Epoch)
+		default:
+			t.fail(fmt.Errorf("task %v: unexpected determinant %v at replay head", t.id, d))
+			return
+		}
+	}
+}
+
+// handleBuffer processes one whole input buffer (the ORDER unit).
+func (t *Task) handleBuffer(idx int, m *netstack.Message) {
+	if t.causal != nil {
+		if err := t.causal.Ingest(m.Delta); err != nil {
+			t.fail(err)
+			return
+		}
+		t.causal.AppendOrder(int32(idx))
+	}
+	t.offset++
+	d := t.desers[idx]
+	if m.StreamReset {
+		// A divergent sender incarnation: its byte stream does not
+		// continue the predecessor's, so drop any partial record.
+		d.Reset()
+	}
+	d.Feed(m.Data)
+	for !t.crashed.Load() {
+		e, ok, err := d.Next()
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		if !ok {
+			return
+		}
+		t.handleElement(idx, e)
+	}
+}
+
+func (t *Task) handleElement(idx int, e types.Element) {
+	switch e.Kind {
+	case types.KindRecord:
+		t.recordsIn.Add(1)
+		t.chn.processInput(t.inPorts[idx], e)
+	case types.KindWatermark:
+		if e.Timestamp > t.chanWms[idx] {
+			t.chanWms[idx] = e.Timestamp
+			t.maybeAdvanceWatermark()
+		}
+	case types.KindBarrier:
+		t.handleBarrier(idx, e.Checkpoint)
+	case types.KindEndOfStream:
+		if !t.eosSeen[idx] {
+			t.eosSeen[idx] = true
+			t.eosLeft--
+			t.chanWms[idx] = math.MaxInt64
+			if t.eosLeft > 0 {
+				t.maybeAdvanceWatermark()
+			} else {
+				t.advanceWatermark(math.MaxInt64)
+			}
+		}
+	}
+}
+
+func (t *Task) maybeAdvanceWatermark() {
+	min := int64(math.MaxInt64)
+	for _, wm := range t.chanWms {
+		if wm < min {
+			min = wm
+		}
+	}
+	if min > t.curWm && min != math.MaxInt64 {
+		t.advanceWatermark(min)
+	}
+}
+
+// advanceWatermark fires due event timers deterministically, notifies the
+// chain, and forwards the watermark downstream.
+func (t *Task) advanceWatermark(wm int64) {
+	t.curWm = wm
+	for {
+		due := t.timerSvc.AdvanceWatermark(wm)
+		if len(due) == 0 {
+			break
+		}
+		for _, tm := range due {
+			t.chn.onEventTimer(tm)
+			if t.crashed.Load() {
+				return
+			}
+		}
+	}
+	t.chn.onWatermark(wm)
+	t.broadcastElement(types.Watermark(wm))
+}
+
+// handleBarrier performs aligned checkpointing: the first barrier of a
+// checkpoint blocks its channel; when barriers arrived on all channels
+// the task snapshots and unblocks.
+func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
+	if cp < t.epoch {
+		return // stale barrier from a replayed stream, already covered
+	}
+	if len(t.inIDs) == 1 {
+		t.snapshot(cp)
+		return
+	}
+	// A barrier of a newer checkpoint supersedes a pending alignment:
+	// the older checkpoint was aborted (its barriers may be lost with a
+	// failed task), so release the blocked channels and align on the
+	// newer one.
+	if t.aligning && cp > t.alignCp {
+		t.aligning = false
+		t.gate.UnblockAll()
+	}
+	if !t.aligning {
+		t.aligning = true
+		t.alignCp = cp
+		for i := range t.barriersSeen {
+			t.barriersSeen[i] = t.eosSeen[i] // finished channels need no barrier
+		}
+		t.barriersLeft = 0
+		for _, seen := range t.barriersSeen {
+			if !seen {
+				t.barriersLeft++
+			}
+		}
+	}
+	if cp != t.alignCp || t.barriersSeen[idx] {
+		return
+	}
+	t.barriersSeen[idx] = true
+	t.barriersLeft--
+	if t.barriersLeft > 0 {
+		t.gate.Block(idx)
+		return
+	}
+	t.snapshot(cp)
+	t.aligning = false
+	t.gate.UnblockAll()
+}
+
+// snapshot takes the task's checkpoint: forward the barrier, roll epochs
+// on every log, persist state, and ack the coordinator.
+func (t *Task) snapshot(cp types.CheckpointID) {
+	// Forward the barrier as the last element of epoch cp on every
+	// output channel, then roll the channel epochs.
+	t.broadcastElement(types.Barrier(cp))
+	for _, oc := range t.allOut {
+		if err := oc.writer.Flush(); err != nil {
+			t.fail(err)
+			return
+		}
+		oc.startEpoch(cp + 1)
+	}
+	var mainBase uint64
+	if t.causal != nil {
+		mainBase = t.causal.StartEpochMainAt(cp + 1)
+	}
+	var stateBytes []byte
+	var err error
+	stateIsDelta := false
+	if t.env.cfg.IncrementalCheckpoints && !t.fullSnapshotNext {
+		stateBytes, err = t.store.DeltaSnapshot()
+		stateIsDelta = true
+	} else {
+		stateBytes, err = t.store.Snapshot()
+		t.store.ResetDirty()
+		t.fullSnapshotNext = false
+	}
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	timerBytes, err := t.timerSvc.Snapshot()
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	snap := &checkpoint.TaskSnapshot{
+		Checkpoint:     cp,
+		Task:           t.id,
+		State:          stateBytes,
+		StateIsDelta:   stateIsDelta,
+		Timers:         timerBytes,
+		NextSeq:        make(map[types.ChannelID]uint64, len(t.allOut)),
+		MainLogBase:    mainBase,
+		ChannelLogBase: make(map[types.ChannelID]uint64, len(t.allOut)),
+	}
+	for _, oc := range t.allOut {
+		oc.mu.Lock()
+		snap.NextSeq[oc.id] = oc.nextSeq
+		oc.mu.Unlock()
+		if t.causal != nil {
+			if idx, ok := t.causal.Channel(oc.id).EpochStart(cp + 1); ok {
+				snap.ChannelLogBase[oc.id] = idx
+			}
+		}
+	}
+	t.epoch = cp + 1
+	t.offset = 0
+	t.svcs.StartEpoch()
+	t.env.onSnapshot(snap)
+}
+
+// handleMail processes one asynchronous event on the main thread.
+func (t *Task) handleMail(ev mailEvent) {
+	switch ev.kind {
+	case mailTimer:
+		if t.causal != nil {
+			t.causal.AppendTimer(ev.timer.HandlerID, ev.timer.Key, ev.timer.When, t.offset)
+		}
+		t.fireTimer(ev.timer)
+	case mailRPC:
+		if t.causal != nil {
+			t.causal.AppendRPC(ev.cp, t.offset)
+		}
+		t.snapshot(ev.cp)
+	}
+}
+
+func (t *Task) fireTimer(tm timers.Timer) {
+	if tm.HandlerID == tsRefreshHandler {
+		if err := t.svcs.OnRefreshTimer(); err != nil {
+			t.fail(err)
+		}
+		return
+	}
+	t.chn.onProcTimer(tm)
+}
+
+// runSourceLive drives a source vertex: poll the source, emit elements
+// one at a time (so RPC/TIMER offsets are exact), and serve the mailbox
+// between elements.
+func (t *Task) runSourceLive() {
+	for !t.crashed.Load() {
+		t.heartbeatNow()
+		select {
+		case ev := <-t.mailbox:
+			t.handleMail(ev)
+			continue
+		default:
+		}
+		if t.emitNextSourceElement(false) {
+			continue
+		}
+		if t.crashed.Load() {
+			return
+		}
+		if t.sourceDone && len(t.pendingBatch) == 0 {
+			t.finishTask()
+			return
+		}
+		select {
+		case ev := <-t.mailbox:
+			t.handleMail(ev)
+		case <-t.abort:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// emitNextSourceElement emits one element from the source, polling a new
+// batch when needed. It reports false when no element is available right
+// now. During replay (wait=true) it spins briefly for data that must
+// already exist in the replayable source.
+func (t *Task) emitNextSourceElement(wait bool) bool {
+	for len(t.pendingBatch) == 0 {
+		if t.sourceDone {
+			return false
+		}
+		batch, done, err := t.vertex.Source.Poll(t.srcCtx)
+		if err != nil {
+			t.fail(err)
+			return false
+		}
+		t.pendingBatch = batch
+		t.sourceDone = done
+		if len(batch) == 0 {
+			if !wait {
+				return false
+			}
+			select {
+			case <-t.abort:
+				return false
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	e := t.pendingBatch[0]
+	t.pendingBatch = t.pendingBatch[1:]
+	t.offset++
+	switch e.Kind {
+	case types.KindRecord:
+		t.recordsIn.Add(1)
+		t.chn.processInput(0, e)
+	case types.KindWatermark:
+		if e.Timestamp > t.curWm {
+			t.advanceWatermark(e.Timestamp)
+		}
+	}
+	return true
+}
+
+// finishTask completes a finite job: flush windows, close the chain, and
+// propagate end-of-stream.
+func (t *Task) finishTask() {
+	// Fire pending operator processing-time timers so bounded inputs
+	// flush their last processing-time windows. The pending set and the
+	// drain order are deterministic at this point, so a recovered task
+	// reaching EOS drains identically. Service-internal timers
+	// (timestamp refresh) are left alone.
+	for round := 0; round < 64; round++ {
+		due := t.timerSvc.DrainProc(func(tm timers.Timer) bool { return tm.HandlerID >= 0 })
+		if len(due) == 0 {
+			break
+		}
+		for _, tm := range due {
+			if t.causal != nil {
+				t.causal.AppendTimer(tm.HandlerID, tm.Key, tm.When, t.offset)
+			}
+			t.chn.onProcTimer(tm)
+			if t.crashed.Load() {
+				return
+			}
+		}
+	}
+	if err := t.chn.close(); err != nil {
+		t.env.reportTaskError(t.id, err)
+	}
+	if t.vertex.Source != nil {
+		_ = t.vertex.Source.Close(t.srcCtx)
+	}
+	t.broadcastElement(types.EndOfStream())
+	for _, oc := range t.allOut {
+		if err := oc.writer.ForceFlush(); err != nil {
+			break
+		}
+	}
+	t.state.Store(int32(stateFinished))
+	t.env.onTaskFinished(t.id)
+}
+
+// broadcastElement writes an element to every output channel.
+func (t *Task) broadcastElement(e types.Element) {
+	for _, oc := range t.allOut {
+		if err := oc.writer.WriteElement(e); err != nil {
+			if !t.crashed.Load() {
+				t.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// emitOutput routes one record across every output edge.
+func (t *Task) emitOutput(key uint64, ts int64, v any) {
+	t.recordsOut.Add(1)
+	for _, oe := range t.outEdges {
+		var targets []*outChannel
+		outKey := key
+		switch oe.edge.Partitioner {
+		case PartitionForward:
+			targets = oe.chans[t.id.Subtask : t.id.Subtask+1]
+		case PartitionHash:
+			if oe.edge.KeyOf != nil {
+				outKey = oe.edge.KeyOf(v)
+			}
+			targets = oe.chans[outKey%uint64(len(oe.chans)) : outKey%uint64(len(oe.chans))+1]
+		case PartitionRebalance:
+			ctr, _ := t.rebalanceCtr.Get(uint64(oe.edge.ID)).(uint64)
+			t.rebalanceCtr.Put(uint64(oe.edge.ID), ctr+1)
+			targets = oe.chans[ctr%uint64(len(oe.chans)) : ctr%uint64(len(oe.chans))+1]
+		case PartitionBroadcast:
+			targets = oe.chans
+		}
+		for _, oc := range targets {
+			if err := oc.writer.WriteElement(types.Record(outKey, ts, v)); err != nil {
+				if !t.crashed.Load() {
+					t.fail(err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// noopLogger satisfies services.Logger when causal logging is disabled.
+type noopLogger struct{}
+
+func (noopLogger) AppendTimestamp(int64)        {}
+func (noopLogger) AppendRNG(int64)              {}
+func (noopLogger) AppendService(uint16, []byte) {}

@@ -1,0 +1,269 @@
+// Package metrics implements the paper's measurement methodology (§7.1,
+// §7.4): real-time throughput obtained by sampling the sink topic three
+// times per second, per-record end-to-end latency, and the recovery-time
+// metric — the time from a failure until observed latency returns to
+// within 10% of its pre-failure value.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"clonos/internal/kafkasim"
+)
+
+// ThroughputSample is one poll of the sink topic.
+type ThroughputSample struct {
+	// At is the sample time.
+	At time.Time
+	// Count is the cumulative records delivered.
+	Count int
+	// PerSec is the rate since the previous sample.
+	PerSec float64
+}
+
+// Sampler polls a sink topic at a fixed interval (default 3 Hz, matching
+// the paper) and records the real-time throughput series.
+type Sampler struct {
+	sink     *kafkasim.SinkTopic
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []ThroughputSample
+	stop    chan struct{}
+	done    sync.WaitGroup
+}
+
+// NewSampler builds a sampler; interval <= 0 selects 1/3 s.
+func NewSampler(sink *kafkasim.SinkTopic, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second / 3
+	}
+	return &Sampler{sink: sink, interval: interval, stop: make(chan struct{})}
+}
+
+// Start begins sampling.
+func (s *Sampler) Start() {
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		prevCount := 0
+		prevAt := time.Now()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				count := s.sink.Len()
+				dt := now.Sub(prevAt).Seconds()
+				rate := 0.0
+				if dt > 0 {
+					rate = float64(count-prevCount) / dt
+				}
+				s.mu.Lock()
+				s.samples = append(s.samples, ThroughputSample{At: now, Count: count, PerSec: rate})
+				s.mu.Unlock()
+				prevCount, prevAt = count, now
+			}
+		}
+	}()
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.done.Wait()
+}
+
+// Samples returns the collected series.
+func (s *Sampler) Samples() []ThroughputSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ThroughputSample(nil), s.samples...)
+}
+
+// LatencyPoint is one output record's end-to-end latency.
+type LatencyPoint struct {
+	// ArrivalMs is the wall-clock arrival at the sink.
+	ArrivalMs int64
+	// LatencyMs is arrival minus the record's ingestion wall time.
+	LatencyMs int64
+}
+
+// LatencySeries extracts latency points from sink records, ordered by
+// arrival.
+func LatencySeries(records []kafkasim.SinkRecord) []LatencyPoint {
+	out := make([]LatencyPoint, 0, len(records))
+	for _, r := range records {
+		out = append(out, LatencyPoint{ArrivalMs: r.ArrivalMs, LatencyMs: r.ArrivalMs - r.EmitMs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ArrivalMs < out[j].ArrivalMs })
+	return out
+}
+
+// Percentile returns the p-quantile (0..1) of the values; 0 for empty.
+func Percentile(values []int64, p float64) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// PercentileF is Percentile over float64 values.
+func PercentileF(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Latencies projects the latency values of a series.
+func Latencies(points []LatencyPoint) []int64 {
+	out := make([]int64, len(points))
+	for i, p := range points {
+		out[i] = p.LatencyMs
+	}
+	return out
+}
+
+// RecoveryTime computes the paper's recovery metric: the duration from
+// failAtMs until observed latency has returned to within tolerance
+// (e.g. 0.10) of the pre-failure median *and stays there for the rest of
+// the run* (suffix stability). Requiring stability to the end of the
+// series matters because a failure's impact is delayed by detection:
+// latency right after the injection still looks normal, and a
+// first-settled-window definition would wrongly report near-zero
+// recovery before the disruption even hits. holdMs is a minimum settled
+// span required at the series tail. It reports ok=false when latency
+// never settles.
+func RecoveryTime(points []LatencyPoint, failAtMs int64, tolerance float64, holdMs int64) (time.Duration, bool) {
+	var pre []int64
+	for _, p := range points {
+		if p.ArrivalMs < failAtMs {
+			pre = append(pre, p.LatencyMs)
+		}
+	}
+	baseline := Percentile(pre, 0.5)
+	bound := baseline + int64(float64(baseline)*tolerance)
+	if bound < baseline+5 {
+		bound = baseline + 5 // floor for millisecond-scale baselines
+	}
+	// Individual points jitter up to the pre-failure tail even in steady
+	// state; "recovered" means the tail is back to its pre-failure shape,
+	// so points under the pre-failure p99 never count as disturbed.
+	if p99 := Percentile(pre, 0.99); bound < p99 {
+		bound = p99
+	}
+	n := len(points)
+	firstPost := -1
+	for i := 0; i < n; i++ {
+		if points[i].ArrivalMs >= failAtMs {
+			firstPost = i
+			break
+		}
+	}
+	if firstPost < 0 {
+		return 0, false // nothing observed after the failure
+	}
+	// suffixBad[i] counts points above the bound in points[i:].
+	suffixBad := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixBad[i] = suffixBad[i+1]
+		if points[i].LatencyMs > bound {
+			suffixBad[i]++
+		}
+	}
+	// Recovered at the earliest post-failure point from which the rest of
+	// the series keeps its p99 within the bound (at most 1% of the suffix
+	// above it — a budget for the same stray outliers the pre-failure
+	// series has), holding for at least holdMs.
+	for i := firstPost; i < n; i++ {
+		if points[i].LatencyMs > bound {
+			continue
+		}
+		suffixLen := n - i
+		if suffixBad[i] > suffixLen/100 {
+			continue
+		}
+		if points[n-1].ArrivalMs-points[i].ArrivalMs < holdMs {
+			break // remaining settled span too short to call it recovered
+		}
+		d := points[i].ArrivalMs - failAtMs
+		if d < 0 {
+			d = 0
+		}
+		return time.Duration(d) * time.Millisecond, true
+	}
+	return 0, false
+}
+
+// ThroughputGap reports how long the sink saw (near-)zero throughput
+// after failAt: the span of consecutive samples below frac of the
+// pre-failure mean rate.
+func ThroughputGap(samples []ThroughputSample, failAt time.Time, frac float64) time.Duration {
+	var pre []float64
+	for _, s := range samples {
+		if s.At.Before(failAt) {
+			pre = append(pre, s.PerSec)
+		}
+	}
+	if len(pre) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range pre {
+		mean += v
+	}
+	mean /= float64(len(pre))
+	floor := mean * frac
+	var gap time.Duration
+	var gapStart time.Time
+	inGap := false
+	for _, s := range samples {
+		if s.At.Before(failAt) {
+			continue
+		}
+		if s.PerSec < floor {
+			if !inGap {
+				inGap = true
+				gapStart = s.At
+			}
+		} else if inGap {
+			if d := s.At.Sub(gapStart); d > gap {
+				gap = d
+			}
+			inGap = false
+		}
+	}
+	if inGap && len(samples) > 0 {
+		if d := samples[len(samples)-1].At.Sub(gapStart); d > gap {
+			gap = d
+		}
+	}
+	return gap
+}
+
+// MeanF returns the arithmetic mean of values (0 for empty).
+func MeanF(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7}
+	if p := Percentile(vals, 0.5); p != 5 {
+		t.Fatalf("p50 = %d, want 5", p)
+	}
+	if p := Percentile(vals, 0); p != 1 {
+		t.Fatalf("p0 = %d, want 1", p)
+	}
+	if p := Percentile(vals, 1); p != 9 {
+		t.Fatalf("p100 = %d, want 9", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty p50 = %d, want 0", p)
+	}
+}
+
+func TestPercentileF(t *testing.T) {
+	if p := PercentileF([]float64{1, 2, 3}, 0.5); p != 2 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := PercentileF(nil, 0.5); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+}
+
+func TestLatencySeriesSorted(t *testing.T) {
+	recs := []kafkasim.SinkRecord{
+		{ArrivalMs: 200, EmitMs: 150},
+		{ArrivalMs: 100, EmitMs: 90},
+	}
+	pts := LatencySeries(recs)
+	if len(pts) != 2 || pts[0].ArrivalMs != 100 || pts[0].LatencyMs != 10 || pts[1].LatencyMs != 50 {
+		t.Fatalf("series = %+v", pts)
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	// Pre-failure latency ~10ms; failure at t=1000; latency spikes to
+	// 500ms then returns to ~10ms at t=1400.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	for ts := int64(1000); ts < 1400; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 500})
+	}
+	for ts := int64(1400); ts < 2400; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 11})
+	}
+	d, ok := RecoveryTime(pts, 1000, 0.10, 300)
+	if !ok {
+		t.Fatal("recovery never detected")
+	}
+	if d != 400*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 400ms", d)
+	}
+}
+
+func TestRecoveryTimeNeverSettles(t *testing.T) {
+	pts := []LatencyPoint{
+		{ArrivalMs: 0, LatencyMs: 10},
+		{ArrivalMs: 100, LatencyMs: 10},
+		{ArrivalMs: 300, LatencyMs: 900},
+		{ArrivalMs: 400, LatencyMs: 900},
+	}
+	if _, ok := RecoveryTime(pts, 200, 0.10, 100); ok {
+		t.Fatal("recovery reported despite unsettled latency")
+	}
+}
+
+func TestRecoveryTimeTransientDip(t *testing.T) {
+	// A single in-tolerance point followed by another spike must not
+	// count as recovered.
+	pts := []LatencyPoint{
+		{ArrivalMs: 0, LatencyMs: 10},
+		{ArrivalMs: 100, LatencyMs: 10},
+		{ArrivalMs: 200, LatencyMs: 500},
+		{ArrivalMs: 300, LatencyMs: 10},  // transient dip
+		{ArrivalMs: 350, LatencyMs: 500}, // spike again
+		{ArrivalMs: 600, LatencyMs: 10},
+		{ArrivalMs: 700, LatencyMs: 10},
+		{ArrivalMs: 800, LatencyMs: 10},
+	}
+	d, ok := RecoveryTime(pts, 150, 0.10, 150)
+	if !ok {
+		t.Fatal("recovery never detected")
+	}
+	if d != 450*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 450ms (dip at 300 must not count)", d)
+	}
+}
+
+func TestRecoveryTimeDelayedDisruption(t *testing.T) {
+	// Failure injected at t=1000 but the latency impact only shows after
+	// the detection timeout (t=1600): the normal-looking window right
+	// after the injection must NOT count as recovered.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1600; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	for ts := int64(1600); ts < 2000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 700})
+	}
+	for ts := int64(2000); ts < 3000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	d, ok := RecoveryTime(pts, 1000, 0.10, 300)
+	if !ok {
+		t.Fatal("recovery never detected")
+	}
+	if d != 1000*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 1s (settled only after the delayed disruption)", d)
+	}
+}
+
+func TestRecoveryTimeOutlierBudget(t *testing.T) {
+	// One stray outlier deep in a long settled suffix (1 of 200 points,
+	// within the 1%% budget) must not push recovery to the series end.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1000; ts += 10 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	for ts := int64(1000); ts < 1200; ts += 10 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 600})
+	}
+	for ts := int64(1200); ts < 3200; ts += 10 {
+		lat := int64(10)
+		if ts == 2500 {
+			lat = 80 // stray scheduler hiccup
+		}
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: lat})
+	}
+	d, ok := RecoveryTime(pts, 1000, 0.10, 300)
+	if !ok {
+		t.Fatal("recovery never detected")
+	}
+	if d != 200*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 200ms (one outlier in 200 suffix points is inside the budget)", d)
+	}
+}
+
+func TestRecoveryTimePreFailureTailEnvelope(t *testing.T) {
+	// Steady-state latency alternates 10ms/25ms; the pre-failure p99
+	// envelope must absorb the 25ms points after the failure too, or a
+	// healthy system would never count as recovered.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1000; ts += 10 {
+		lat := int64(10)
+		if ts%100 == 0 {
+			lat = 25
+		}
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: lat})
+	}
+	for ts := int64(1000); ts < 1300; ts += 10 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 400})
+	}
+	for ts := int64(1300); ts < 2300; ts += 10 {
+		lat := int64(10)
+		if ts%100 == 0 {
+			lat = 25
+		}
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: lat})
+	}
+	d, ok := RecoveryTime(pts, 1000, 0.10, 300)
+	if !ok {
+		t.Fatal("recovery never detected despite settled tail")
+	}
+	if d != 300*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 300ms", d)
+	}
+}
+
+func TestThroughputGap(t *testing.T) {
+	base := time.Unix(0, 0)
+	mk := func(sec int, rate float64) ThroughputSample {
+		return ThroughputSample{At: base.Add(time.Duration(sec) * time.Second), PerSec: rate}
+	}
+	samples := []ThroughputSample{
+		mk(0, 100), mk(1, 100), mk(2, 100),
+		mk(3, 0), mk(4, 0), mk(5, 0), // gap after failure at t=3
+		mk(6, 120), mk(7, 100),
+	}
+	gap := ThroughputGap(samples, base.Add(2500*time.Millisecond), 0.1)
+	if gap != 3*time.Second {
+		t.Fatalf("gap = %v, want 3s", gap)
+	}
+}
+
+func TestSamplerCollectsRates(t *testing.T) {
+	sink := kafkasim.NewSinkTopic(false)
+	s := NewSampler(sink, 10*time.Millisecond)
+	s.Start()
+	for i := 0; i < 50; i++ {
+		sink.Append(kafkasim.SinkRecord{Key: uint64(i)})
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+	samples := s.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Count != 50 {
+		t.Fatalf("final count = %d, want 50", last.Count)
+	}
+	sawRate := false
+	for _, smp := range samples {
+		if smp.PerSec > 0 {
+			sawRate = true
+		}
+	}
+	if !sawRate {
+		t.Fatal("no positive throughput observed")
+	}
+}
+
+func TestMeanF(t *testing.T) {
+	if m := MeanF([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := MeanF(nil); m != 0 {
+		t.Fatalf("mean of empty = %v", m)
+	}
+}

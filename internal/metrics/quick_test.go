@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clonos/internal/kafkasim"
+)
+
+// TestQuickPercentileIsElement: the percentile of a non-empty slice is
+// always one of its elements, and it is monotonic in p.
+func TestQuickPercentileIsElement(t *testing.T) {
+	f := func(vals []int64, pRaw uint8) bool {
+		if len(vals) == 0 {
+			return Percentile(vals, 0.5) == 0
+		}
+		p := float64(pRaw) / 255.0
+		got := Percentile(vals, p)
+		found := false
+		for _, v := range vals {
+			if v == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		// Monotonicity against a handful of larger quantiles.
+		for _, q := range []float64{p, (p + 1) / 2, 1} {
+			if Percentile(vals, q) < got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecoveryTimeBounds: whenever RecoveryTime reports ok, the
+// duration is non-negative and no longer than the observed span after
+// the failure; and a series that never leaves a flat latency recovers
+// in zero time.
+func TestQuickRecoveryTimeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 50 + rng.Intn(200)
+		base := int64(5 + rng.Intn(50))
+		failAt := int64(100 + rng.Intn(1000))
+		end := failAt + 1000 + int64(rng.Intn(2000))
+		var pts []LatencyPoint
+		for i := 0; i < n; i++ {
+			at := rng.Int63n(end)
+			lat := base
+			if rng.Intn(4) == 0 {
+				lat += rng.Int63n(base * 20) // random disturbance
+			}
+			pts = append(pts, LatencyPoint{ArrivalMs: at, LatencyMs: lat})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].ArrivalMs < pts[j].ArrivalMs })
+		d, ok := RecoveryTime(pts, failAt, 0.10, 200)
+		if !ok {
+			continue
+		}
+		if d < 0 {
+			t.Fatalf("negative recovery %v", d)
+		}
+		if last := pts[len(pts)-1].ArrivalMs; d > time.Duration(last-failAt)*time.Millisecond {
+			t.Fatalf("recovery %v exceeds post-failure span %dms", d, last-failAt)
+		}
+	}
+}
+
+// TestQuickRecoveryTimeFlatSeries: a perfectly flat series recovers at
+// the first observed point after the failure (within one 25 ms sample
+// interval), wherever the failure lands.
+func TestQuickRecoveryTimeFlatSeries(t *testing.T) {
+	f := func(latRaw uint16, failRaw uint16) bool {
+		lat := int64(latRaw%1000) + 1
+		failAt := int64(failRaw % 2000)
+		var pts []LatencyPoint
+		for ts := int64(0); ts < 4000; ts += 25 {
+			pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: lat})
+		}
+		d, ok := RecoveryTime(pts, failAt, 0.10, 200)
+		return ok && d <= 25*time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickThroughputGapBounds: the reported gap never exceeds the
+// post-failure span of the sample series and is never negative.
+func TestQuickThroughputGapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Unix(0, 0)
+	for iter := 0; iter < 200; iter++ {
+		n := 5 + rng.Intn(60)
+		var samples []ThroughputSample
+		for i := 0; i < n; i++ {
+			samples = append(samples, ThroughputSample{
+				At:     base.Add(time.Duration(i) * 300 * time.Millisecond),
+				PerSec: float64(rng.Intn(200)),
+			})
+		}
+		failAt := base.Add(time.Duration(rng.Intn(n)) * 300 * time.Millisecond)
+		gap := ThroughputGap(samples, failAt, 0.1)
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		span := samples[n-1].At.Sub(failAt)
+		if span < 0 {
+			span = 0
+		}
+		if gap > span {
+			t.Fatalf("gap %v exceeds post-failure span %v", gap, span)
+		}
+	}
+}
+
+// TestQuickLatencySeriesOrdered: LatencySeries output is sorted by
+// arrival and preserves every input record.
+func TestQuickLatencySeriesOrdered(t *testing.T) {
+	f := func(arrivals []int64) bool {
+		recs := make([]kafkasim.SinkRecord, 0, len(arrivals))
+		for _, a := range arrivals {
+			recs = append(recs, kafkasim.SinkRecord{ArrivalMs: a, EmitMs: a - 3})
+		}
+		series := LatencySeries(recs)
+		if len(series) != len(arrivals) {
+			return false
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i-1].ArrivalMs > series[i].ArrivalMs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package netstack
+
+import (
+	"encoding/binary"
+
+	"clonos/internal/codec"
+	"clonos/internal/types"
+)
+
+// Deserializer reassembles the length-prefixed element stream of one input
+// channel. Because elements may span network buffers, it keeps partial
+// bytes between Feed calls — the per-channel deserializer state §6.2 calls
+// out as a reconfiguration hazard. Reset clears that state when a channel
+// is rebuilt.
+type Deserializer struct {
+	codec codec.Codec
+	buf   []byte
+}
+
+// NewDeserializer builds a deserializer decoding payloads with c.
+func NewDeserializer(c codec.Codec) *Deserializer {
+	return &Deserializer{codec: c}
+}
+
+// Feed appends the payload of a received buffer.
+func (d *Deserializer) Feed(p []byte) {
+	d.buf = append(d.buf, p...)
+}
+
+// Next decodes the next complete element. ok is false when more bytes are
+// needed.
+func (d *Deserializer) Next() (e types.Element, ok bool, err error) {
+	if len(d.buf) < 4 {
+		return types.Element{}, false, nil
+	}
+	n := binary.BigEndian.Uint32(d.buf)
+	if uint32(len(d.buf)-4) < n {
+		return types.Element{}, false, nil
+	}
+	body := d.buf[4 : 4+n]
+	e, err = codec.DecodeElement(body, d.codec)
+	if err != nil {
+		return types.Element{}, false, err
+	}
+	// Shift consumed bytes; keep the tail for the next element.
+	d.buf = append(d.buf[:0], d.buf[4+n:]...)
+	return e, true, nil
+}
+
+// Pending reports the buffered byte count awaiting completion.
+func (d *Deserializer) Pending() int { return len(d.buf) }
+
+// Reset discards partial state; used when a channel is rebuilt during
+// recovery and the byte stream restarts at a buffer boundary.
+func (d *Deserializer) Reset() { d.buf = d.buf[:0] }

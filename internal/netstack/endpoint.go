@@ -1,0 +1,214 @@
+package netstack
+
+import (
+	"fmt"
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// Endpoint is the receiver side of one FIFO channel. Senders block in Push
+// when the bounded queue is full (backpressure); the owning input gate pops
+// messages.
+//
+// An endpoint survives a sender failure: the queue keeps whatever the dead
+// sender already delivered, and LastPushed lets a recovering sender learn
+// how far this receiver got, enabling sender-side deduplication. When the
+// receiver itself fails, the endpoint is Broken (unblocking senders) and a
+// fresh endpoint replaces it in the Network once the standby attaches.
+type Endpoint struct {
+	id     types.ChannelID
+	credit int
+
+	mu       sync.Mutex
+	sendCond *sync.Cond
+	queue    []*Message
+	// lastPushed is the seq of the newest message accepted into the
+	// queue; the successor is the only seq Push will accept next.
+	lastPushed uint64
+	anchored   bool // false until the first message arrives
+	// accepting gates Push: a recovering task's fresh endpoints reject
+	// senders until the replay request opens them (AcceptFrom), so a
+	// stale direct send cannot anchor the connection at the wrong seq.
+	accepting bool
+	// expectFirst, when non-zero, is the only seq accepted as the first
+	// message after AcceptFrom.
+	expectFirst uint64
+	// unbounded lifts the credit limit while the channel is blocked for
+	// barrier alignment: the consumer is deliberately not draining it,
+	// and capping the queue would deadlock the producer against the
+	// alignment (the data is buffered instead, as Flink does).
+	unbounded bool
+	broken    bool
+	closed    bool
+
+	// notify is signalled (non-blocking) whenever the queue goes
+	// non-empty. It is shared with the owning gate.
+	notify chan<- struct{}
+	// onAccept, when set, is invoked for every accepted message before
+	// Push returns. The task routes this to its causal-log manager so
+	// piggybacked determinant deltas are logged as soon as the buffer is
+	// received (the paper's causal log manager sits at the network
+	// layer) — a recovering upstream's extraction then covers every
+	// buffer the receiver holds, not only those already processed.
+	onAccept func(*Message)
+}
+
+// NewEndpoint creates an endpoint with the given queue capacity in buffers.
+// notify, if non-nil, is signalled on every push; it is typically the
+// owning gate's shared wake-up channel. accepting=false creates the
+// endpoint closed to senders until AcceptFrom opens it.
+func NewEndpoint(id types.ChannelID, credit int, notify chan<- struct{}, accepting bool) *Endpoint {
+	ep := &Endpoint{id: id, credit: credit, notify: notify, accepting: accepting}
+	ep.sendCond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// AcceptFrom opens the endpoint to senders. firstSeq, when non-zero, is
+// the only seq accepted as the first message (the replayed epoch's first
+// buffer); zero anchors on whatever arrives first.
+func (ep *Endpoint) AcceptFrom(firstSeq uint64) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.accepting = true
+	ep.anchored = false
+	ep.expectFirst = firstSeq
+	ep.queue = nil
+	ep.sendCond.Broadcast()
+}
+
+// ID returns the channel this endpoint terminates.
+func (ep *Endpoint) ID() types.ChannelID { return ep.id }
+
+// Push delivers a message, blocking while the queue is full. It enforces
+// FIFO sequencing: after the first accepted message, each seq must be the
+// successor of the previous. Out-of-sequence delivery indicates a protocol
+// bug and returns an error.
+func (ep *Endpoint) Push(m *Message) error {
+	ep.mu.Lock()
+	for len(ep.queue) >= ep.credit && !ep.unbounded && !ep.broken && !ep.closed {
+		ep.sendCond.Wait()
+	}
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrChannelClosed
+	}
+	if ep.broken || !ep.accepting {
+		ep.mu.Unlock()
+		return ErrChannelBroken
+	}
+	if !ep.anchored && ep.expectFirst != 0 && m.Seq != ep.expectFirst {
+		// A stale sender raced the replay request; reject as transient.
+		ep.mu.Unlock()
+		return ErrChannelBroken
+	}
+	if ep.anchored && m.Seq != ep.lastPushed+1 {
+		ep.mu.Unlock()
+		return fmt.Errorf("netstack: %v out-of-sequence push: got seq %d, want %d", ep.id, m.Seq, ep.lastPushed+1)
+	}
+	onAccept := ep.onAccept
+	ep.mu.Unlock()
+	// Log the piggybacked determinants BEFORE the message (and its seq)
+	// becomes visible: recovery reads LastPushed for sender-side dedup,
+	// and every deduplicated buffer's determinants must already be in
+	// the replica store. Pushes on one channel are serial (the sender's
+	// writer lock / replay handoff), so the unlocked window is safe.
+	if onAccept != nil {
+		onAccept(m)
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.broken {
+		err := ErrChannelClosed
+		if ep.broken {
+			err = ErrChannelBroken
+		}
+		ep.mu.Unlock()
+		return err
+	}
+	ep.anchored = true
+	ep.lastPushed = m.Seq
+	ep.queue = append(ep.queue, m)
+	notify := ep.notify
+	ep.mu.Unlock()
+	if notify != nil {
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// SetOnAccept installs the accepted-message hook (see the field doc).
+func (ep *Endpoint) SetOnAccept(f func(*Message)) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.onAccept = f
+}
+
+// Pop removes and returns the oldest queued message, or nil if empty.
+func (ep *Endpoint) Pop() *Message {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.queue) == 0 {
+		return nil
+	}
+	m := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	ep.sendCond.Signal()
+	return m
+}
+
+// Len reports the queued message count.
+func (ep *Endpoint) Len() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+// LastPushed reports the seq of the newest message accepted into the queue
+// (consumed or still queued). A recovering upstream must resume replay at
+// LastPushed+1 so queued-but-unprocessed data is not duplicated.
+func (ep *Endpoint) LastPushed() uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.lastPushed
+}
+
+// SetUnbounded toggles alignment buffering: while true, Push never blocks
+// on the credit limit.
+func (ep *Endpoint) SetUnbounded(v bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.unbounded = v
+	if v {
+		ep.sendCond.Broadcast()
+	}
+}
+
+// Break severs the connection after a receiver failure: queued messages
+// are dropped with the dead receiver and blocked senders fail with
+// ErrChannelBroken.
+func (ep *Endpoint) Break() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.broken = true
+	ep.queue = nil
+	ep.sendCond.Broadcast()
+}
+
+// Broken reports whether Break has been called.
+func (ep *Endpoint) Broken() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.broken
+}
+
+// Close shuts the endpoint down permanently.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+	ep.queue = nil
+	ep.sendCond.Broadcast()
+}

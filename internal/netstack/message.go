@@ -1,0 +1,42 @@
+// Package netstack implements the simulated network layer: FIFO
+// per-partition channels between tasks, receiver endpoints with bounded
+// queues (backpressure), input gates with checkpoint-barrier alignment,
+// per-channel serializers that span records across fixed-size network
+// buffers, and dynamic channel reconfiguration used during recovery.
+package netstack
+
+import (
+	"errors"
+
+	"clonos/internal/types"
+)
+
+// Message is the unit transferred over a channel: an immutable copy of a
+// dispatched network buffer. The sender retains the original buffer in its
+// in-flight log; the receiver owns the copy.
+type Message struct {
+	Channel types.ChannelID
+	// Seq is the per-channel sequence number, consecutive from 1.
+	Seq uint64
+	// Epoch is the checkpoint epoch the buffer belongs to.
+	Epoch types.EpochID
+	// Data is the serialized element stream.
+	Data []byte
+	// Delta is the piggybacked causal-log delta (may be nil).
+	Delta []byte
+	// Replayed marks messages resent from an in-flight log during
+	// recovery. Metrics use it; the protocol itself does not.
+	Replayed bool
+	// StreamReset marks the first message of a divergent sender
+	// incarnation (at-least-once / at-most-once recovery): the receiver
+	// must discard partial deserializer state from the predecessor's
+	// byte stream, which the new stream does not continue.
+	StreamReset bool
+}
+
+// ErrChannelBroken is returned when sending on a channel whose receiver has
+// failed (the simulated TCP connection is down).
+var ErrChannelBroken = errors.New("netstack: channel broken")
+
+// ErrChannelClosed is returned when the endpoint was shut down permanently.
+var ErrChannelClosed = errors.New("netstack: channel closed")

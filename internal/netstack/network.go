@@ -1,0 +1,64 @@
+package netstack
+
+import (
+	"sync"
+
+	"clonos/internal/types"
+)
+
+// Network is the registry of live receiver endpoints, keyed by channel.
+// Senders look the endpoint up on every buffer dispatch, so replacing an
+// endpoint (dynamic reconfiguration, §6.2) takes effect on the sender's
+// next dispatch without any sender-side coordination.
+type Network struct {
+	mu  sync.RWMutex
+	eps map[types.ChannelID]*Endpoint
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{eps: make(map[types.ChannelID]*Endpoint)}
+}
+
+// Attach installs ep as the live endpoint for its channel, replacing any
+// previous endpoint (which the caller should have Broken already).
+func (n *Network) Attach(ep *Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.eps[ep.ID()] = ep
+}
+
+// Endpoint returns the live endpoint for a channel, or nil.
+func (n *Network) Endpoint(id types.ChannelID) *Endpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.eps[id]
+}
+
+// Send pushes a message to the live endpoint of its channel. Sending on an
+// unknown channel reports ErrChannelBroken (the receiver is gone).
+func (n *Network) Send(m *Message) error {
+	ep := n.Endpoint(m.Channel)
+	if ep == nil {
+		return ErrChannelBroken
+	}
+	return ep.Push(m)
+}
+
+// Break severs the endpoint of the given channel if present.
+func (n *Network) Break(id types.ChannelID) {
+	if ep := n.Endpoint(id); ep != nil {
+		ep.Break()
+	}
+}
+
+// Detach removes and closes the endpoint of the given channel.
+func (n *Network) Detach(id types.ChannelID) {
+	n.mu.Lock()
+	ep := n.eps[id]
+	delete(n.eps, id)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package netstack
+
+import (
+	"errors"
+	"sync"
+
+	"clonos/internal/buffer"
+	"clonos/internal/codec"
+	"clonos/internal/types"
+)
+
+// ErrWriterClosed is returned when writing after the writer's pool closed
+// (the task is crashing or shutting down).
+var ErrWriterClosed = errors.New("netstack: writer closed")
+
+// ChannelWriter serializes elements into fixed-size network buffers for one
+// output channel, splitting element bytes across buffer boundaries when
+// needed, and hands each filled buffer to the dispatch callback.
+//
+// Buffer cuts are nondeterministic in normal operation (a buffer may be cut
+// early by the output flusher, depending on timing) and are therefore
+// recorded as BUFFERSIZE determinants by the dispatch layer. During
+// causally guided recovery, the writer is fed the recorded cut sizes via
+// PushCut and reproduces byte-identical buffers.
+type ChannelWriter struct {
+	mu       sync.Mutex
+	pool     *buffer.Pool
+	cur      *buffer.Buffer
+	scratch  []byte
+	codec    codec.Codec
+	dispatch func(*buffer.Buffer) error
+
+	// cuts holds recovery-mode target buffer sizes, FIFO.
+	cuts []int
+}
+
+// NewChannelWriter builds a writer drawing buffers from pool and invoking
+// dispatch (with the writer's lock held) for every completed buffer. The
+// dispatch callback takes ownership of the buffer.
+func NewChannelWriter(pool *buffer.Pool, c codec.Codec, dispatch func(*buffer.Buffer) error) *ChannelWriter {
+	return &ChannelWriter{pool: pool, codec: c, dispatch: dispatch}
+}
+
+// PushCut appends a recovery-mode cut size; while cuts are pending the
+// writer dispatches exactly when the current buffer reaches the next
+// recorded size instead of when it is full.
+func (w *ChannelWriter) PushCut(size int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cuts = append(w.cuts, size)
+}
+
+// InRecovery reports whether recorded cuts are still pending.
+func (w *ChannelWriter) InRecovery() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.cuts) > 0
+}
+
+// WriteElement serializes e into the current buffer, dispatching buffers
+// as they fill (or as they reach the recorded cut size during recovery).
+func (w *ChannelWriter) WriteElement(e types.Element) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	w.scratch, err = codec.EncodeElement(w.scratch[:0], e, w.codec)
+	if err != nil {
+		return err
+	}
+	data := w.scratch
+	for len(data) > 0 {
+		if w.cur == nil {
+			if w.cur = w.pool.Get(); w.cur == nil {
+				return ErrWriterClosed
+			}
+		}
+		limit := w.cur.Remaining()
+		if len(w.cuts) > 0 {
+			if room := w.cuts[0] - w.cur.Len(); room < limit {
+				limit = room
+			}
+		}
+		n := len(data)
+		if n > limit {
+			n = limit
+		}
+		w.cur.Data = append(w.cur.Data, data[:n]...)
+		data = data[n:]
+		if w.atCut() {
+			if err := w.dispatchLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// atCut reports whether the current buffer must be dispatched now: it is
+// full, or it has reached the next recorded recovery cut.
+func (w *ChannelWriter) atCut() bool {
+	if w.cur == nil {
+		return false
+	}
+	if len(w.cuts) > 0 {
+		return w.cur.Len() >= w.cuts[0]
+	}
+	return w.cur.Remaining() == 0
+}
+
+// Flush dispatches the current buffer if it holds any bytes. The output
+// flusher thread calls this on its timer; the task calls it on barriers
+// and shutdown.
+func (w *ChannelWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil || w.cur.Len() == 0 {
+		return nil
+	}
+	// In recovery, timing-based flushes are suppressed: cuts alone
+	// decide dispatch so replayed buffers are byte-identical.
+	if len(w.cuts) > 0 && w.cur.Len() < w.cuts[0] {
+		return nil
+	}
+	return w.dispatchLocked()
+}
+
+// ForceFlush dispatches the current buffer even during recovery. The task
+// uses it when the determinant log is exhausted and live mode resumes.
+func (w *ChannelWriter) ForceFlush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil || w.cur.Len() == 0 {
+		return nil
+	}
+	return w.dispatchLocked()
+}
+
+func (w *ChannelWriter) dispatchLocked() error {
+	b := w.cur
+	w.cur = nil
+	if len(w.cuts) > 0 {
+		w.cuts = w.cuts[1:]
+	}
+	return w.dispatch(b)
+}
+
+// PendingBytes reports the bytes currently buffered but not dispatched.
+func (w *ChannelWriter) PendingBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil {
+		return 0
+	}
+	return w.cur.Len()
+}

@@ -1,0 +1,260 @@
+// Package nexmark implements the NEXMark benchmark (Tucker et al.) used in
+// the paper's evaluation: the event model (persons, auctions, bids), a
+// deterministic rate-controlled generator, a compact binary codec, and the
+// queries Q1–Q8 and Q11–Q14 (Q10 is excluded by the paper itself) built as
+// dataflow graphs on the engine.
+package nexmark
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clonos/internal/statestore"
+)
+
+// EventKind discriminates the three NEXMark event types.
+type EventKind uint8
+
+const (
+	// KindPerson is a new-person event.
+	KindPerson EventKind = iota
+	// KindAuction is a new-auction event.
+	KindAuction
+	// KindBid is a bid event.
+	KindBid
+)
+
+// Person is a new marketplace user.
+type Person struct {
+	ID    uint64
+	Name  string
+	Email string
+	City  string
+	State string
+	// DateTime is the event time in Unix ms.
+	DateTime int64
+	// Extra pads the record to realistic NEXMark sizes.
+	Extra string
+}
+
+// Auction is a newly listed item.
+type Auction struct {
+	ID          uint64
+	ItemName    string
+	Description string
+	InitialBid  int64
+	Reserve     int64
+	DateTime    int64
+	// Expires is the auction close time in Unix ms.
+	Expires  int64
+	Seller   uint64
+	Category uint64
+	Extra    string
+}
+
+// Bid is one bid on an auction.
+type Bid struct {
+	Auction  uint64
+	Bidder   uint64
+	Price    int64
+	DateTime int64
+	Extra    string
+}
+
+// Event is the union flowing on the NEXMark stream.
+type Event struct {
+	Kind    EventKind
+	Person  *Person
+	Auction *Auction
+	Bid     *Bid
+}
+
+// Time returns the event's own timestamp.
+func (e Event) Time() int64 {
+	switch e.Kind {
+	case KindPerson:
+		return e.Person.DateTime
+	case KindAuction:
+		return e.Auction.DateTime
+	default:
+		return e.Bid.DateTime
+	}
+}
+
+func init() {
+	// Event is stored in interface-typed state and on gob-encoded edges;
+	// its pointer fields encode transparently without registration.
+	statestore.Register(Event{})
+}
+
+// EventCodec is a hand-written binary codec for Event values, far cheaper
+// than the reflective gob fallback on the benchmark's hot path.
+type EventCodec struct{}
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func getString(b []byte) (string, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", 0, fmt.Errorf("nexmark: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), sz + int(n), nil
+}
+
+// EncodeAppend implements codec.Codec.
+func (EventCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	e, ok := v.(Event)
+	if !ok {
+		return dst, fmt.Errorf("nexmark: EventCodec got %T", v)
+	}
+	dst = append(dst, byte(e.Kind))
+	switch e.Kind {
+	case KindPerson:
+		p := e.Person
+		dst = binary.AppendUvarint(dst, p.ID)
+		dst = putString(dst, p.Name)
+		dst = putString(dst, p.Email)
+		dst = putString(dst, p.City)
+		dst = putString(dst, p.State)
+		dst = binary.AppendVarint(dst, p.DateTime)
+		dst = putString(dst, p.Extra)
+	case KindAuction:
+		a := e.Auction
+		dst = binary.AppendUvarint(dst, a.ID)
+		dst = putString(dst, a.ItemName)
+		dst = putString(dst, a.Description)
+		dst = binary.AppendVarint(dst, a.InitialBid)
+		dst = binary.AppendVarint(dst, a.Reserve)
+		dst = binary.AppendVarint(dst, a.DateTime)
+		dst = binary.AppendVarint(dst, a.Expires)
+		dst = binary.AppendUvarint(dst, a.Seller)
+		dst = binary.AppendUvarint(dst, a.Category)
+		dst = putString(dst, a.Extra)
+	case KindBid:
+		b := e.Bid
+		dst = binary.AppendUvarint(dst, b.Auction)
+		dst = binary.AppendUvarint(dst, b.Bidder)
+		dst = binary.AppendVarint(dst, b.Price)
+		dst = binary.AppendVarint(dst, b.DateTime)
+		dst = putString(dst, b.Extra)
+	default:
+		return dst, fmt.Errorf("nexmark: unknown event kind %d", e.Kind)
+	}
+	return dst, nil
+}
+
+// Decode implements codec.Codec.
+func (EventCodec) Decode(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("nexmark: empty event")
+	}
+	kind := EventKind(b[0])
+	i := 1
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("nexmark: truncated event")
+		}
+		i += n
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, n := binary.Varint(b[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("nexmark: truncated event")
+		}
+		i += n
+		return v, nil
+	}
+	str := func() (string, error) {
+		s, n, err := getString(b[i:])
+		if err != nil {
+			return "", err
+		}
+		i += n
+		return s, nil
+	}
+	var err error
+	switch kind {
+	case KindPerson:
+		p := &Person{}
+		if p.ID, err = uv(); err != nil {
+			return nil, err
+		}
+		if p.Name, err = str(); err != nil {
+			return nil, err
+		}
+		if p.Email, err = str(); err != nil {
+			return nil, err
+		}
+		if p.City, err = str(); err != nil {
+			return nil, err
+		}
+		if p.State, err = str(); err != nil {
+			return nil, err
+		}
+		if p.DateTime, err = sv(); err != nil {
+			return nil, err
+		}
+		if p.Extra, err = str(); err != nil {
+			return nil, err
+		}
+		return Event{Kind: KindPerson, Person: p}, nil
+	case KindAuction:
+		a := &Auction{}
+		if a.ID, err = uv(); err != nil {
+			return nil, err
+		}
+		if a.ItemName, err = str(); err != nil {
+			return nil, err
+		}
+		if a.Description, err = str(); err != nil {
+			return nil, err
+		}
+		if a.InitialBid, err = sv(); err != nil {
+			return nil, err
+		}
+		if a.Reserve, err = sv(); err != nil {
+			return nil, err
+		}
+		if a.DateTime, err = sv(); err != nil {
+			return nil, err
+		}
+		if a.Expires, err = sv(); err != nil {
+			return nil, err
+		}
+		if a.Seller, err = uv(); err != nil {
+			return nil, err
+		}
+		if a.Category, err = uv(); err != nil {
+			return nil, err
+		}
+		if a.Extra, err = str(); err != nil {
+			return nil, err
+		}
+		return Event{Kind: KindAuction, Auction: a}, nil
+	case KindBid:
+		bid := &Bid{}
+		if bid.Auction, err = uv(); err != nil {
+			return nil, err
+		}
+		if bid.Bidder, err = uv(); err != nil {
+			return nil, err
+		}
+		if bid.Price, err = sv(); err != nil {
+			return nil, err
+		}
+		if bid.DateTime, err = sv(); err != nil {
+			return nil, err
+		}
+		if bid.Extra, err = str(); err != nil {
+			return nil, err
+		}
+		return Event{Kind: KindBid, Bid: bid}, nil
+	default:
+		return nil, fmt.Errorf("nexmark: unknown event kind %d", b[0])
+	}
+}

@@ -1,0 +1,450 @@
+package nexmark
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/services"
+)
+
+func TestGeneratorProportions(t *testing.T) {
+	cfg := DefaultGeneratorConfig(1)
+	var persons, auctions, bids int
+	for i := int64(0); i < 5000; i++ {
+		switch GenEvent(cfg, i, int64(i)).Kind {
+		case KindPerson:
+			persons++
+		case KindAuction:
+			auctions++
+		case KindBid:
+			bids++
+		}
+	}
+	if persons != 100 || auctions != 300 || bids != 4600 {
+		t.Fatalf("mix = %d:%d:%d, want 100:300:4600", persons, auctions, bids)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig(42)
+	for i := int64(0); i < 500; i++ {
+		a := GenEvent(cfg, i, 1000+i)
+		b := GenEvent(cfg, i, 1000+i)
+		if a.Kind != b.Kind || a.Time() != b.Time() {
+			t.Fatalf("event %d differs across generations", i)
+		}
+		switch a.Kind {
+		case KindBid:
+			if *a.Bid != *b.Bid {
+				t.Fatalf("bid %d differs: %+v vs %+v", i, a.Bid, b.Bid)
+			}
+		case KindAuction:
+			if *a.Auction != *b.Auction {
+				t.Fatalf("auction %d differs", i)
+			}
+		case KindPerson:
+			if *a.Person != *b.Person {
+				t.Fatalf("person %d differs", i)
+			}
+		}
+	}
+}
+
+func TestGeneratorIDsDenseAndReferential(t *testing.T) {
+	cfg := DefaultGeneratorConfig(7)
+	var persons, auctions int64
+	for i := int64(0); i < 5000; i++ {
+		ev := GenEvent(cfg, i, int64(i))
+		switch ev.Kind {
+		case KindPerson:
+			if ev.Person.ID != uint64(persons) {
+				t.Fatalf("person id %d, want %d", ev.Person.ID, persons)
+			}
+			persons++
+		case KindAuction:
+			if ev.Auction.ID != uint64(auctions) {
+				t.Fatalf("auction id %d, want %d", ev.Auction.ID, auctions)
+			}
+			if persons > 0 && ev.Auction.Seller >= uint64(persons) {
+				t.Fatalf("auction refers to future seller %d (persons=%d)", ev.Auction.Seller, persons)
+			}
+			auctions++
+		case KindBid:
+			if auctions > 0 && ev.Bid.Auction >= uint64(auctions) {
+				t.Fatalf("bid refers to future auction %d (auctions=%d)", ev.Bid.Auction, auctions)
+			}
+			if persons > 0 && ev.Bid.Bidder >= uint64(persons) {
+				t.Fatalf("bid refers to future bidder")
+			}
+		}
+	}
+}
+
+func TestGeneratorHotSkew(t *testing.T) {
+	cfg := DefaultGeneratorConfig(3)
+	hot := 0
+	total := 0
+	var auctions int64
+	for i := int64(0); i < 20000; i++ {
+		ev := GenEvent(cfg, i, int64(i))
+		if ev.Kind == KindAuction {
+			auctions++
+		}
+		if ev.Kind == KindBid && auctions > 32 {
+			total++
+			if ev.Bid.Auction >= uint64(auctions-16) {
+				hot++
+			}
+		}
+	}
+	ratio := float64(hot) / float64(total)
+	if ratio < 0.7 || ratio > 0.95 {
+		t.Fatalf("hot-auction ratio = %.2f, want ~0.85", ratio)
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig(11)
+	c := EventCodec{}
+	for i := int64(0); i < 200; i++ {
+		ev := GenEvent(cfg, i, 5_000+i)
+		b, err := c.EncodeAppend(nil, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge := got.(Event)
+		if ge.Kind != ev.Kind || ge.Time() != ev.Time() {
+			t.Fatalf("event %d: %+v vs %+v", i, ge, ev)
+		}
+		switch ev.Kind {
+		case KindPerson:
+			if *ge.Person != *ev.Person {
+				t.Fatalf("person mismatch: %+v vs %+v", ge.Person, ev.Person)
+			}
+		case KindAuction:
+			if *ge.Auction != *ev.Auction {
+				t.Fatalf("auction mismatch")
+			}
+		case KindBid:
+			if *ge.Bid != *ev.Bid {
+				t.Fatalf("bid mismatch")
+			}
+		}
+	}
+}
+
+func TestEventCodecErrors(t *testing.T) {
+	c := EventCodec{}
+	if _, err := c.EncodeAppend(nil, "nope"); err == nil {
+		t.Fatal("encoded a string")
+	}
+	if _, err := c.Decode(nil); err == nil {
+		t.Fatal("decoded empty")
+	}
+	if _, err := c.Decode([]byte{99}); err == nil {
+		t.Fatal("decoded unknown kind")
+	}
+	ev := Event{Kind: KindBid, Bid: &Bid{Auction: 1, Bidder: 2, Price: 3, DateTime: 4}}
+	b, _ := c.EncodeAppend(nil, ev)
+	if _, err := c.Decode(b[:len(b)-2]); err == nil {
+		t.Fatal("decoded truncated bid")
+	}
+}
+
+func TestQuickResultCodecRoundTrip(t *testing.T) {
+	c := ResultCodec{}
+	f := func(a uint64, b int64, cf float64, s string, tt int64) bool {
+		r := Result{A: a, B: b, C: cf, S: s, T: tt}
+		enc, err := c.EncodeAppend(nil, r)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(enc)
+		if err != nil {
+			return false
+		}
+		gr := got.(Result)
+		// NaN never round-trips by ==; compare bits via re-encode.
+		if cf != cf {
+			gr.C, r.C = 0, 0
+		}
+		return gr == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runQuery executes one query over a finite deterministic event set and
+// returns the sink.
+func runQuery(t *testing.T, name string, n int64) *kafkasim.SinkTopic {
+	t.Helper()
+	topic := kafkasim.NewTopic("nexmark", 2)
+	GenerateAll(topic, DefaultGeneratorConfig(5), n, 1_000_000, 1)
+	sink := kafkasim.NewSinkTopic(true)
+	qc := DefaultQueryConfig(2)
+	g, err := Build(name, topic, sink, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := job.DefaultConfig()
+	cfg.CheckpointInterval = 200 * time.Millisecond
+	cfg.World = services.NewExternalWorld()
+	r, err := job.NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("%s did not finish: %v", name, r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("%s task error: %v", name, e)
+	}
+	return sink
+}
+
+func TestQ1ConvertsEveryBid(t *testing.T) {
+	const n = 5000
+	sink := runQuery(t, "Q1", n)
+	// 46 of every 50 events are bids.
+	want := 0
+	cfg := DefaultGeneratorConfig(5)
+	for i := int64(0); i < n; i++ {
+		if kindOf(cfg, i) == KindBid {
+			want++
+		}
+	}
+	if sink.Len() != want {
+		t.Fatalf("Q1 output = %d, want %d", sink.Len(), want)
+	}
+	for _, rec := range sink.All()[:10] {
+		r := rec.Value.(Result)
+		if r.B <= 0 {
+			t.Fatalf("non-positive converted price: %+v", r)
+		}
+	}
+}
+
+func TestQ2Selects(t *testing.T) {
+	sink := runQuery(t, "Q2", 5000)
+	if sink.Len() == 0 {
+		t.Fatal("Q2 produced nothing")
+	}
+	for _, rec := range sink.All() {
+		if rec.Value.(Result).A%5 != 0 {
+			t.Fatalf("Q2 emitted auction %d", rec.Value.(Result).A)
+		}
+	}
+}
+
+func TestQ3JoinOutputs(t *testing.T) {
+	sink := runQuery(t, "Q3", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q3 produced nothing")
+	}
+	for _, rec := range sink.All() {
+		r := rec.Value.(Result)
+		if r.S == "" {
+			t.Fatalf("Q3 output without person data: %+v", r)
+		}
+	}
+}
+
+func TestQ4AveragePerCategory(t *testing.T) {
+	sink := runQuery(t, "Q4", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q4 produced nothing")
+	}
+	for _, rec := range sink.All() {
+		r := rec.Value.(Result)
+		if r.A < 10 || r.A >= 15 || r.C <= 0 {
+			t.Fatalf("Q4 category/avg out of range: %+v", r)
+		}
+	}
+}
+
+func TestQ5HotItems(t *testing.T) {
+	sink := runQuery(t, "Q5", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q5 produced nothing")
+	}
+	for _, rec := range sink.All() {
+		if rec.Value.(Result).B <= 0 {
+			t.Fatalf("Q5 max count not positive: %+v", rec.Value)
+		}
+	}
+}
+
+func TestQ6SellerAverages(t *testing.T) {
+	sink := runQuery(t, "Q6", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q6 produced nothing")
+	}
+}
+
+func TestQ7HighestBid(t *testing.T) {
+	sink := runQuery(t, "Q7", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q7 produced nothing")
+	}
+	// Exactly one result per fired window.
+	seen := map[uint64]int{}
+	for _, rec := range sink.All() {
+		seen[rec.Value.(Result).A]++
+	}
+	for end, n := range seen {
+		if n != 1 {
+			t.Fatalf("window %d emitted %d results", end, n)
+		}
+	}
+}
+
+func TestQ8WindowedJoin(t *testing.T) {
+	sink := runQuery(t, "Q8", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q8 produced nothing")
+	}
+}
+
+func TestQ11Sessions(t *testing.T) {
+	sink := runQuery(t, "Q11", 10000)
+	if sink.Len() == 0 {
+		t.Fatal("Q11 produced nothing")
+	}
+	var total int64
+	for _, rec := range sink.All() {
+		total += rec.Value.(Result).B
+	}
+	// Every bid lands in exactly one session.
+	want := int64(0)
+	cfg := DefaultGeneratorConfig(5)
+	for i := int64(0); i < 10000; i++ {
+		if kindOf(cfg, i) == KindBid {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("session counts sum to %d, want %d", total, want)
+	}
+}
+
+func TestQ12ProcessingTimeCounts(t *testing.T) {
+	sink := runQuery(t, "Q12", 10000)
+	var total int64
+	for _, rec := range sink.All() {
+		total += rec.Value.(int64)
+	}
+	want := int64(0)
+	cfg := DefaultGeneratorConfig(5)
+	for i := int64(0); i < 10000; i++ {
+		if kindOf(cfg, i) == KindBid {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("processing-time counts sum to %d, want %d", total, want)
+	}
+}
+
+func TestQ13SideInputJoin(t *testing.T) {
+	sink := runQuery(t, "Q13", 5000)
+	if sink.Len() == 0 {
+		t.Fatal("Q13 produced nothing")
+	}
+	for _, rec := range sink.All()[:5] {
+		if rec.Value.(Result).S == "" {
+			t.Fatal("Q13 output missing side value")
+		}
+	}
+}
+
+func TestQ14Calculation(t *testing.T) {
+	sink := runQuery(t, "Q14", 5000)
+	if sink.Len() == 0 {
+		t.Fatal("Q14 produced nothing")
+	}
+	for _, rec := range sink.All() {
+		r := rec.Value.(Result)
+		if r.C <= 500 || (r.S != "normal" && r.S != "expensive") {
+			t.Fatalf("Q14 bad output: %+v", r)
+		}
+	}
+}
+
+func TestBuildUnknownQuery(t *testing.T) {
+	if _, err := Build("Q99", kafkasim.NewTopic("x", 1), kafkasim.NewSinkTopic(true), DefaultQueryConfig(1)); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestAllQueriesValidate(t *testing.T) {
+	for _, name := range QueryNames {
+		g, err := Build(name, kafkasim.NewTopic("x", 2), kafkasim.NewSinkTopic(true), DefaultQueryConfig(2))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Depth() < 2 {
+			t.Fatalf("%s depth = %d", name, g.Depth())
+		}
+	}
+}
+
+func TestQ9WinningBids(t *testing.T) {
+	sink := runQuery(t, "Q9", 20000)
+	if sink.Len() == 0 {
+		t.Fatal("Q9 produced nothing")
+	}
+	seen := map[uint64]bool{}
+	for _, rec := range sink.All() {
+		r := rec.Value.(Result)
+		if r.B <= 0 {
+			t.Fatalf("non-positive winning price: %+v", r)
+		}
+		if seen[r.A] {
+			t.Fatalf("auction %d won twice", r.A)
+		}
+		seen[r.A] = true
+	}
+}
+
+func TestGeneratorExtraPadding(t *testing.T) {
+	cfg := DefaultGeneratorConfig(9)
+	cfg.ExtraBytes = 40
+	c := EventCodec{}
+	for i := int64(0); i < 100; i++ {
+		ev := GenEvent(cfg, i, int64(i))
+		var extra string
+		switch ev.Kind {
+		case KindPerson:
+			extra = ev.Person.Extra
+		case KindAuction:
+			extra = ev.Auction.Extra
+		case KindBid:
+			extra = ev.Bid.Extra
+		}
+		if len(extra) != 40 {
+			t.Fatalf("event %d extra = %d bytes", i, len(extra))
+		}
+		// Padding is deterministic per event index.
+		again := GenEvent(cfg, i, int64(i))
+		b1, _ := c.EncodeAppend(nil, ev)
+		b2, _ := c.EncodeAppend(nil, again)
+		if string(b1) != string(b2) {
+			t.Fatalf("event %d padding not deterministic", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package operator
+
+import (
+	"clonos/internal/types"
+)
+
+// MapFunc transforms one record value; keep=false drops the record.
+type MapFunc func(ctx Context, e types.Element) (out any, keep bool, err error)
+
+// Map applies f to every record, preserving key and timestamp.
+func Map(name string, f MapFunc) Operator {
+	return &mapOp{Base{name}, f}
+}
+
+type mapOp struct {
+	Base
+	f MapFunc
+}
+
+func (m *mapOp) ProcessRecord(ctx Context, _ int, e types.Element) error {
+	out, keep, err := m.f(ctx, e)
+	if err != nil {
+		return err
+	}
+	if keep {
+		ctx.Emit(e.Key, e.Timestamp, out)
+	}
+	return nil
+}
+
+// Filter keeps records matching pred.
+func Filter(name string, pred func(ctx Context, e types.Element) (bool, error)) Operator {
+	return Map(name, func(ctx Context, e types.Element) (any, bool, error) {
+		ok, err := pred(ctx, e)
+		return e.Value, ok, err
+	})
+}
+
+// FlatMapFunc emits zero or more values for one record via emit.
+type FlatMapFunc func(ctx Context, e types.Element, emit func(key uint64, ts int64, v any)) error
+
+// FlatMap applies f to every record.
+func FlatMap(name string, f FlatMapFunc) Operator {
+	return &flatMapOp{Base{name}, f}
+}
+
+type flatMapOp struct {
+	Base
+	f FlatMapFunc
+}
+
+func (m *flatMapOp) ProcessRecord(ctx Context, _ int, e types.Element) error {
+	return m.f(ctx, e, ctx.Emit)
+}
+
+// ReduceFunc folds a record into the running accumulator for its key.
+type ReduceFunc func(ctx Context, acc any, e types.Element) (any, error)
+
+// KeyedReduce maintains one accumulator per key and emits the updated
+// accumulator after every record (a rolling reduce).
+func KeyedReduce(name string, f ReduceFunc) Operator {
+	return &reduceOp{Base{name}, f}
+}
+
+type reduceOp struct {
+	Base
+	f ReduceFunc
+}
+
+func (r *reduceOp) ProcessRecord(ctx Context, _ int, e types.Element) error {
+	st := ctx.State()
+	acc, err := r.f(ctx, st.Get(e.Key), e)
+	if err != nil {
+		return err
+	}
+	st.Put(e.Key, acc)
+	ctx.Emit(e.Key, e.Timestamp, acc)
+	return nil
+}
+
+// Process wraps a full Operator implementation from callbacks, for logic
+// that needs timers or multiple inputs without defining a new type.
+type Process struct {
+	Base
+	OnOpen    func(ctx Context) error
+	OnRecord  func(ctx Context, port int, e types.Element) error
+	OnWM      func(ctx Context, wm int64) error
+	OnProc    func(ctx Context, key uint64, when int64) error
+	OnEvent   func(ctx Context, key uint64, when int64) error
+	OnClosing func(ctx Context) error
+}
+
+// NewProcess builds a Process operator with the given name.
+func NewProcess(name string, onRecord func(ctx Context, port int, e types.Element) error) *Process {
+	return &Process{Base: Base{name}, OnRecord: onRecord}
+}
+
+// Open implements Operator.
+func (p *Process) Open(ctx Context) error {
+	if p.OnOpen != nil {
+		return p.OnOpen(ctx)
+	}
+	return nil
+}
+
+// ProcessRecord implements Operator.
+func (p *Process) ProcessRecord(ctx Context, port int, e types.Element) error {
+	if p.OnRecord != nil {
+		return p.OnRecord(ctx, port, e)
+	}
+	return nil
+}
+
+// OnWatermark implements Operator.
+func (p *Process) OnWatermark(ctx Context, wm int64) error {
+	if p.OnWM != nil {
+		return p.OnWM(ctx, wm)
+	}
+	return nil
+}
+
+// OnProcTimer implements Operator.
+func (p *Process) OnProcTimer(ctx Context, key uint64, when int64) error {
+	if p.OnProc != nil {
+		return p.OnProc(ctx, key, when)
+	}
+	return nil
+}
+
+// OnEventTimer implements Operator.
+func (p *Process) OnEventTimer(ctx Context, key uint64, when int64) error {
+	if p.OnEvent != nil {
+		return p.OnEvent(ctx, key, when)
+	}
+	return nil
+}
+
+// Close implements Operator.
+func (p *Process) Close(ctx Context) error {
+	if p.OnClosing != nil {
+		return p.OnClosing(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package operator defines the operator model executed by tasks: the
+// runtime context handed to user logic, the Operator interface for chained
+// (fused) operators, the Source interface for input vertices, and a
+// library of built-ins (map, filter, flatMap, reduce, process, windows,
+// joins, Kafka-sim connectors).
+package operator
+
+import (
+	"clonos/internal/services"
+	"clonos/internal/statestore"
+	"clonos/internal/types"
+)
+
+// Context is the runtime handed to operator callbacks. Implementations
+// are provided by the task runtime; all methods are main-thread only.
+type Context interface {
+	// Emit sends a record to the next operator in the chain (or to the
+	// task's output if this is the last operator).
+	Emit(key uint64, ts int64, value any)
+	// State returns the operator's scoped keyed-state store.
+	State() *statestore.KeyedState
+	// NamedState returns an additional scoped state by name.
+	NamedState(name string) *statestore.KeyedState
+	// Services returns the task's causal services (§4.2).
+	Services() *services.Services
+	// RegisterProcTimer arms a processing-time timer owned by this
+	// operator; firing is causally logged and replayable.
+	RegisterProcTimer(key uint64, whenMs int64)
+	// RegisterEventTimer arms an event-time timer owned by this
+	// operator; it fires deterministically on watermark advancement.
+	RegisterEventTimer(key uint64, whenMs int64)
+	// Watermark returns the task's current combined watermark.
+	Watermark() int64
+	// TaskID identifies the executing task instance.
+	TaskID() types.TaskID
+	// NumSubtasks reports the vertex parallelism.
+	NumSubtasks() int
+	// Epoch reports the task's current checkpoint epoch.
+	Epoch() uint64
+	// CausalDelta returns this task's serialized causal-log delta since
+	// the previous call — the §5.5 exactly-once-output payload a sink
+	// piggybacks on records written to external systems. It returns nil
+	// when causal logging is disabled.
+	CausalDelta() []byte
+}
+
+// ExternalRecoverable is implemented by sink operators whose external
+// output system stores piggybacked determinants (§5.5) and can return
+// them during the producer's recovery.
+type ExternalRecoverable interface {
+	// RecoverDeterminants returns the stored delta blobs of a producer
+	// task, in append order.
+	RecoverDeterminants(producer string) [][]byte
+}
+
+// CheckpointAware is implemented by operators that react to completed
+// checkpoints, e.g. to truncate determinants stored in external systems.
+// OnCheckpointComplete may be called from outside the task's main thread
+// and concurrently for the subtasks sharing the operator instance.
+type CheckpointAware interface {
+	OnCheckpointComplete(cp uint64)
+}
+
+// Operator is one chained operator. Implementations should embed Base and
+// override what they need.
+type Operator interface {
+	// Name is the operator's stable name, also its state scope.
+	Name() string
+	// Open is called once before any record, both on fresh starts and
+	// after state restore.
+	Open(ctx Context) error
+	// ProcessRecord handles one data record from the given input port
+	// (index of the vertex's input edge).
+	ProcessRecord(ctx Context, port int, e types.Element) error
+	// OnWatermark is called when the combined watermark advances, after
+	// due event timers have fired.
+	OnWatermark(ctx Context, wm int64) error
+	// OnProcTimer handles a processing-time timer owned by this operator.
+	OnProcTimer(ctx Context, key uint64, whenMs int64) error
+	// OnEventTimer handles an event-time timer owned by this operator.
+	OnEventTimer(ctx Context, key uint64, whenMs int64) error
+	// Close is called at shutdown.
+	Close(ctx Context) error
+}
+
+// Base provides no-op defaults for Operator.
+type Base struct{ OpName string }
+
+// Name implements Operator.
+func (b Base) Name() string { return b.OpName }
+
+// Open implements Operator.
+func (Base) Open(Context) error { return nil }
+
+// ProcessRecord implements Operator.
+func (Base) ProcessRecord(Context, int, types.Element) error { return nil }
+
+// OnWatermark implements Operator.
+func (Base) OnWatermark(Context, int64) error { return nil }
+
+// OnProcTimer implements Operator.
+func (Base) OnProcTimer(Context, uint64, int64) error { return nil }
+
+// OnEventTimer implements Operator.
+func (Base) OnEventTimer(Context, uint64, int64) error { return nil }
+
+// Close implements Operator.
+func (Base) Close(Context) error { return nil }
+
+// Source produces a vertex's input. Poll must be deterministic given
+// operator state: typically it reads a replayable log at an offset kept
+// in state, so recovery replays the identical element sequence.
+type Source interface {
+	// Name is the source's stable name and state scope.
+	Name() string
+	// Open is called once before polling starts.
+	Open(ctx Context) error
+	// Poll returns the next batch of elements (records and watermarks),
+	// or an empty batch when nothing is available right now. done
+	// reports end of input.
+	Poll(ctx Context) (batch []types.Element, done bool, err error)
+	// Close is called at shutdown.
+	Close(ctx Context) error
+}

@@ -1,0 +1,305 @@
+// Package services implements the causal services of Clonos §4.2: the
+// programming abstraction that hides causal logging and recovery from UDF
+// authors. Under normal operation a service executes its nondeterministic
+// logic and appends the result to the causal log; during causally guided
+// recovery it returns the logged result instead.
+package services
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"clonos/internal/causal"
+)
+
+// Well-known service IDs for SERVICE determinants.
+const (
+	// ServiceHTTP identifies external-world (HTTP) call responses.
+	ServiceHTTP uint16 = 1
+	// ServiceCustomBase is the first ID handed to user-built services.
+	ServiceCustomBase uint16 = 100
+)
+
+// Logger is the slice of the causal manager the services append to.
+type Logger interface {
+	AppendTimestamp(ms int64)
+	AppendRNG(seed int64)
+	AppendService(id uint16, payload []byte)
+}
+
+// Replayer supplies logged determinants during causally guided recovery.
+// Replaying reports whether the task is still consuming its recovered
+// determinant log; Next consumes the next main-thread determinant, which
+// must be of the given kind.
+type Replayer interface {
+	Replaying() bool
+	Next(kind causal.Kind) (causal.Determinant, error)
+}
+
+// Services is the per-task causal service registry handed to operators
+// through their runtime context.
+type Services struct {
+	log   Logger
+	rep   Replayer
+	clock func() int64
+	world *ExternalWorld
+
+	// Timestamp service caching (§4.2 "Wall-Clock Time"): the cached
+	// value refreshes at most once per granularity via a logged timer,
+	// cutting determinant volume by orders of magnitude.
+	granMs      int64
+	cached      int64
+	cachedValid bool
+	readSince   bool
+	armRefresh  func(whenMs int64)
+
+	// RNG service: one seed per epoch, drawn lazily and logged.
+	rng       *rand.Rand
+	seedFresh bool
+	seedFn    func() int64
+
+	nextCustom uint16
+}
+
+// Config configures a task's services.
+type Config struct {
+	// Clock returns wall time in Unix ms; nil uses the real clock.
+	Clock func() int64
+	// TimestampGranularityMs is the cache refresh period; 0 logs every
+	// timestamp call individually.
+	TimestampGranularityMs int64
+	// World is the simulated external world for HTTP calls; nil
+	// disables the HTTP service.
+	World *ExternalWorld
+	// SeedSource draws fresh RNG seeds; nil derives them from the clock.
+	SeedSource func() int64
+}
+
+// New builds the service registry. log receives determinants; rep serves
+// them back during recovery; armRefresh (may be nil) registers the
+// timestamp-cache refresh timer with the task's timer service.
+func New(cfg Config, log Logger, rep Replayer, armRefresh func(whenMs int64)) *Services {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixMilli() }
+	}
+	seedFn := cfg.SeedSource
+	if seedFn == nil {
+		seedFn = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Services{
+		log:        log,
+		rep:        rep,
+		clock:      clock,
+		world:      cfg.World,
+		granMs:     cfg.TimestampGranularityMs,
+		armRefresh: armRefresh,
+		seedFresh:  true,
+		seedFn:     seedFn,
+		nextCustom: ServiceCustomBase,
+	}
+}
+
+// CurrentTimeMillis is the Timestamp service: nondeterministic wall-clock
+// reads made replayable. With a positive granularity, only cache refreshes
+// generate TS determinants; reads in between return the cached value
+// deterministically.
+func (s *Services) CurrentTimeMillis() (int64, error) {
+	if s.granMs > 0 && s.cachedValid {
+		s.readSince = true
+		return s.cached, nil
+	}
+	ts, err := s.freshTimestamp()
+	if err != nil {
+		return 0, err
+	}
+	if s.granMs > 0 {
+		s.cached = ts
+		s.cachedValid = true
+		s.readSince = false
+		if s.armRefresh != nil {
+			s.armRefresh(ts + s.granMs)
+		}
+	}
+	return ts, nil
+}
+
+// freshTimestamp generates (or replays) one TS determinant.
+func (s *Services) freshTimestamp() (int64, error) {
+	if s.rep != nil && s.rep.Replaying() {
+		d, err := s.rep.Next(causal.KindTimestamp)
+		if err != nil {
+			return 0, err
+		}
+		s.log.AppendTimestamp(d.Value)
+		return d.Value, nil
+	}
+	ts := s.clock()
+	s.log.AppendTimestamp(ts)
+	return ts, nil
+}
+
+// OnRefreshTimer is invoked by the task when the timestamp-cache refresh
+// timer fires (a logged, replayable event). It refreshes the cache and
+// re-arms the timer only if reads occurred since the last refresh.
+func (s *Services) OnRefreshTimer() error {
+	if !s.readSince {
+		s.cachedValid = false
+		return nil
+	}
+	ts, err := s.freshTimestamp()
+	if err != nil {
+		return err
+	}
+	s.cached = ts
+	s.readSince = false
+	if s.armRefresh != nil {
+		s.armRefresh(ts + s.granMs)
+	}
+	return nil
+}
+
+// StartEpoch resets per-epoch service state: the next RNG use draws and
+// logs a fresh seed (§4.2 "Random Numbers"), and the timestamp cache is
+// invalidated so its validity is a deterministic function of the current
+// epoch alone — a recovering standby starts the epoch with exactly this
+// state, so cache hits and misses replay identically.
+func (s *Services) StartEpoch() {
+	s.seedFresh = true
+	s.cachedValid = false
+	s.readSince = false
+}
+
+// Random returns the epoch-seeded deterministic RNG, drawing and logging
+// the seed on first use in the epoch.
+func (s *Services) Random() (*rand.Rand, error) {
+	if s.seedFresh {
+		var seed int64
+		if s.rep != nil && s.rep.Replaying() {
+			d, err := s.rep.Next(causal.KindRNG)
+			if err != nil {
+				return nil, err
+			}
+			seed = d.Value
+		} else {
+			seed = s.seedFn()
+		}
+		s.log.AppendRNG(seed)
+		s.rng = rand.New(rand.NewSource(seed))
+		s.seedFresh = false
+	}
+	return s.rng, nil
+}
+
+// RandomInt63 draws one value from the RNG service.
+func (s *Services) RandomInt63() (int64, error) {
+	r, err := s.Random()
+	if err != nil {
+		return 0, err
+	}
+	return r.Int63(), nil
+}
+
+// HTTPGet is the HTTP service: it calls the external world and logs the
+// response so recovery replays the identical payload without re-issuing
+// the call.
+func (s *Services) HTTPGet(url string) ([]byte, error) {
+	return s.applyService(ServiceHTTP, func() ([]byte, error) {
+		if s.world == nil {
+			return nil, fmt.Errorf("services: no external world configured")
+		}
+		return s.world.Get(url), nil
+	})
+}
+
+// applyService runs f (or replays its logged result) for service id.
+func (s *Services) applyService(id uint16, f func() ([]byte, error)) ([]byte, error) {
+	if s.rep != nil && s.rep.Replaying() {
+		d, err := s.rep.Next(causal.KindService)
+		if err != nil {
+			return nil, err
+		}
+		if d.ServiceID != id {
+			return nil, fmt.Errorf("services: replay expected service %d, log has %d", id, d.ServiceID)
+		}
+		s.log.AppendService(id, d.Payload)
+		return d.Payload, nil
+	}
+	out, err := f()
+	if err != nil {
+		return nil, err
+	}
+	s.log.AppendService(id, out)
+	return out, nil
+}
+
+// Custom is a user-defined causal service (§4.2 Listing 2): arbitrary
+// nondeterministic logic whose serialized output is logged and replayed
+// transparently.
+type Custom struct {
+	id  uint16
+	svc *Services
+	f   func(input []byte) ([]byte, error)
+}
+
+// BuildService registers a user-defined nondeterministic function as a
+// causal service. Services must be built in a deterministic order at
+// operator setup so IDs are stable across task incarnations.
+func (s *Services) BuildService(f func(input []byte) ([]byte, error)) *Custom {
+	id := s.nextCustom
+	s.nextCustom++
+	return &Custom{id: id, svc: s, f: f}
+}
+
+// Apply runs the service on input under normal operation, or replays the
+// logged output during recovery.
+func (c *Custom) Apply(input []byte) ([]byte, error) {
+	return c.svc.applyService(c.id, func() ([]byte, error) { return c.f(input) })
+}
+
+// ExternalWorld simulates external systems reachable from UDFs. Responses
+// change on every call (a per-URL version counter), so re-executing a call
+// during recovery would observe a different answer — exactly the
+// divergence causal logging must mask.
+type ExternalWorld struct {
+	mu       sync.Mutex
+	versions map[string]uint64
+	// Handler, when set, computes responses; the default encodes the
+	// URL with its version counter.
+	Handler func(url string, version uint64) []byte
+	calls   uint64
+}
+
+// NewExternalWorld creates a fresh world.
+func NewExternalWorld() *ExternalWorld {
+	return &ExternalWorld{versions: make(map[string]uint64)}
+}
+
+// Get performs one call; every call advances the URL's version.
+func (w *ExternalWorld) Get(url string) []byte {
+	w.mu.Lock()
+	w.versions[url]++
+	v := w.versions[url]
+	w.calls++
+	h := w.Handler
+	w.mu.Unlock()
+	if h != nil {
+		return h(url, v)
+	}
+	out := make([]byte, 0, len(url)+9)
+	out = append(out, url...)
+	out = append(out, '#')
+	out = binary.BigEndian.AppendUint64(out, v)
+	return out
+}
+
+// Calls reports the total number of calls served; tests use it to verify
+// recovery does not re-issue external calls.
+func (w *ExternalWorld) Calls() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.calls
+}

@@ -1,0 +1,294 @@
+package services
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"clonos/internal/causal"
+)
+
+// recorder implements Logger, collecting appended determinants.
+type recorder struct {
+	dets []causal.Determinant
+}
+
+func (r *recorder) AppendTimestamp(ms int64) {
+	r.dets = append(r.dets, causal.Determinant{Kind: causal.KindTimestamp, Value: ms})
+}
+func (r *recorder) AppendRNG(seed int64) {
+	r.dets = append(r.dets, causal.Determinant{Kind: causal.KindRNG, Value: seed})
+}
+func (r *recorder) AppendService(id uint16, payload []byte) {
+	r.dets = append(r.dets, causal.Determinant{Kind: causal.KindService, ServiceID: id, Payload: payload})
+}
+
+// replayer implements Replayer over a recorded determinant list.
+type replayer struct {
+	dets []causal.Determinant
+	pos  int
+}
+
+func (r *replayer) Replaying() bool { return r.pos < len(r.dets) }
+func (r *replayer) Next(kind causal.Kind) (causal.Determinant, error) {
+	if r.pos >= len(r.dets) {
+		return causal.Determinant{}, fmt.Errorf("replayer: log exhausted")
+	}
+	d := r.dets[r.pos]
+	if d.Kind != kind {
+		return causal.Determinant{}, fmt.Errorf("replayer: want %v, log has %v", kind, d.Kind)
+	}
+	r.pos++
+	return d, nil
+}
+
+func TestTimestampUncachedLogsEveryCall(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1000)
+	rec := &recorder{}
+	s := New(Config{Clock: now.Load, TimestampGranularityMs: 0}, rec, nil, nil)
+	ts1, err := s.CurrentTimeMillis()
+	if err != nil || ts1 != 1000 {
+		t.Fatalf("ts1=%d err=%v", ts1, err)
+	}
+	now.Store(1001)
+	ts2, _ := s.CurrentTimeMillis()
+	if ts2 != 1001 {
+		t.Fatalf("ts2=%d", ts2)
+	}
+	if len(rec.dets) != 2 {
+		t.Fatalf("logged %d determinants, want 2", len(rec.dets))
+	}
+}
+
+func TestTimestampCachedReducesDeterminants(t *testing.T) {
+	var now atomic.Int64
+	now.Store(5000)
+	rec := &recorder{}
+	var armed []int64
+	s := New(Config{Clock: now.Load, TimestampGranularityMs: 10}, rec, nil, func(when int64) { armed = append(armed, when) })
+	for i := 0; i < 100; i++ {
+		if _, err := s.CurrentTimeMillis(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.dets) != 1 {
+		t.Fatalf("logged %d determinants for 100 reads, want 1", len(rec.dets))
+	}
+	if len(armed) != 1 || armed[0] != 5010 {
+		t.Fatalf("armed = %v", armed)
+	}
+	// Refresh with reads pending: logs a new TS, re-arms.
+	now.Store(5010)
+	if err := s.OnRefreshTimer(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.dets) != 2 || len(armed) != 2 {
+		t.Fatalf("after refresh: dets=%d armed=%d", len(rec.dets), len(armed))
+	}
+	ts, _ := s.CurrentTimeMillis()
+	if ts != 5010 {
+		t.Fatalf("cached ts = %d", ts)
+	}
+	// Refresh with no reads: cache invalidated, no new determinant.
+	s.readSince = false
+	nDets := len(rec.dets)
+	if err := s.OnRefreshTimer(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.dets) != nDets {
+		t.Fatal("idle refresh logged a determinant")
+	}
+	if s.cachedValid {
+		t.Fatal("idle refresh kept cache valid")
+	}
+}
+
+func TestTimestampReplayReturnsLoggedValues(t *testing.T) {
+	// Original run.
+	var now atomic.Int64
+	now.Store(100)
+	rec := &recorder{}
+	s := New(Config{Clock: now.Load}, rec, nil, nil)
+	a, _ := s.CurrentTimeMillis()
+	now.Store(200)
+	b, _ := s.CurrentTimeMillis()
+
+	// Recovery run with a different wall clock.
+	rep := &replayer{dets: rec.dets}
+	rec2 := &recorder{}
+	var wrong atomic.Int64
+	wrong.Store(99999)
+	s2 := New(Config{Clock: wrong.Load}, rec2, rep, nil)
+	ra, _ := s2.CurrentTimeMillis()
+	rb, _ := s2.CurrentTimeMillis()
+	if ra != a || rb != b {
+		t.Fatalf("replay returned %d,%d want %d,%d", ra, rb, a, b)
+	}
+	// Replay re-appends, rebuilding the log identically.
+	if len(rec2.dets) != 2 || rec2.dets[0].Value != a {
+		t.Fatalf("rebuilt log = %v", rec2.dets)
+	}
+	// Log exhausted: live mode resumes on the new clock.
+	rc, _ := s2.CurrentTimeMillis()
+	if rc != 99999 {
+		t.Fatalf("post-replay ts = %d", rc)
+	}
+}
+
+func TestRNGSeedPerEpochAndReplay(t *testing.T) {
+	rec := &recorder{}
+	seed := int64(40)
+	s := New(Config{SeedSource: func() int64 { seed++; return seed }}, rec, nil, nil)
+	v1, err := s.RandomInt63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := s.RandomInt63()
+	if len(rec.dets) != 1 {
+		t.Fatalf("logged %d seeds, want 1", len(rec.dets))
+	}
+	s.StartEpoch()
+	v3, _ := s.RandomInt63()
+	if len(rec.dets) != 2 {
+		t.Fatalf("logged %d seeds after new epoch, want 2", len(rec.dets))
+	}
+
+	// Replay: same values despite a different seed source.
+	rep := &replayer{dets: rec.dets}
+	s2 := New(Config{SeedSource: func() int64 { return 777 }}, &recorder{}, rep, nil)
+	r1, _ := s2.RandomInt63()
+	r2, _ := s2.RandomInt63()
+	s2.StartEpoch()
+	r3, _ := s2.RandomInt63()
+	if r1 != v1 || r2 != v2 || r3 != v3 {
+		t.Fatalf("replay = %d,%d,%d want %d,%d,%d", r1, r2, r3, v1, v2, v3)
+	}
+}
+
+func TestHTTPServiceLogsAndReplays(t *testing.T) {
+	world := NewExternalWorld()
+	rec := &recorder{}
+	s := New(Config{World: world}, rec, nil, nil)
+	a, err := s.HTTPGet("svc/stock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.HTTPGet("svc/stock")
+	if string(a) == string(b) {
+		t.Fatal("external world returned identical responses; nondeterminism not simulated")
+	}
+	calls := world.Calls()
+
+	rep := &replayer{dets: rec.dets}
+	s2 := New(Config{World: world}, &recorder{}, rep, nil)
+	ra, _ := s2.HTTPGet("svc/stock")
+	rb, _ := s2.HTTPGet("svc/stock")
+	if string(ra) != string(a) || string(rb) != string(b) {
+		t.Fatal("replayed responses differ from logged ones")
+	}
+	if world.Calls() != calls {
+		t.Fatal("recovery re-issued external calls")
+	}
+}
+
+func TestHTTPServiceWithoutWorld(t *testing.T) {
+	s := New(Config{}, &recorder{}, nil, nil)
+	if _, err := s.HTTPGet("x"); err == nil {
+		t.Fatal("HTTPGet without world succeeded")
+	}
+}
+
+func TestCustomServiceRoundTrip(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	s := New(Config{}, rec, nil, nil)
+	svc := s.BuildService(func(input []byte) ([]byte, error) {
+		calls++
+		return append([]byte("out:"), input...), nil
+	})
+	out, err := svc.Apply([]byte("in"))
+	if err != nil || string(out) != "out:in" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+
+	// Replay never invokes the user function.
+	rep := &replayer{dets: rec.dets}
+	s2 := New(Config{}, &recorder{}, rep, nil)
+	svc2 := s2.BuildService(func(input []byte) ([]byte, error) {
+		t.Fatal("user function invoked during replay")
+		return nil, nil
+	})
+	out2, err := svc2.Apply([]byte("ignored"))
+	if err != nil || string(out2) != "out:in" {
+		t.Fatalf("replay out=%q err=%v", out2, err)
+	}
+}
+
+func TestCustomServiceStableIDs(t *testing.T) {
+	s := New(Config{}, &recorder{}, nil, nil)
+	a := s.BuildService(func(b []byte) ([]byte, error) { return b, nil })
+	b := s.BuildService(func(b []byte) ([]byte, error) { return b, nil })
+	if a.id != ServiceCustomBase || b.id != ServiceCustomBase+1 {
+		t.Fatalf("ids = %d,%d", a.id, b.id)
+	}
+}
+
+func TestServiceReplayKindMismatch(t *testing.T) {
+	rep := &replayer{dets: []causal.Determinant{{Kind: causal.KindTimestamp, Value: 5}}}
+	s := New(Config{World: NewExternalWorld()}, &recorder{}, rep, nil)
+	if _, err := s.HTTPGet("x"); err == nil {
+		t.Fatal("kind mismatch not detected")
+	}
+}
+
+func TestServiceReplayIDMismatch(t *testing.T) {
+	rep := &replayer{dets: []causal.Determinant{{Kind: causal.KindService, ServiceID: 42, Payload: []byte("x")}}}
+	s := New(Config{World: NewExternalWorld()}, &recorder{}, rep, nil)
+	if _, err := s.HTTPGet("x"); err == nil {
+		t.Fatal("service ID mismatch not detected")
+	}
+}
+
+func TestExternalWorldCustomHandler(t *testing.T) {
+	w := NewExternalWorld()
+	w.Handler = func(url string, v uint64) []byte { return []byte(fmt.Sprintf("%s@%d", url, v)) }
+	if got := string(w.Get("a")); got != "a@1" {
+		t.Fatalf("got %q", got)
+	}
+	if got := string(w.Get("a")); got != "a@2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStartEpochResetsTimestampCache(t *testing.T) {
+	var now atomic.Int64
+	now.Store(100)
+	rec := &recorder{}
+	s := New(Config{Clock: now.Load, TimestampGranularityMs: 10}, rec, nil, nil)
+	if _, err := s.CurrentTimeMillis(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.dets) != 1 {
+		t.Fatalf("dets = %d", len(rec.dets))
+	}
+	// Within the epoch a second read hits the cache.
+	if _, err := s.CurrentTimeMillis(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.dets) != 1 {
+		t.Fatal("cache hit logged a determinant")
+	}
+	// Across the epoch boundary the cache must invalidate so a standby
+	// replaying the new epoch observes the same miss.
+	s.StartEpoch()
+	if _, err := s.CurrentTimeMillis(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.dets) < 2 {
+		t.Fatal("post-epoch read did not log a fresh timestamp")
+	}
+}

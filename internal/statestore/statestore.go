@@ -1,0 +1,240 @@
+// Package statestore implements the keyed operator state backend: named
+// keyed states with snapshot/restore to opaque bytes, used both by
+// checkpoints and by live state transfer to standby tasks.
+package statestore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Register makes a concrete value type encodable inside snapshots. Every
+// type stored as a state value must be registered once (encoding/gob
+// requirement); built-in scalar types work without registration.
+func Register(v any) { gob.Register(v) }
+
+func init() {
+	// List-state values are []any; register once for all users.
+	gob.Register([]any{})
+}
+
+// KeyedState is one named map from partitioning key to value. Access is
+// single-threaded (the task's main loop), so no locking is done here.
+// Mutations are tracked in a dirty set so incremental snapshots (§6.4)
+// can ship only the keys changed since the previous snapshot.
+type KeyedState struct {
+	name  string
+	data  map[uint64]any
+	dirty map[uint64]struct{}
+}
+
+func (k *KeyedState) markDirty(key uint64) {
+	if k.dirty == nil {
+		k.dirty = make(map[uint64]struct{})
+	}
+	k.dirty[key] = struct{}{}
+}
+
+// Name returns the state's registered name.
+func (k *KeyedState) Name() string { return k.name }
+
+// Get returns the value for key, or nil when absent.
+func (k *KeyedState) Get(key uint64) any { return k.data[key] }
+
+// Put stores v under key.
+func (k *KeyedState) Put(key uint64, v any) {
+	k.data[key] = v
+	k.markDirty(key)
+}
+
+// Delete removes key.
+func (k *KeyedState) Delete(key uint64) {
+	delete(k.data, key)
+	k.markDirty(key)
+}
+
+// Len reports the number of keys.
+func (k *KeyedState) Len() int { return len(k.data) }
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified; state mutations that depend on it must sort first (see
+// SortedKeys).
+func (k *KeyedState) Range(f func(key uint64, v any) bool) {
+	for key, v := range k.data {
+		if !f(key, v) {
+			return
+		}
+	}
+}
+
+// SortedKeys returns all keys in ascending order, for deterministic
+// iteration (window firing must not depend on map order).
+func (k *KeyedState) SortedKeys() []uint64 {
+	keys := make([]uint64, 0, len(k.data))
+	for key := range k.data {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// AppendList treats the value under key as a []any list and appends v.
+func (k *KeyedState) AppendList(key uint64, v any) {
+	list, _ := k.data[key].([]any)
+	k.Put(key, append(list, v))
+}
+
+// List returns the []any list under key (nil when absent).
+func (k *KeyedState) List(key uint64) []any {
+	list, _ := k.data[key].([]any)
+	return list
+}
+
+// Clear removes every entry.
+func (k *KeyedState) Clear() {
+	for key := range k.data {
+		k.markDirty(key)
+	}
+	k.data = make(map[uint64]any)
+}
+
+// Store holds all named keyed states of one task.
+type Store struct {
+	states map[string]*KeyedState
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{states: make(map[string]*KeyedState)}
+}
+
+// Keyed returns the named keyed state, creating it on first use.
+func (s *Store) Keyed(name string) *KeyedState {
+	st, ok := s.states[name]
+	if !ok {
+		st = &KeyedState{name: name, data: make(map[uint64]any)}
+		s.states[name] = st
+	}
+	return st
+}
+
+// Names returns the registered state names in sorted order.
+func (s *Store) Names() []string {
+	names := make([]string, 0, len(s.states))
+	for n := range s.states {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalEntries reports the number of (state, key) entries, an inexpensive
+// size proxy used by metrics.
+func (s *Store) TotalEntries() int {
+	n := 0
+	for _, st := range s.states {
+		n += len(st.data)
+	}
+	return n
+}
+
+// Snapshot serializes every state to bytes.
+func (s *Store) Snapshot() ([]byte, error) {
+	flat := make(map[string]map[uint64]any, len(s.states))
+	for name, st := range s.states {
+		flat[name] = st.data
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		return nil, fmt.Errorf("statestore: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the store contents with a snapshot produced by
+// Snapshot. A nil snapshot restores the empty store. Dirty tracking is
+// reset: the next delta snapshot is computed against the restore point.
+func (s *Store) Restore(snapshot []byte) error {
+	s.states = make(map[string]*KeyedState)
+	if len(snapshot) == 0 {
+		return nil
+	}
+	var flat map[string]map[uint64]any
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&flat); err != nil {
+		return fmt.Errorf("statestore: restore: %w", err)
+	}
+	for name, data := range flat {
+		if data == nil {
+			data = make(map[uint64]any)
+		}
+		s.states[name] = &KeyedState{name: name, data: data}
+	}
+	return nil
+}
+
+// delta is the serialized form of an incremental snapshot: the changed
+// entries and deleted keys of every state since the previous snapshot.
+type delta struct {
+	Changes map[string]map[uint64]any
+	Deletes map[string][]uint64
+}
+
+// DeltaSnapshot serializes only the entries changed since the previous
+// (full or delta) snapshot and resets the dirty sets — the §6.4
+// incremental checkpoint: the dispatch cost depends on the state's delta
+// rather than its absolute size.
+func (s *Store) DeltaSnapshot() ([]byte, error) {
+	d := delta{Changes: make(map[string]map[uint64]any), Deletes: make(map[string][]uint64)}
+	for name, st := range s.states {
+		for key := range st.dirty {
+			if v, ok := st.data[key]; ok {
+				m := d.Changes[name]
+				if m == nil {
+					m = make(map[uint64]any)
+					d.Changes[name] = m
+				}
+				m[key] = v
+			} else {
+				d.Deletes[name] = append(d.Deletes[name], key)
+			}
+		}
+		st.dirty = nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("statestore: delta snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ResetDirty clears dirty tracking without snapshotting (used right after
+// a full snapshot, whose delta baseline is the full image).
+func (s *Store) ResetDirty() {
+	for _, st := range s.states {
+		st.dirty = nil
+	}
+}
+
+// ApplyDelta merges a DeltaSnapshot into the store — the snapshot-store
+// side of incremental checkpointing, reconstructing the full image.
+func (s *Store) ApplyDelta(b []byte) error {
+	var d delta
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&d); err != nil {
+		return fmt.Errorf("statestore: apply delta: %w", err)
+	}
+	for name, changes := range d.Changes {
+		st := s.Keyed(name)
+		for key, v := range changes {
+			st.data[key] = v
+		}
+	}
+	for name, keys := range d.Deletes {
+		st := s.Keyed(name)
+		for _, key := range keys {
+			delete(st.data, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package synthetic
+
+import (
+	"testing"
+	"time"
+
+	"clonos/internal/job"
+	"clonos/internal/kafkasim"
+	"clonos/internal/types"
+)
+
+func TestBuildShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = 4
+	g := Build(kafkasim.NewTopic("s", 2), kafkasim.NewSinkTopic(true), cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// source + depth stages + sink
+	if len(g.Vertices) != cfg.Depth+2 {
+		t.Fatalf("vertices = %d", len(g.Vertices))
+	}
+	if g.Depth() != cfg.Depth+1 {
+		t.Fatalf("graph depth = %d", g.Depth())
+	}
+}
+
+func TestPipelineDeliversAllRecords(t *testing.T) {
+	cfg := DefaultConfig()
+	topic := kafkasim.NewTopic("s", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	const n = 2000
+	FillDeterministic(topic, cfg, n, 1000, 1)
+	g := Build(topic, sink, cfg)
+	jcfg := job.DefaultConfig()
+	jcfg.CheckpointInterval = 200 * time.Millisecond
+	r, err := job.NewRuntime(g, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	if sink.Len() != n {
+		t.Fatalf("sink = %d, want %d", sink.Len(), n)
+	}
+}
+
+func TestPipelineSurvivesMidStageFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = 3
+	topic := kafkasim.NewTopic("s", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := Build(topic, sink, cfg)
+	jcfg := job.DefaultConfig()
+	jcfg.CheckpointInterval = 200 * time.Millisecond
+	jcfg.HeartbeatTimeout = 250 * time.Millisecond
+	r, err := job.NewRuntime(g, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	const n = 5000
+	gen := Drive(topic, cfg, 8000, n)
+	gen.Start()
+	defer gen.Stop()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for r.LatestCompletedCheckpoint() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint: %v", r.Errors())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := r.InjectFailure(types.TaskID{Vertex: 2, Subtask: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(90 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	if sink.Len() != n {
+		t.Fatalf("sink = %d, want %d (exactly-once)", sink.Len(), n)
+	}
+}
+
+func TestStageStateGrows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = 1
+	cfg.Keys = 8
+	cfg.StateBytesPerKey = 64
+	topic := kafkasim.NewTopic("s", 1)
+	sink := kafkasim.NewSinkTopic(true)
+	FillDeterministic(topic, cfg, 100, 0, 1)
+	g := Build(topic, sink, cfg)
+	r, err := job.NewRuntime(g, job.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if !r.WaitFinished(30 * time.Second) {
+		t.Fatalf("did not finish: %v", r.Errors())
+	}
+	if sink.Len() != 100 {
+		t.Fatalf("sink = %d", sink.Len())
+	}
+}

@@ -1,0 +1,329 @@
+// Package timers implements a task's timer service: processing-time timers
+// driven by the wall clock on a dedicated thread (a source of
+// nondeterminism, captured by TIMER determinants) and event-time timers
+// fired deterministically by watermark advancement.
+package timers
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer identifies one pending timer instance. HandlerID selects the
+// callback registered by the operator chain at setup time (stable across
+// task incarnations); Key scopes it to a partition key; When is the firing
+// deadline in Unix milliseconds.
+type Timer struct {
+	HandlerID int32
+	Key       uint64
+	When      int64
+}
+
+func less(a, b Timer) bool {
+	if a.When != b.When {
+		return a.When < b.When
+	}
+	if a.HandlerID != b.HandlerID {
+		return a.HandlerID < b.HandlerID
+	}
+	return a.Key < b.Key
+}
+
+// set is a deduplicating ordered collection of timers.
+type set struct {
+	items map[Timer]struct{}
+}
+
+func newSet() *set { return &set{items: make(map[Timer]struct{})} }
+
+func (s *set) add(t Timer) bool {
+	if _, ok := s.items[t]; ok {
+		return false
+	}
+	s.items[t] = struct{}{}
+	return true
+}
+
+func (s *set) remove(t Timer) bool {
+	if _, ok := s.items[t]; !ok {
+		return false
+	}
+	delete(s.items, t)
+	return true
+}
+
+// due removes and returns all timers with When <= bound, sorted.
+func (s *set) due(bound int64) []Timer {
+	var out []Timer
+	for t := range s.items {
+		if t.When <= bound {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	for _, t := range out {
+		delete(s.items, t)
+	}
+	return out
+}
+
+func (s *set) earliest() (Timer, bool) {
+	var best Timer
+	found := false
+	for t := range s.items {
+		if !found || less(t, best) {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (s *set) all() []Timer {
+	out := make([]Timer, 0, len(s.items))
+	for t := range s.items {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Service manages a task's pending timers.
+//
+// Processing-time timers fire from a dedicated goroutine via the fire
+// callback (the task routes this into its mailbox, serializing it with
+// record processing and logging a TIMER determinant). Event-time timers
+// fire synchronously from the main loop on watermark advancement and need
+// no determinant — watermarks are in-stream and replayed.
+type Service struct {
+	mu    sync.Mutex
+	proc  *set
+	event *set
+	clock func() int64
+	fire  func(Timer)
+	live  bool
+	stop  chan struct{}
+	wake  chan struct{}
+	done  sync.WaitGroup
+}
+
+// NewService builds a timer service. clock returns the wall time in Unix
+// ms; fire is invoked from the timer thread for each due processing-time
+// timer while the service is live.
+func NewService(clock func() int64, fire func(Timer)) *Service {
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixMilli() }
+	}
+	return &Service{
+		proc:  newSet(),
+		event: newSet(),
+		clock: clock,
+		fire:  fire,
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// RegisterProc arms a processing-time timer. Duplicate registrations are
+// idempotent.
+func (s *Service) RegisterProc(t Timer) {
+	s.mu.Lock()
+	added := s.proc.add(t)
+	s.mu.Unlock()
+	if added {
+		s.kick()
+	}
+}
+
+// CancelProc disarms a processing-time timer; reports whether it existed.
+func (s *Service) CancelProc(t Timer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proc.remove(t)
+}
+
+// TakeProc removes a pending processing-time timer during determinant
+// replay (the logged firing consumed it). Reports whether it was pending.
+func (s *Service) TakeProc(t Timer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proc.remove(t)
+}
+
+// RegisterEvent arms an event-time timer.
+func (s *Service) RegisterEvent(t Timer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.event.add(t)
+}
+
+// CancelEvent disarms an event-time timer.
+func (s *Service) CancelEvent(t Timer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.event.remove(t)
+}
+
+// AdvanceWatermark removes and returns, in deterministic order, all
+// event-time timers due at the given watermark.
+func (s *Service) AdvanceWatermark(wm int64) []Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.event.due(wm)
+}
+
+// DrainProc removes and returns every armed processing-time timer whose
+// handler passes keep, in deterministic order. Tasks use it at
+// end-of-stream so bounded jobs flush pending processing-time windows.
+func (s *Service) DrainProc(keep func(Timer) bool) []Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Timer
+	for t := range s.proc.items {
+		if keep == nil || keep(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	for _, t := range out {
+		delete(s.proc.items, t)
+	}
+	return out
+}
+
+// PendingProc reports the number of armed processing-time timers.
+func (s *Service) PendingProc() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.proc.items)
+}
+
+// PendingEvent reports the number of armed event-time timers.
+func (s *Service) PendingEvent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.event.items)
+}
+
+// SetLive toggles real firing. While not live (during causally guided
+// recovery) the timer thread parks and lets determinant replay drive
+// firings.
+func (s *Service) SetLive(live bool) {
+	s.mu.Lock()
+	s.live = live
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Start launches the processing-time thread.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	stop := s.stop
+	s.mu.Unlock()
+	s.done.Add(1)
+	go s.run(stop)
+}
+
+// Stop terminates the processing-time thread and waits for it.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	stop := s.stop
+	s.stop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.done.Wait()
+	}
+}
+
+func (s *Service) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Service) run(stop chan struct{}) {
+	defer s.done.Done()
+	const idle = 50 * time.Millisecond
+	for {
+		s.mu.Lock()
+		live := s.live
+		now := s.clock()
+		var fired []Timer
+		var wait time.Duration = idle
+		if live {
+			fired = s.proc.due(now)
+			if next, ok := s.proc.earliest(); ok {
+				if d := time.Duration(next.When-now) * time.Millisecond; d < wait {
+					wait = d
+				}
+			}
+		}
+		fire := s.fire
+		s.mu.Unlock()
+		if fire != nil {
+			for _, t := range fired {
+				fire(t)
+			}
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-s.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// snapshotState is the serialized form of pending timers.
+type snapshotState struct {
+	Proc  []Timer
+	Event []Timer
+}
+
+// Snapshot serializes all pending timers for inclusion in a checkpoint.
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	st := snapshotState{Proc: s.proc.all(), Event: s.event.all()}
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces pending timers from a snapshot.
+func (s *Service) Restore(b []byte) error {
+	st := snapshotState{}
+	if len(b) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proc = newSet()
+	s.event = newSet()
+	for _, t := range st.Proc {
+		s.proc.add(t)
+	}
+	for _, t := range st.Event {
+		s.event.add(t)
+	}
+	return nil
+}
