@@ -1,0 +1,26 @@
+# Run the engine's test binaries serially (-p 1): the scaled heartbeat
+# and checkpoint timings starve under Go's default parallel package
+# execution on small machines (see README "Testing").
+
+GO ?= go
+
+.PHONY: build check vet race bench
+
+build:
+	$(GO) build ./...
+
+# check is the tier-1 gate: everything must build and pass.
+check: build
+	$(GO) test -p 1 ./...
+
+vet:
+	$(GO) vet ./...
+
+# race is the CI lint+race gate: go vet across the repo, then the full
+# test suite under the race detector. The detector's 5-20x slowdown
+# needs generous test timeouts on constrained hosts.
+race: vet
+	$(GO) test -race -p 1 -timeout 20m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -14,6 +14,14 @@
 //	clonos-bench -experiment mem         # §7.5 spill-policy study
 //	clonos-bench -experiment guarantees  # §5.4 guarantee ablation
 //	clonos-bench -experiment all
+//
+// Observability:
+//
+//	clonos-bench -metrics-addr 127.0.0.1:9090 -experiment fig6a
+//	  serves the running experiment's registry at /metrics (Prometheus
+//	  text format), /metrics.json, /debug/vars, and /debug/pprof/.
+//	clonos-bench -metrics-dump metrics.json -experiment fig5
+//	  writes a JSON snapshot of the final registry on exit.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"clonos/internal/harness"
+	"clonos/internal/obs"
 )
 
 func main() {
@@ -31,7 +40,40 @@ func main() {
 	rate := flag.Int("rate", 0, "generator rate override (events/s)")
 	duration := flag.Duration("duration", 0, "per-run duration override")
 	queries := flag.String("queries", "", "comma-separated query subset for fig5 (default: all)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	metricsDump := flag.String("metrics-dump", "", "write a JSON snapshot of the final run's metrics to this file on exit")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr, harness.CurrentRegistry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
+	}
+	// Runs after the experiments; a failed dump fails the process so
+	// scripts don't read success from a run whose snapshot was lost.
+	dump := func() {
+		if *metricsDump == "" {
+			return
+		}
+		reg := harness.CurrentRegistry()
+		if reg == nil {
+			return
+		}
+		f, err := os.Create(*metricsDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	w := os.Stdout
 	run := func(name string, f func() error) {
@@ -134,6 +176,7 @@ func main() {
 		for _, name := range []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "mem", "guarantees", "dsd"} {
 			run(name, experiments[name])
 		}
+		dump()
 		return
 	}
 	f, ok := experiments[*experiment]
@@ -142,6 +185,7 @@ func main() {
 		os.Exit(2)
 	}
 	run(*experiment, f)
+	dump()
 }
 
 func splitCSV(s string) []string {

@@ -11,7 +11,9 @@ package buffer
 
 import (
 	"sync"
+	"time"
 
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
 
@@ -66,6 +68,10 @@ type Pool struct {
 	size   int
 	total  int
 	closed bool
+
+	// backpressure instrumentation (nil-safe; see Instrument)
+	waits  *obs.Counter
+	waitNs *obs.Counter
 }
 
 // NewPool creates a pool holding n buffers of the given byte size.
@@ -82,14 +88,36 @@ func NewPool(n, size int) *Pool {
 // BufferSize returns the byte size of buffers in this pool.
 func (p *Pool) BufferSize() int { return p.size }
 
+// Instrument attaches backpressure counters: waits counts Get/Take calls
+// that had to block on an exhausted pool, waitNs accumulates the blocked
+// nanoseconds. Either may be nil.
+func (p *Pool) Instrument(waits, waitNs *obs.Counter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.waits = waits
+	p.waitNs = waitNs
+}
+
+// waitLocked blocks until a buffer is free or the pool closes, recording
+// the backpressure wait. Callers hold p.mu.
+func (p *Pool) waitLocked() {
+	if len(p.free) > 0 || p.closed {
+		return
+	}
+	p.waits.Inc()
+	start := time.Now()
+	for len(p.free) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	p.waitNs.AddDuration(time.Since(start))
+}
+
 // Get returns a free buffer, blocking until one is available. It returns
 // nil if the pool is closed while waiting.
 func (p *Pool) Get() *Buffer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.free) == 0 && !p.closed {
-		p.cond.Wait()
-	}
+	p.waitLocked()
 	if p.closed {
 		return nil
 	}
@@ -149,9 +177,7 @@ func (p *Pool) Donate(b *Buffer) {
 func (p *Pool) Take() *Buffer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.free) == 0 && !p.closed {
-		p.cond.Wait()
-	}
+	p.waitLocked()
 	if p.closed {
 		return nil
 	}

@@ -3,8 +3,18 @@ package causal
 import (
 	"sync"
 
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
+
+// ManagerMetrics instruments a task's causal subsystem. All fields are
+// optional (nil-safe): Appended counts determinants appended to the
+// task's own logs, Extractions counts successful replica extractions
+// performed during a downstream peer's recovery.
+type ManagerMetrics struct {
+	Appended    *obs.Counter
+	Extractions *obs.Counter
+}
 
 // Manager is one task's causal-logging subsystem: its own main-thread log,
 // one log per output channel, the replicated store of upstream logs, and
@@ -25,6 +35,8 @@ type Manager struct {
 	// exactly-once output): sink tasks piggyback their main-log deltas
 	// on records written to e.g. Kafka.
 	externalCursors map[string]uint64
+
+	appended *obs.Counter
 }
 
 type cursorSet struct {
@@ -45,6 +57,27 @@ func NewManager(self types.TaskID, dsd int) *Manager {
 		cursors:         make(map[types.ChannelID]*cursorSet),
 		externalCursors: make(map[string]uint64),
 	}
+}
+
+// Instrument attaches metrics: Appended to this manager's own-log
+// appends, Extractions to its replica store.
+func (m *Manager) Instrument(mx ManagerMetrics) {
+	m.mu.Lock()
+	m.appended = mx.Appended
+	m.mu.Unlock()
+	m.replicas.Instrument(mx.Extractions)
+}
+
+// SizeEntries reports the total retained determinant count across the
+// task's own logs (main + channel) and its replica store.
+func (m *Manager) SizeEntries() int {
+	m.mu.Lock()
+	n := m.main.Len()
+	for _, l := range m.channels {
+		n += l.Len()
+	}
+	m.mu.Unlock()
+	return n + m.replicas.SizeEntries()
 }
 
 // Self returns the owning task.
@@ -218,36 +251,43 @@ func (m *Manager) Truncate(upTo types.EpochID) {
 // gate channel index.
 func (m *Manager) AppendOrder(channel int32) {
 	m.main.Append(Determinant{Kind: KindOrder, Channel: channel})
+	m.appended.Inc()
 }
 
 // AppendTimer logs an asynchronous processing-time timer firing.
 func (m *Manager) AppendTimer(handler int32, key uint64, when int64, offset uint64) {
 	m.main.Append(Determinant{Kind: KindTimer, Handler: handler, Key: key, When: when, Offset: offset})
+	m.appended.Inc()
 }
 
 // AppendTimestamp logs a wall-clock reading.
 func (m *Manager) AppendTimestamp(ms int64) {
 	m.main.Append(Determinant{Kind: KindTimestamp, Value: ms})
+	m.appended.Inc()
 }
 
 // AppendRNG logs a fresh random seed.
 func (m *Manager) AppendRNG(seed int64) {
 	m.main.Append(Determinant{Kind: KindRNG, Value: seed})
+	m.appended.Inc()
 }
 
 // AppendService logs a causal-service response payload.
 func (m *Manager) AppendService(id uint16, payload []byte) {
 	m.main.Append(Determinant{Kind: KindService, ServiceID: id, Payload: payload})
+	m.appended.Inc()
 }
 
 // AppendRPC logs a state-affecting RPC (checkpoint trigger) and the input
 // offset at which it was handled.
 func (m *Manager) AppendRPC(checkpoint types.EpochID, offset uint64) {
 	m.main.Append(Determinant{Kind: KindRPC, Epoch: checkpoint, Offset: offset})
+	m.appended.Inc()
 }
 
 // AppendBufferSize logs the size of a buffer dispatched on one channel,
 // in that channel's own log.
 func (m *Manager) AppendBufferSize(id types.ChannelID, size int) {
 	m.Channel(id).Append(Determinant{Kind: KindBufferSize, Value: int64(size)})
+	m.appended.Inc()
 }

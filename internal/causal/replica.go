@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
 
@@ -167,8 +168,17 @@ type Extracted struct {
 // Deltas piggybacked on incoming buffers are ingested here *before* the
 // buffer's records are processed, preserving Depend(e) ⊆ Log(e).
 type Store struct {
-	mu       sync.Mutex
-	byOrigin map[types.TaskID]*Replica
+	mu          sync.Mutex
+	byOrigin    map[types.TaskID]*Replica
+	extractions *obs.Counter
+}
+
+// Instrument attaches a counter incremented on every successful Extract —
+// this holder serving determinants for a recovering upstream peer.
+func (s *Store) Instrument(extractions *obs.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extractions = extractions
 }
 
 // NewStore creates an empty replica store.
@@ -300,6 +310,7 @@ func (s *Store) Extract(origin types.TaskID, fromEpoch types.EpochID) (Extracted
 		ex.Channels[key.Channel] = append([]Determinant(nil), rl.contiguousFrom(cs)...)
 		ex.ChannelStarts[key.Channel] = cs
 	}
+	s.extractions.Inc()
 	return ex, true
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"clonos/internal/obs"
 	"clonos/internal/statestore"
 	"clonos/internal/types"
 )
@@ -37,6 +38,16 @@ type TaskSnapshot struct {
 	MainLogBase uint64
 	// ChannelLogBase is the same per output-channel log.
 	ChannelLogBase map[types.ChannelID]uint64
+	// ChanWms is each input channel's highest received watermark at the
+	// epoch boundary and CurWm the combined watermark already emitted.
+	// A replacement must seed watermark merging with both: the combined
+	// watermark is a min() over per-channel values carried across epoch
+	// boundaries, so a replacement starting from blank channel watermarks
+	// would emit (or suppress) different Watermark elements during guided
+	// re-execution, breaking the byte-identity that sender-side
+	// deduplication relies on.
+	ChanWms map[types.ChannelID]int64
+	CurWm   int64
 }
 
 // Store holds snapshots by (checkpoint, task) and tracks which checkpoints
@@ -54,6 +65,8 @@ type Store struct {
 	lastFull map[types.TaskID][]byte
 	// traffic accounting: bytes received as full vs delta snapshots.
 	fullBytes, deltaBytes uint64
+	// exported traffic counters (nil-safe; see Instrument).
+	fullCtr, deltaCtr *obs.Counter
 }
 
 // NewStore creates a snapshot store. dir may be empty for memory-only.
@@ -66,6 +79,15 @@ func NewStore(dir string) *Store {
 	}
 }
 
+// Instrument attaches byte counters mirroring SnapshotTraffic: full
+// counts bytes received as full snapshots, delta as incremental deltas.
+func (s *Store) Instrument(full, delta *obs.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fullCtr = full
+	s.deltaCtr = delta
+}
+
 // Put stores one task's snapshot for a checkpoint. Incremental snapshots
 // are merged into the task's retained full image, so Get always returns
 // full state.
@@ -73,6 +95,7 @@ func (s *Store) Put(snap *TaskSnapshot) error {
 	s.mu.Lock()
 	if snap.StateIsDelta {
 		s.deltaBytes += uint64(len(snap.State))
+		s.deltaCtr.Add(uint64(len(snap.State)))
 		img, ok := s.images[snap.Task]
 		if !ok {
 			// Lazily decode the base image from the last full snapshot.
@@ -102,6 +125,7 @@ func (s *Store) Put(snap *TaskSnapshot) error {
 		s.lastFull[snap.Task] = full
 	} else {
 		s.fullBytes += uint64(len(snap.State))
+		s.fullCtr.Add(uint64(len(snap.State)))
 		s.lastFull[snap.Task] = snap.State
 		delete(s.images, snap.Task)
 	}
@@ -168,12 +192,24 @@ func (s *Store) SnapshotTraffic() (full, delta uint64) {
 // §6.4's assumption), collects acks from every expected task, and invokes
 // the completion callback — which the job layer uses to truncate in-flight
 // and causal logs and to dispatch state to standby tasks.
+// CoordinatorMetrics instruments checkpoint progress. All fields are
+// optional (nil-safe): Triggered counts checkpoints started, Completed
+// those fully acked, Aborted those abandoned (timeout or recovery
+// pause), and Duration observes trigger-to-completion seconds.
+type CoordinatorMetrics struct {
+	Triggered *obs.Counter
+	Completed *obs.Counter
+	Aborted   *obs.Counter
+	Duration  *obs.Histogram
+}
+
 type Coordinator struct {
 	interval time.Duration
 	timeout  time.Duration
 	expected func() []types.TaskID
 	trigger  func(cp types.CheckpointID)
 	complete func(cp types.CheckpointID)
+	metrics  CoordinatorMetrics
 
 	mu        sync.Mutex
 	current   types.CheckpointID // checkpoint in flight, 0 = none
@@ -202,6 +238,11 @@ func NewCoordinator(interval, timeout time.Duration, expected func() []types.Tas
 	}
 }
 
+// Instrument attaches progress metrics. Call before Start.
+func (c *Coordinator) Instrument(m CoordinatorMetrics) {
+	c.metrics = m
+}
+
 // Start launches the coordinator loop.
 func (c *Coordinator) Start() {
 	c.done.Add(1)
@@ -226,6 +267,9 @@ func (c *Coordinator) Pause() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.paused = true
+	if c.current != 0 {
+		c.metrics.Aborted.Inc()
+	}
 	c.current = 0
 	c.acked = nil
 }
@@ -249,6 +293,9 @@ func (c *Coordinator) LatestCompleted() types.CheckpointID {
 func (c *Coordinator) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.current != 0 {
+		c.metrics.Aborted.Inc()
+	}
 	c.current = 0
 	c.acked = nil
 }
@@ -287,6 +334,8 @@ func (c *Coordinator) finishLocked() {
 	c.current = 0
 	c.acked = nil
 	c.completed = cp
+	c.metrics.Completed.Inc()
+	c.metrics.Duration.ObserveSince(c.started)
 	complete := c.complete
 	c.mu.Unlock()
 	if complete != nil {
@@ -325,6 +374,7 @@ func (c *Coordinator) run() {
 			if all {
 				c.finishLocked()
 			} else if c.timeout > 0 && time.Since(c.started) > c.timeout {
+				c.metrics.Aborted.Inc()
 				c.current = 0
 				c.acked = nil
 			}
@@ -340,6 +390,7 @@ func (c *Coordinator) run() {
 		c.current = cp
 		c.acked = make(map[types.TaskID]bool)
 		c.started = time.Now()
+		c.metrics.Triggered.Inc()
 		trigger := c.trigger
 		c.mu.Unlock()
 		lastTrigger = time.Now()

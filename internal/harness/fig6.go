@@ -228,6 +228,12 @@ func PrintFig6(w io.Writer, title string, results []Fig6Result) {
 	table(w, []string{"system", "detect", "activate", "recovery(10% lat)", "tput gap", "records", "global restart"}, rows)
 
 	for _, r := range results {
+		if len(r.Summary.Phases) > 0 {
+			fmt.Fprintf(w, "%s recovery phases: %s\n", r.System, fmtPhases(r.Summary.Phases))
+		}
+	}
+
+	for _, r := range results {
 		fmt.Fprintf(w, "\n%s time series (t since start; latency p50/p99 per bucket; records/s):\n", r.System)
 		printSeries(w, r.Run)
 	}

@@ -11,11 +11,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"clonos/internal/job"
 	"clonos/internal/kafkasim"
 	"clonos/internal/metrics"
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
 
@@ -56,7 +59,20 @@ type RunResult struct {
 	Errors     []error
 	// FailTimes are the wall-clock instants of injected failures.
 	FailTimes []time.Time
+	// Spans are the runtime's ended tracer spans (recovery protocol
+	// phases, global restarts).
+	Spans []obs.SpanRecord
+	// Obs is the run's metrics registry, kept alive for exposition.
+	Obs *obs.Registry
 }
+
+// currentObs points at the registry of the run in progress, so a metrics
+// endpoint started by the bench binary always serves the live run.
+var currentObs atomic.Pointer[obs.Registry]
+
+// CurrentRegistry returns the registry of the run currently executing
+// (or the most recent one); nil before the first run.
+func CurrentRegistry() *obs.Registry { return currentObs.Load() }
 
 // Run executes one measured job.
 func Run(spec RunSpec) (RunResult, error) {
@@ -66,6 +82,10 @@ func Run(spec RunSpec) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	if spec.Cfg.Obs == nil {
+		spec.Cfg.Obs = obs.NewRegistry()
+	}
+	currentObs.Store(spec.Cfg.Obs)
 	rt, err := job.NewRuntime(g, spec.Cfg)
 	if err != nil {
 		return RunResult{}, err
@@ -103,6 +123,8 @@ func Run(spec RunSpec) (RunResult, error) {
 			res.SinkCount = sink.Len()
 			res.Duplicates = sink.Duplicates()
 			res.Errors = rt.Errors()
+			res.Spans = rt.Tracer().Spans()
+			res.Obs = rt.Obs()
 			return res, nil
 		case <-next:
 			if err := rt.InjectFailure(pending[0].Task); err != nil {
@@ -177,6 +199,9 @@ type recoverySummary struct {
 	// ThroughputGap is the span of near-zero sink throughput.
 	ThroughputGap time.Duration
 	Restarted     bool
+	// Phases is the recovery span's per-phase breakdown (empty when no
+	// completed recovery span matched the failure).
+	Phases []obs.Phase
 }
 
 func summarizeRecovery(res RunResult, failIdx int) recoverySummary {
@@ -204,7 +229,25 @@ func summarizeRecovery(res RunResult, failIdx int) recoverySummary {
 	}
 	out.Recovery, out.RecoveryOK = metrics.RecoveryTime(res.Latency, failAt.UnixMilli(), 0.10, 500)
 	out.ThroughputGap = metrics.ThroughputGap(res.Samples, failAt, 0.1)
+	for _, sp := range res.Spans {
+		if sp.Name == job.RecoverySpanName && sp.Attr("aborted") == "" && !sp.Start.Before(failAt) {
+			out.Phases = sp.Phases()
+			break
+		}
+	}
 	return out
+}
+
+// fmtPhases renders a phase breakdown ("standby-activated=1ms ...").
+func fmtPhases(phases []obs.Phase) string {
+	if len(phases) == 0 {
+		return "n/a"
+	}
+	parts := make([]string, 0, len(phases))
+	for _, p := range phases {
+		parts = append(parts, fmt.Sprintf("%s=%s", p.Name, p.Dur.Round(100*time.Microsecond)))
+	}
+	return strings.Join(parts, " ")
 }
 
 // medianSummary aggregates repeated failure runs: median of each scalar
@@ -263,6 +306,7 @@ func medianSummary(sums []recoverySummary) (recoverySummary, int) {
 			best = i
 		}
 	}
+	out.Phases = sums[best].Phases
 	return out, best
 }
 

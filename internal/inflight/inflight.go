@@ -24,8 +24,21 @@ import (
 	"sync"
 
 	"clonos/internal/buffer"
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
+
+// Metrics instruments an in-flight log. All fields are optional
+// (nil-safe): Appended counts retained buffers, Spilled/SpilledBytes
+// count buffers (and their payload bytes) written to disk, Truncated
+// counts entries dropped by checkpoint-complete truncation. One instance
+// is typically shared by every channel log of a task.
+type Metrics struct {
+	Appended     *obs.Counter
+	Spilled      *obs.Counter
+	SpilledBytes *obs.Counter
+	Truncated    *obs.Counter
+}
 
 // Policy selects the spill strategy.
 type Policy int
@@ -103,6 +116,8 @@ type Log struct {
 	stop     chan struct{}
 	done     sync.WaitGroup
 	closed   bool
+
+	metrics *Metrics
 }
 
 // NewLog creates a log for one channel backed by the task's log pool.
@@ -140,6 +155,14 @@ func NewLog(ch types.ChannelID, pool *buffer.Pool, cfg Config) (*Log, error) {
 // Channel returns the channel this log covers.
 func (l *Log) Channel() types.ChannelID { return l.channel }
 
+// Instrument attaches metrics (may be nil to detach). Call before the
+// log is in use.
+func (l *Log) Instrument(m *Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = m
+}
+
 // StartEpoch marks the beginning of epoch e in the log.
 func (l *Log) StartEpoch(e types.EpochID) {
 	l.mu.Lock()
@@ -168,6 +191,9 @@ func (l *Log) Append(b *buffer.Buffer) error {
 	}
 	l.entries = append(l.entries, e)
 	l.memBytes += e.Size
+	if l.metrics != nil {
+		l.metrics.Appended.Inc()
+	}
 	l.mu.Unlock()
 
 	switch l.cfg.Policy {
@@ -244,6 +270,10 @@ func (l *Log) spillEntryLocked(e *Entry) error {
 	e.fileOff = off + 12
 	e.spilled = true
 	l.memBytes -= e.Size
+	if l.metrics != nil {
+		l.metrics.Spilled.Inc()
+		l.metrics.SpilledBytes.Add(uint64(e.Size))
+	}
 	b := e.buf
 	e.buf = nil
 	l.pool.Donate(b)
@@ -275,6 +305,9 @@ func (l *Log) Truncate(upTo types.EpochID) {
 	dropped := l.entries[:cut]
 	l.entries = append(l.entries[:0:0], l.entries[cut:]...)
 	l.base += cut
+	if l.metrics != nil {
+		l.metrics.Truncated.Add(uint64(cut))
+	}
 	for e := range l.epochStart {
 		if e <= upTo {
 			delete(l.epochStart, e)

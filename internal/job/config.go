@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"clonos/internal/inflight"
+	"clonos/internal/obs"
 	"clonos/internal/services"
 )
 
@@ -98,6 +99,9 @@ type Config struct {
 
 	// MailboxSize bounds the async event queue per task.
 	MailboxSize int
+	// Obs is the metrics registry the runtime reports into; nil creates
+	// a private one (retrievable via Runtime.Obs).
+	Obs *obs.Registry
 	// IncrementalCheckpoints ships only the state entries changed since
 	// the previous snapshot (§6.4); the snapshot store reconstructs the
 	// full image. The first snapshot after start or recovery is full.

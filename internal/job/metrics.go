@@ -1,0 +1,157 @@
+package job
+
+import (
+	"strconv"
+
+	"clonos/internal/inflight"
+	"clonos/internal/netstack"
+	"clonos/internal/obs"
+)
+
+// taskMetrics bundles the per-task handles into the runtime's registry.
+// Handles are get-or-create by (vertex, subtask), so a recovered
+// incarnation continues its predecessor's counters — the totals describe
+// the logical task, not one OS-level incarnation.
+type taskMetrics struct {
+	recordsIn  *obs.Counter
+	recordsOut *obs.Counter
+	buffersIn  *obs.Counter
+	bytesOut   *obs.Counter
+	process    *obs.Histogram
+	align      *obs.Histogram
+	sync       *obs.Histogram
+
+	ep      *netstack.EndpointMetrics
+	iflight *inflight.Metrics
+}
+
+// procBuckets span 1µs..~0.26s: buffer handling is far below the
+// recovery-scale default buckets.
+var procBuckets = obs.ExpBuckets(1e-6, 2, 18)
+
+func newTaskMetrics(reg *obs.Registry, vertexName string, subtask int32) *taskMetrics {
+	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask))}
+	return &taskMetrics{
+		recordsIn:  reg.Counter("clonos_task_records_in_total", "Records consumed by the task.", lbl),
+		recordsOut: reg.Counter("clonos_task_records_out_total", "Records emitted by the task.", lbl),
+		buffersIn:  reg.Counter("clonos_task_buffers_in_total", "Network buffers processed by the main thread.", lbl),
+		bytesOut:   reg.Counter("clonos_task_bytes_out_total", "Payload bytes dispatched on output channels.", lbl),
+		process:    reg.Histogram("clonos_task_process_seconds", "Main-thread time handling one input buffer.", procBuckets, lbl),
+		align:      reg.Histogram("clonos_checkpoint_align_seconds", "Barrier alignment time (first barrier to snapshot).", obs.DefDurationBuckets, lbl),
+		sync:       reg.Histogram("clonos_checkpoint_sync_seconds", "Synchronous snapshot time on the main thread.", obs.DefDurationBuckets, lbl),
+		ep: &netstack.EndpointMetrics{
+			Accepted:  reg.Counter("clonos_netstack_accepted_total", "Messages accepted into the task's input queues.", lbl),
+			Blocked:   reg.Counter("clonos_netstack_send_blocked_total", "Sender pushes that stalled on the credit limit.", lbl),
+			BlockedNs: reg.Counter("clonos_netstack_send_blocked_ns_total", "Nanoseconds senders spent stalled on the credit limit.", lbl),
+		},
+		iflight: &inflight.Metrics{
+			Appended:     reg.Counter("clonos_inflight_appended_total", "Buffers retained in the in-flight log.", lbl),
+			Spilled:      reg.Counter("clonos_inflight_spilled_total", "In-flight log buffers spilled to disk.", lbl),
+			SpilledBytes: reg.Counter("clonos_inflight_spilled_bytes_total", "Payload bytes spilled to disk.", lbl),
+			Truncated:    reg.Counter("clonos_inflight_truncated_total", "In-flight log entries dropped by checkpoint truncation.", lbl),
+		},
+	}
+}
+
+// poolWaitCounters returns the backpressure counters for one of the
+// task's buffer pools (pool = "output" or "inflight-log").
+func poolWaitCounters(reg *obs.Registry, vertexName string, subtask int32, pool string) (waits, waitNs *obs.Counter) {
+	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask)), "pool": pool}
+	return reg.Counter("clonos_buffer_wait_total", "Buffer acquisitions that blocked on an exhausted pool.", lbl),
+		reg.Counter("clonos_buffer_wait_ns_total", "Nanoseconds blocked waiting for a free buffer.", lbl)
+}
+
+// causalMetrics returns the determinant counters for one task.
+func causalMetrics(reg *obs.Registry, vertexName string, subtask int32) (appended, extractions *obs.Counter) {
+	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask))}
+	return reg.Counter("clonos_causal_determinants_total", "Determinants appended to the task's own causal logs.", lbl),
+		reg.Counter("clonos_causal_extractions_total", "Replica extractions served to recovering upstream peers.", lbl)
+}
+
+// registerGauges installs the task's callback gauges. Called from
+// start() — never for idle standbys — so the live incarnation's closures
+// replace the dead predecessor's.
+func (t *Task) registerGauges() {
+	reg := t.env.obs
+	lbl := obs.Labels{"vertex": t.vertex.Name, "subtask": strconv.Itoa(int(t.id.Subtask))}
+	mailbox := t.mailbox
+	reg.GaugeFunc("clonos_task_mailbox_depth", "Queued asynchronous events (timers, RPCs).", lbl,
+		func() float64 { return float64(len(mailbox)) })
+	if gate := t.gate; gate != nil {
+		reg.GaugeFunc("clonos_netstack_queue_depth", "Buffers queued across the task's input channels.", lbl,
+			func() float64 { return float64(gate.QueuedBuffers()) })
+	}
+	if pool := t.logPool; pool != nil {
+		plbl := obs.Labels{"vertex": t.vertex.Name, "subtask": strconv.Itoa(int(t.id.Subtask)), "pool": "inflight-log"}
+		reg.GaugeFunc("clonos_buffer_pool_free_buffers", "Free buffers in the pool.", plbl,
+			func() float64 { return float64(pool.Available()) })
+		reg.GaugeFunc("clonos_buffer_pool_total_buffers", "Total buffers owned by the pool.", plbl,
+			func() float64 { return float64(pool.Total()) })
+	}
+	if len(t.allOut) > 0 {
+		outs := t.allOut
+		plbl := obs.Labels{"vertex": t.vertex.Name, "subtask": strconv.Itoa(int(t.id.Subtask)), "pool": "output"}
+		reg.GaugeFunc("clonos_buffer_pool_free_buffers", "Free buffers in the pool.", plbl, func() float64 {
+			n := 0
+			for _, oc := range outs {
+				n += oc.outPool.Available()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("clonos_buffer_pool_total_buffers", "Total buffers owned by the pool.", plbl, func() float64 {
+			n := 0
+			for _, oc := range outs {
+				n += oc.outPool.Total()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("clonos_inflight_entries", "Buffers retained across the task's in-flight logs.", lbl, func() float64 {
+			n := 0
+			for _, oc := range outs {
+				if oc.iflog != nil {
+					n += oc.iflog.Count()
+				}
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("clonos_inflight_mem_bytes", "Unspilled payload bytes across the task's in-flight logs.", lbl, func() float64 {
+			n := 0
+			for _, oc := range outs {
+				if oc.iflog != nil {
+					n += oc.iflog.MemBytes()
+				}
+			}
+			return float64(n)
+		})
+	}
+	if cm := t.causal; cm != nil {
+		reg.GaugeFunc("clonos_causal_log_entries", "Determinants retained across own logs and the replica store.", lbl,
+			func() float64 { return float64(cm.SizeEntries()) })
+	}
+}
+
+// runtimeMetrics are the job-level (not per-task) handles.
+type runtimeMetrics struct {
+	reg             *obs.Registry
+	recoveries      *obs.Counter
+	recoverySeconds *obs.Histogram
+}
+
+func newRuntimeMetrics(reg *obs.Registry) runtimeMetrics {
+	return runtimeMetrics{
+		reg:             reg,
+		recoveries:      reg.Counter("clonos_recovery_completed_total", "Local recoveries that reached caught-up.", nil),
+		recoverySeconds: reg.Histogram("clonos_recovery_seconds", "Failure-detection to caught-up wall time.", obs.DefDurationBuckets, nil),
+	}
+}
+
+// observeRecovery folds a completed recovery span into the registry:
+// total duration plus one observation per protocol phase.
+func (r *Runtime) observeRecovery(rec obs.SpanRecord) {
+	r.metrics.recoveries.Inc()
+	r.metrics.recoverySeconds.Observe(rec.Duration().Seconds())
+	for _, p := range rec.Phases() {
+		r.metrics.reg.Histogram("clonos_recovery_phase_seconds", "Per-phase recovery protocol time.",
+			obs.DefDurationBuckets, obs.Labels{"phase": p.Name}).Observe(p.Dur.Seconds())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clonos/internal/buffer"
@@ -12,12 +13,20 @@ import (
 	"clonos/internal/types"
 )
 
+// channelGen hands out process-wide unique connection generations, one
+// per outChannel incarnation, used to fence off a crashed predecessor's
+// lingering sends (see Endpoint.Rebind).
+var channelGen atomic.Uint64
+
 // outChannel is the sender side of one physical channel: serializer,
 // output buffer pool, in-flight log, sequence numbering, and the replay /
 // deduplication machinery used during recovery.
 type outChannel struct {
 	id   types.ChannelID
 	task *Task
+	// gen is this incarnation's connection generation, stamped on every
+	// outgoing message.
+	gen uint64
 
 	writer  *netstack.ChannelWriter
 	outPool *buffer.Pool
@@ -54,7 +63,7 @@ type outChannel struct {
 }
 
 func newOutChannel(t *Task, id types.ChannelID, outPool *buffer.Pool, iflog *inflight.Log) *outChannel {
-	oc := &outChannel{id: id, task: t, outPool: outPool, iflog: iflog, nextSeq: 1, epochStartSeq: 1}
+	oc := &outChannel{id: id, task: t, gen: channelGen.Add(1), outPool: outPool, iflog: iflog, nextSeq: 1, epochStartSeq: 1}
 	edge := t.graph().Edges[id.Edge]
 	oc.writer = netstack.NewChannelWriter(outPool, edge.CodecOrDefault(), oc.dispatch)
 	return oc
@@ -73,6 +82,7 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 	oc.mu.Unlock()
 
 	t := oc.task
+	t.metrics.bytesOut.Add(uint64(b.Len()))
 	if t.causal != nil {
 		t.causal.AppendBufferSize(oc.id, b.Len())
 		b.Delta = t.causal.DeltaFor(oc.id)
@@ -84,6 +94,7 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 		Channel: oc.id,
 		Seq:     seq,
 		Epoch:   b.Epoch,
+		Gen:     oc.gen,
 		Data:    append([]byte(nil), b.Data...),
 		Delta:   append([]byte(nil), b.Delta...),
 	}
@@ -265,6 +276,7 @@ func (oc *outChannel) replayLoop() {
 			Channel:  oc.id,
 			Seq:      entry.Seq,
 			Epoch:    entry.Epoch,
+			Gen:      oc.gen,
 			Data:     data,
 			Delta:    append([]byte(nil), entry.Delta...),
 			Replayed: true,

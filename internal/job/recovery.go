@@ -6,6 +6,7 @@ import (
 
 	"clonos/internal/causal"
 	"clonos/internal/checkpoint"
+	"clonos/internal/obs"
 	"clonos/internal/operator"
 	"clonos/internal/types"
 )
@@ -50,6 +51,10 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	if r.stopped || r.restarting || !r.failedSet[failed] {
 		// Stale queue entry: a global restart already replaced this task.
 		r.mu.Unlock()
+		if sp := r.takeRecoverySpan(failed); sp != nil {
+			sp.SetAttr("aborted", "stale")
+			sp.End()
+		}
 		return ""
 	}
 	vertex := r.graph.Vertices[failed.Vertex]
@@ -79,13 +84,49 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	}
 	r.mu.Unlock()
 
+	// The detector opened a span for this failure; mark the protocol's
+	// phase boundaries on it as the steps below complete.
+	sp := r.takeRecoverySpan(failed)
+
 	if old != nil {
 		old.crash() // ensure threads are gone even if detection raced
 	}
 	if snap != nil {
 		if err := t.restore(snap); err != nil {
 			r.reportTaskError(failed, err)
+			sp.SetAttr("aborted", "restore-failed")
+			sp.End()
 			return "restore-failed"
+		}
+	}
+	sp.Mark("standby-activated")
+
+	// Step 4 (part of step 2's reconnection): sender-side dedup per
+	// §5.2 — downstream survivors report how far they got. This runs
+	// BEFORE determinant extraction, and each surviving endpoint is
+	// first rebound to the replacement's connection generation: the
+	// crashed predecessor may still have one in-flight send per channel
+	// (possibly parked on the credit limit since before the crash), and
+	// a stale buffer slipping in after the dedup floor is sampled — or
+	// after its determinants were extracted — would leave the receiver
+	// with a byte prefix the replacement cannot reproduce, silently
+	// desynchronizing the element stream. Rebind fences the predecessor
+	// off; sampling then extracting guarantees every deduplicated seq's
+	// BUFFERSIZE determinant is covered by the extraction below.
+	for _, oc := range t.allOut {
+		ep := r.net.Endpoint(oc.id)
+		if ep == nil || ep.Broken() {
+			continue // downstream recovering too; it will request replay
+		}
+		lp := ep.Rebind(oc.gen)
+		switch r.cfg.Guarantee {
+		case ExactlyOnce:
+			oc.setDedup(lp)
+		default:
+			// Divergent replay cannot reproduce identical buffers;
+			// renumber past the receiver's view (duplicates possible —
+			// at-least-once; or fresh data only — at-most-once).
+			oc.forceNextSeq(lp + 1)
 		}
 	}
 
@@ -141,33 +182,18 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 			// determinants (DSD < D with consecutive failures, §5.3
 			// case 2) — fall back to a full rollback.
 			r.recordEvent(EventOrphanFallback, failed, "")
+			sp.SetAttr("aborted", "orphan")
+			sp.End()
 			return "orphan"
 		}
 	}
-
-	// Step 4 (part of step 2's reconnection): sender-side dedup per
-	// §5.2 — downstream survivors report how far they got.
-	for _, oc := range t.allOut {
-		ep := r.net.Endpoint(oc.id)
-		if ep == nil || ep.Broken() {
-			continue // downstream recovering too; it will request replay
-		}
-		lp := ep.LastPushed()
-		switch r.cfg.Guarantee {
-		case ExactlyOnce:
-			oc.setDedup(lp)
-		default:
-			// Divergent replay cannot reproduce identical buffers;
-			// renumber past the receiver's view (duplicates possible —
-			// at-least-once; or fresh data only — at-most-once).
-			oc.forceNextSeq(lp + 1)
-		}
-	}
+	sp.Mark("determinants-retrieved")
 
 	// Step 2: network reconfiguration — fresh endpoints replace broken
 	// ones, created closed: stale direct sends are rejected until the
 	// replay request opens each endpoint at the expected first seq.
 	t.attachNetwork(false)
+	sp.Mark("network-reconfigured")
 
 	r.mu.Lock()
 	r.tasks[failed] = t
@@ -184,6 +210,9 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	r.mu.Unlock()
 
 	r.recordEvent(EventStandbyActivated, failed, "")
+	if sp != nil {
+		t.recSpan.Store(sp) // before start: the main thread finishes it
+	}
 	t.start()
 
 	// Steps 4-5: request in-flight replay from upstreams (or plain
@@ -346,6 +375,11 @@ func (r *Runtime) globalRestart(reason string) {
 		oldStandbys = append(oldStandbys, t)
 	}
 	r.mu.Unlock()
+
+	r.obs.Counter("clonos_global_restarts_total", "Full-topology rollback restarts.", obs.Labels{"reason": reason}).Inc()
+	rsp := r.tracer.StartSpan("global-restart", map[string]string{"reason": reason})
+	defer rsp.End()
+	r.abortRecoverySpans("global-restart")
 
 	r.recordEvent(EventGlobalRestart, types.TaskID{}, reason)
 	r.coord.Pause()

@@ -8,6 +8,7 @@ import (
 
 	"clonos/internal/checkpoint"
 	"clonos/internal/netstack"
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
 
@@ -20,11 +21,18 @@ const (
 	EventFailureDetected  EventKind = "failure-detected"
 	EventStandbyActivated EventKind = "standby-activated"
 	EventTaskLive         EventKind = "task-live"
+	EventCaughtUp         EventKind = "caught-up"
 	EventGlobalRestart    EventKind = "global-restart"
 	EventCheckpointDone   EventKind = "checkpoint-complete"
 	EventOrphanFallback   EventKind = "orphan-global-fallback"
 	EventNodeFailure      EventKind = "node-failure"
 )
+
+// RecoverySpanName is the tracer span covering one local recovery, from
+// failure detection to the recovered task catching up. Its marks (in
+// protocol order) name the recovery phases: standby-activated,
+// determinants-retrieved, network-reconfigured, replay-done, caught-up.
+const RecoverySpanName = "recovery"
 
 // Event is one timestamped runtime event.
 type Event struct {
@@ -57,10 +65,13 @@ type Runtime struct {
 	// nodeOf / standbyNodeOf simulate cluster placement (§6.3).
 	nodeOf        map[types.TaskID]int
 	standbyNodeOf map[types.TaskID]int
-	events        []Event
-	errs          []error
-	restarting    bool
-	stopped       bool
+	// recSpans holds the recovery span of each detected-but-not-yet-
+	// activated failure; localRecover claims the span and hands it to the
+	// replacement task, which ends it at caught-up.
+	recSpans   map[types.TaskID]*obs.Span
+	errs       []error
+	restarting bool
+	stopped    bool
 
 	// restartGate serializes global restarts against local recoveries:
 	// localRecover runs under the read side, globalRestart under the
@@ -74,6 +85,10 @@ type Runtime struct {
 	doneOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
+
+	obs     *obs.Registry
+	tracer  *obs.Tracer
+	metrics runtimeMetrics
 }
 
 type replayRequest struct {
@@ -90,6 +105,9 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 	if cfg.MailboxSize <= 0 {
 		cfg.MailboxSize = 1024
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	r := &Runtime{
 		cfg:           cfg,
 		graph:         g,
@@ -104,10 +122,18 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		pendingReplay: make(map[types.TaskID][]replayRequest),
 		nodeOf:        make(map[types.TaskID]int),
 		standbyNodeOf: make(map[types.TaskID]int),
+		recSpans:      make(map[types.TaskID]*obs.Span),
 		recoverCh:     make(chan types.TaskID, 256),
 		allDone:       make(chan struct{}),
 		stop:          make(chan struct{}),
+		obs:           cfg.Obs,
+		tracer:        obs.NewTracer(),
 	}
+	r.metrics = newRuntimeMetrics(r.obs)
+	r.snaps.Instrument(
+		r.obs.Counter("clonos_checkpoint_state_bytes_total", "State bytes received by the snapshot store.", obs.Labels{"kind": "full"}),
+		r.obs.Counter("clonos_checkpoint_state_bytes_total", "State bytes received by the snapshot store.", obs.Labels{"kind": "delta"}),
+	)
 	r.coord = checkpoint.NewCoordinator(
 		cfg.CheckpointInterval,
 		cfg.CheckpointTimeout,
@@ -115,8 +141,20 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		r.triggerCheckpoint,
 		r.onCheckpointComplete,
 	)
+	r.coord.Instrument(checkpoint.CoordinatorMetrics{
+		Triggered: r.obs.Counter("clonos_checkpoint_triggered_total", "Checkpoints triggered by the coordinator.", nil),
+		Completed: r.obs.Counter("clonos_checkpoint_completed_total", "Checkpoints fully acknowledged.", nil),
+		Aborted:   r.obs.Counter("clonos_checkpoint_aborted_total", "Checkpoints abandoned (timeout or recovery pause).", nil),
+		Duration:  r.obs.Histogram("clonos_checkpoint_duration_seconds", "Trigger-to-completion checkpoint time.", obs.DefDurationBuckets, nil),
+	})
 	return r, nil
 }
+
+// Obs returns the runtime's metrics registry.
+func (r *Runtime) Obs() *obs.Registry { return r.obs }
+
+// Tracer returns the runtime's event/span tracer.
+func (r *Runtime) Tracer() *obs.Tracer { return r.tracer }
 
 // Graph returns the job's dataflow graph.
 func (r *Runtime) Graph() *Graph { return r.graph }
@@ -218,11 +256,17 @@ func (r *Runtime) LatestCompletedCheckpoint() types.CheckpointID {
 	return r.snaps.LatestCompleted()
 }
 
-// Events returns a copy of the recorded runtime events.
+// Events returns a copy of the recorded runtime events, rebuilt from the
+// tracer's event stream (recordEvent stores the Event as the payload).
 func (r *Runtime) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	traced := r.tracer.Events()
+	out := make([]Event, 0, len(traced))
+	for _, te := range traced {
+		if ev, ok := te.Payload.(Event); ok {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // Errors returns task errors reported so far.
@@ -246,9 +290,7 @@ func (r *Runtime) TaskRecordCounts(v types.VertexID) (in, out uint64) {
 }
 
 func (r *Runtime) recordEvent(kind EventKind, id types.TaskID, info string) {
-	r.mu.Lock()
-	r.events = append(r.events, Event{Time: time.Now(), Kind: kind, Task: id, Info: info})
-	r.mu.Unlock()
+	r.tracer.Emit(string(kind), Event{Time: time.Now(), Kind: kind, Task: id, Info: info}, nil)
 }
 
 // expectedAcks lists unfinished tasks (the coordinator's ack set).
@@ -385,6 +427,7 @@ func (r *Runtime) detector() {
 		r.mu.Unlock()
 		for _, id := range newlyFailed {
 			r.recordEvent(EventFailureDetected, id, "")
+			r.startRecoverySpan(id)
 			r.coord.Pause()
 			select {
 			case r.recoverCh <- id:
@@ -392,6 +435,49 @@ func (r *Runtime) detector() {
 				return
 			}
 		}
+	}
+}
+
+// startRecoverySpan opens the tracer span for one detected failure. A
+// leftover span for the same task (its replacement failed before being
+// activated) is superseded.
+func (r *Runtime) startRecoverySpan(id types.TaskID) {
+	sp := r.tracer.StartSpan(RecoverySpanName, map[string]string{
+		"task": id.String(),
+		"mode": r.cfg.Mode.String(),
+	})
+	r.mu.Lock()
+	old := r.recSpans[id]
+	r.recSpans[id] = sp
+	r.mu.Unlock()
+	if old != nil {
+		old.SetAttr("aborted", "superseded")
+		old.End()
+	}
+}
+
+// takeRecoverySpan claims the span for a failure being recovered.
+func (r *Runtime) takeRecoverySpan(id types.TaskID) *obs.Span {
+	r.mu.Lock()
+	sp := r.recSpans[id]
+	delete(r.recSpans, id)
+	r.mu.Unlock()
+	return sp
+}
+
+// abortRecoverySpans ends every unclaimed recovery span (global restart
+// supersedes the local protocol).
+func (r *Runtime) abortRecoverySpans(reason string) {
+	r.mu.Lock()
+	spans := make([]*obs.Span, 0, len(r.recSpans))
+	for _, sp := range r.recSpans {
+		spans = append(spans, sp)
+	}
+	r.recSpans = make(map[types.TaskID]*obs.Span)
+	r.mu.Unlock()
+	for _, sp := range spans {
+		sp.SetAttr("aborted", reason)
+		sp.End()
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"clonos/internal/checkpoint"
 	"clonos/internal/inflight"
 	"clonos/internal/netstack"
+	"clonos/internal/obs"
 	"clonos/internal/operator"
 	"clonos/internal/services"
 	"clonos/internal/statestore"
@@ -93,12 +94,21 @@ type Task struct {
 	sourceDone   bool
 	recordsIn    atomic.Uint64
 	recordsOut   atomic.Uint64
-	heartbeatAt  atomic.Int64
+	// alignStart is when the pending alignment's first barrier arrived.
+	alignStart  time.Time
+	heartbeatAt atomic.Int64
 	lastErr      atomic.Value
 	flushStop    chan struct{}
 	// fullSnapshotNext forces the next snapshot to be full (first one of
 	// an incarnation); later ones may be incremental (§6.4).
 	fullSnapshotNext bool
+
+	// metrics are the task's registry handles, shared across incarnations
+	// of the same logical task (get-or-create by vertex/subtask labels).
+	metrics *taskMetrics
+	// recSpan is the recovery span this incarnation must finish (nil for
+	// fresh tasks); the main thread marks replay-done/caught-up on it.
+	recSpan atomic.Pointer[obs.Span]
 }
 
 // taskOutEdge groups an edge's channels for partitioning.
@@ -160,6 +170,15 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 		t.causal = causal.NewManager(t.id, cfg.effectiveDSD(env.graph))
 	}
 
+	t.metrics = newTaskMetrics(env.obs, vertex.Name, subtask)
+	if t.logPool != nil {
+		t.logPool.Instrument(poolWaitCounters(env.obs, vertex.Name, subtask, "inflight-log"))
+	}
+	if t.causal != nil {
+		appended, extractions := causalMetrics(env.obs, vertex.Name, subtask)
+		t.causal.Instrument(causal.ManagerMetrics{Appended: appended, Extractions: extractions})
+	}
+
 	var logger services.Logger
 	if t.causal != nil {
 		logger = t.causal
@@ -173,16 +192,19 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 		t.timerSvc.RegisterProc(timers.Timer{HandlerID: tsRefreshHandler, When: when})
 	})
 
+	outWaits, outWaitNs := poolWaitCounters(env.obs, vertex.Name, subtask, "output")
 	for _, e := range vertex.OutEdges {
 		oe := &taskOutEdge{edge: e}
 		for to := int32(0); to < int32(e.To.Parallelism); to++ {
 			chID := channelID(e, subtask, to)
 			outPool := buffer.NewPool(cfg.ChannelBuffers, cfg.BufferSize)
+			outPool.Instrument(outWaits, outWaitNs)
 			var log *inflight.Log
 			if logging {
 				l, err := inflight.NewLog(chID, t.logPool, cfg.InFlight)
 				if err == nil {
 					log = l
+					log.Instrument(t.metrics.iflight)
 					log.StartEpoch(1)
 				}
 			}
@@ -223,6 +245,7 @@ func (t *Task) graph() *Graph { return t.env.graph }
 func (t *Task) attachNetwork(accepting bool) {
 	if len(t.inIDs) > 0 {
 		t.gate = netstack.NewGate(t.env.net, t.inIDs, t.env.cfg.EndpointCredit, accepting)
+		t.gate.Instrument(t.metrics.ep)
 		t.desers = nil
 		for i, id := range t.inIDs {
 			e := t.env.graph.Edges[id.Edge]
@@ -256,6 +279,15 @@ func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 	t.epoch = snap.Checkpoint + 1
 	t.offset = 0
 	t.fullSnapshotNext = true
+	// Seed watermark merging exactly as the predecessor left it at the
+	// epoch boundary — see the TaskSnapshot field docs for why guided
+	// re-execution diverges without this.
+	t.curWm = snap.CurWm
+	for i, id := range t.inIDs {
+		if wm, ok := snap.ChanWms[id]; ok {
+			t.chanWms[i] = wm
+		}
+	}
 	if t.causal != nil {
 		t.causal.SeedForRecovery(snap.MainLogBase, snap.ChannelLogBase)
 		t.causal.StartEpochMain(t.epoch)
@@ -290,6 +322,7 @@ func (t *Task) setRecovery(ex causal.Extracted) {
 
 // start launches the task's threads.
 func (t *Task) start() {
+	t.registerGauges()
 	t.state.Store(int32(stateRunning))
 	t.heartbeatNow()
 	t.timerSvc.Start()
@@ -377,6 +410,10 @@ func (t *Task) crash() {
 	if !t.crashed.CompareAndSwap(false, true) {
 		return
 	}
+	if sp := t.recSpan.Swap(nil); sp != nil {
+		sp.SetAttr("aborted", "crashed")
+		sp.End()
+	}
 	t.state.Store(int32(stateCrashed))
 	close(t.abort)
 	if t.logPool != nil {
@@ -454,10 +491,16 @@ func (t *Task) run() {
 			return
 		}
 		t.replay = nil
+		t.recSpan.Load().Mark("replay-done")
 		t.state.Store(int32(stateRunning))
 		t.env.onTaskLive(t.id)
 	} else if t.env.cfg.Mode == ModeClonos {
 		t.env.onTaskLive(t.id)
+	}
+	if t.vertex.Source != nil {
+		// A recovered source has no input backlog: replay done means
+		// caught up.
+		t.finishRecoverySpan()
 	}
 	t.timerSvc.SetLive(true)
 	if t.vertex.Source != nil {
@@ -465,6 +508,23 @@ func (t *Task) run() {
 	} else {
 		t.runLive()
 	}
+}
+
+// finishRecoverySpan ends this incarnation's recovery span, if any: the
+// task has processed its input backlog (or reached end-of-stream) and is
+// fully caught up. Cheap when no recovery is pending (one atomic load).
+func (t *Task) finishRecoverySpan() {
+	if t.recSpan.Load() == nil {
+		return
+	}
+	sp := t.recSpan.Swap(nil)
+	if sp == nil {
+		return
+	}
+	sp.Mark("caught-up")
+	rec := sp.End()
+	t.env.recordEvent(EventCaughtUp, t.id, "")
+	t.env.observeRecovery(rec)
 }
 
 // runLive is the normal-operation loop of a non-source task.
@@ -485,6 +545,8 @@ func (t *Task) runLive() {
 			}
 			continue
 		}
+		// Input queues drained: a recovering task is now caught up.
+		t.finishRecoverySpan()
 		select {
 		case ev := <-t.mailbox:
 			t.handleMail(ev)
@@ -562,6 +624,8 @@ func (t *Task) runReplay() {
 
 // handleBuffer processes one whole input buffer (the ORDER unit).
 func (t *Task) handleBuffer(idx int, m *netstack.Message) {
+	t.metrics.buffersIn.Inc()
+	defer t.metrics.process.ObserveSince(time.Now())
 	if t.causal != nil {
 		if err := t.causal.Ingest(m.Delta); err != nil {
 			t.fail(err)
@@ -594,6 +658,7 @@ func (t *Task) handleElement(idx int, e types.Element) {
 	switch e.Kind {
 	case types.KindRecord:
 		t.recordsIn.Add(1)
+		t.metrics.recordsIn.Inc()
 		t.chn.processInput(t.inPorts[idx], e)
 	case types.KindWatermark:
 		if e.Timestamp > t.chanWms[idx] {
@@ -670,6 +735,7 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	if !t.aligning {
 		t.aligning = true
 		t.alignCp = cp
+		t.alignStart = time.Now()
 		for i := range t.barriersSeen {
 			t.barriersSeen[i] = t.eosSeen[i] // finished channels need no barrier
 		}
@@ -689,6 +755,7 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 		t.gate.Block(idx)
 		return
 	}
+	t.metrics.align.ObserveSince(t.alignStart)
 	t.snapshot(cp)
 	t.aligning = false
 	t.gate.UnblockAll()
@@ -697,6 +764,7 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 // snapshot takes the task's checkpoint: forward the barrier, roll epochs
 // on every log, persist state, and ack the coordinator.
 func (t *Task) snapshot(cp types.CheckpointID) {
+	syncStart := time.Now()
 	// Forward the barrier as the last element of epoch cp on every
 	// output channel, then roll the channel epochs.
 	t.broadcastElement(types.Barrier(cp))
@@ -740,6 +808,11 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		NextSeq:        make(map[types.ChannelID]uint64, len(t.allOut)),
 		MainLogBase:    mainBase,
 		ChannelLogBase: make(map[types.ChannelID]uint64, len(t.allOut)),
+		ChanWms:        make(map[types.ChannelID]int64, len(t.inIDs)),
+		CurWm:          t.curWm,
+	}
+	for i, id := range t.inIDs {
+		snap.ChanWms[id] = t.chanWms[i]
 	}
 	for _, oc := range t.allOut {
 		oc.mu.Lock()
@@ -754,6 +827,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	t.epoch = cp + 1
 	t.offset = 0
 	t.svcs.StartEpoch()
+	t.metrics.sync.ObserveSince(syncStart)
 	t.env.onSnapshot(snap)
 }
 
@@ -848,6 +922,7 @@ func (t *Task) emitNextSourceElement(wait bool) bool {
 	switch e.Kind {
 	case types.KindRecord:
 		t.recordsIn.Add(1)
+		t.metrics.recordsIn.Inc()
 		t.chn.processInput(0, e)
 	case types.KindWatermark:
 		if e.Timestamp > t.curWm {
@@ -892,6 +967,7 @@ func (t *Task) finishTask() {
 			break
 		}
 	}
+	t.finishRecoverySpan()
 	t.state.Store(int32(stateFinished))
 	t.env.onTaskFinished(t.id)
 }
@@ -911,6 +987,7 @@ func (t *Task) broadcastElement(e types.Element) {
 // emitOutput routes one record across every output edge.
 func (t *Task) emitOutput(key uint64, ts int64, v any) {
 	t.recordsOut.Add(1)
+	t.metrics.recordsOut.Inc()
 	for _, oe := range t.outEdges {
 		var targets []*outChannel
 		outKey := key

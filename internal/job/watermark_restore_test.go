@@ -1,0 +1,64 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+	"clonos/internal/types"
+)
+
+// TestSnapshotCarriesWatermarkState guards the watermark-merge fields of
+// TaskSnapshot. The combined watermark a task emits is a min() over
+// per-channel watermarks that carry across epoch boundaries; if a
+// replacement restores without them it emits (or suppresses) different
+// Watermark elements during causally guided re-execution, its output byte
+// stream diverges from the crashed predecessor's, and sender-side
+// deduplication hands the downstream deserializer a stream that no longer
+// splits at element boundaries — the sink then stalls forever on a bogus
+// length prefix. The failure is timing-dependent (the predecessor must die
+// with a mid-buffer cut outstanding), so this test pins the snapshot wiring
+// deterministically instead: every checkpoint of a multi-input task must
+// record each channel's watermark and the emitted combined watermark.
+func TestSnapshotCarriesWatermarkState(t *testing.T) {
+	const n = 4000
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := keySumPipeline(topic, sink, 2)
+	r, err := NewRuntime(g, quickConfig(ModeClonos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	gen := kafkasim.NewGenerator(topic, 5000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % 5, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("job did not finish; errors: %v", r.Errors())
+	}
+	cp := r.snaps.LatestCompleted()
+	if cp < 1 {
+		t.Fatalf("no completed checkpoint")
+	}
+	snap, ok := r.snaps.Get(cp, types.TaskID{Vertex: 1, Subtask: 0})
+	if !ok {
+		t.Fatalf("no snapshot for v1[0] at cp %d", cp)
+	}
+	if len(snap.ChanWms) != 2 {
+		t.Fatalf("snapshot records %d channel watermarks, want 2 (%v)", len(snap.ChanWms), snap.ChanWms)
+	}
+	for id, wm := range snap.ChanWms {
+		if wm == math.MinInt64 {
+			t.Errorf("channel %v watermark never recorded", id)
+		}
+	}
+	if snap.CurWm == math.MinInt64 {
+		t.Errorf("combined watermark never recorded")
+	}
+}

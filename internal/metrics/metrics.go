@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -50,14 +51,24 @@ func (s *Sampler) Start() {
 		defer s.done.Done()
 		tick := time.NewTicker(s.interval)
 		defer tick.Stop()
-		prevCount := 0
-		prevAt := time.Now()
+		// The baseline is seeded from the ticker's first fire: measuring
+		// the first interval from this goroutine's start — and counting
+		// records delivered before sampling began — would skew the first
+		// sample's rate.
+		var prevCount int
+		var prevAt time.Time
+		seeded := false
 		for {
 			select {
 			case <-s.stop:
 				return
 			case now := <-tick.C:
 				count := s.sink.Len()
+				if !seeded {
+					seeded = true
+					prevCount, prevAt = count, now
+					continue
+				}
 				dt := now.Sub(prevAt).Seconds()
 				rate := 0.0
 				if dt > 0 {
@@ -109,14 +120,16 @@ func LatencySeries(records []kafkasim.SinkRecord) []LatencyPoint {
 }
 
 // Percentile returns the p-quantile (0..1) of the values; 0 for empty.
+// It uses nearest-rank selection: the index p*(n-1) is rounded to the
+// closest integer rather than truncated, so e.g. the p99 of 5 values
+// picks the maximum (rank 3.96 → 4), not the second-largest.
 func Percentile(values []int64, p float64) int64 {
 	if len(values) == 0 {
 		return 0
 	}
 	sorted := append([]int64(nil), values...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+	return sorted[percentileIndex(len(sorted), p)]
 }
 
 // PercentileF is Percentile over float64 values.
@@ -126,8 +139,20 @@ func PercentileF(values []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+	return sorted[percentileIndex(len(sorted), p)]
+}
+
+// percentileIndex maps a quantile to a nearest-rank index, clamped to the
+// valid range (p outside [0,1] saturates).
+func percentileIndex(n int, p float64) int {
+	idx := int(math.Round(p * float64(n-1)))
+	if idx < 0 {
+		return 0
+	}
+	if idx > n-1 {
+		return n - 1
+	}
+	return idx
 }
 
 // Latencies projects the latency values of a series.
@@ -153,6 +178,16 @@ func RecoveryTime(points []LatencyPoint, failAtMs int64, tolerance float64, hold
 	var pre []int64
 	for _, p := range points {
 		if p.ArrivalMs < failAtMs {
+			pre = append(pre, p.LatencyMs)
+		}
+	}
+	if len(pre) == 0 {
+		// The failure precedes every observation, so there is no
+		// pre-failure window to define "normal". Use the whole series'
+		// shape instead: if it is steady the first point already counts
+		// as recovered, and if the head is disturbed the tail's
+		// percentiles still bound what steady state looks like.
+		for _, p := range points {
 			pre = append(pre, p.LatencyMs)
 		}
 	}

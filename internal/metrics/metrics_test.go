@@ -32,6 +32,46 @@ func TestPercentileF(t *testing.T) {
 	}
 }
 
+func TestPercentileNearestRank(t *testing.T) {
+	// 1..100: nearest-rank selection must not truncate the index — the
+	// p99 of 100 values is 99 (rank 98.01 → 98), and small slices round
+	// toward the tail instead of always down.
+	hundred := make([]int64, 100)
+	for i := range hundred {
+		hundred[i] = int64(i + 1)
+	}
+	five := []int64{10, 20, 30, 40, 50}
+	cases := []struct {
+		name string
+		vals []int64
+		p    float64
+		want int64
+	}{
+		{"p50-of-100", hundred, 0.50, 51},  // rank 49.5 rounds half away from zero → 50
+		{"p95-of-100", hundred, 0.95, 95},  // rank 94.05 → 94
+		{"p99-of-100", hundred, 0.99, 99},  // rank 98.01 → 98
+		{"p100-of-100", hundred, 1.0, 100},
+		{"p50-of-5", five, 0.50, 30},
+		{"p95-of-5", five, 0.95, 50}, // rank 3.8 rounds up (was 40 with truncation)
+		{"p99-of-5", five, 0.99, 50}, // rank 3.96 rounds up (was 40 with truncation)
+		{"p0", five, 0, 10},
+		{"over-one-clamps", five, 1.5, 50},
+		{"negative-clamps", five, -0.5, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.vals, c.p); got != c.want {
+			t.Errorf("%s: Percentile = %d, want %d", c.name, got, c.want)
+		}
+		fv := make([]float64, len(c.vals))
+		for i, v := range c.vals {
+			fv[i] = float64(v)
+		}
+		if got := PercentileF(fv, c.p); got != float64(c.want) {
+			t.Errorf("%s: PercentileF = %v, want %v", c.name, got, float64(c.want))
+		}
+	}
+}
+
 func TestLatencySeriesSorted(t *testing.T) {
 	recs := []kafkasim.SinkRecord{
 		{ArrivalMs: 200, EmitMs: 150},
@@ -176,6 +216,64 @@ func TestRecoveryTimePreFailureTailEnvelope(t *testing.T) {
 	}
 	if d != 300*time.Millisecond {
 		t.Fatalf("recovery time = %v, want 300ms", d)
+	}
+}
+
+func TestRecoveryTimeAllPointsPostFailure(t *testing.T) {
+	// No pre-failure points: "normal" falls back to the whole series'
+	// shape, so a steady series counts as recovered at its first
+	// observed point — regardless of its absolute latency level.
+	var pts []LatencyPoint
+	for ts := int64(1000); ts < 2000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 3})
+	}
+	d, ok := RecoveryTime(pts, 500, 0.10, 300)
+	if !ok {
+		t.Fatal("recovery never detected with empty pre-failure window")
+	}
+	if d != 500*time.Millisecond {
+		t.Fatalf("recovery time = %v, want 500ms (first observed point)", d)
+	}
+	for i := range pts {
+		pts[i].LatencyMs = 50
+	}
+	d, ok = RecoveryTime(pts, 500, 0.10, 300)
+	if !ok || d != 500*time.Millisecond {
+		t.Fatalf("flat 50ms series: got (%v, %v), want recovery at first point", d, ok)
+	}
+}
+
+func TestRecoveryTimeNeverSettlesSuffix(t *testing.T) {
+	// Latency settles briefly but degrades again through the series end:
+	// the suffix-stability rule must report not-recovered.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	for ts := int64(1000); ts < 1500; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10}) // looks fine...
+	}
+	for ts := int64(1500); ts < 3000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 800}) // ...then degrades for good
+	}
+	if _, ok := RecoveryTime(pts, 1000, 0.10, 300); ok {
+		t.Fatal("recovery reported though the series never stays settled")
+	}
+}
+
+func TestRecoveryTimeHoldLongerThanPostFailureSpan(t *testing.T) {
+	// Latency returns to baseline immediately, but the post-failure span
+	// (400ms) is shorter than the required hold window (500ms): there is
+	// not enough settled evidence to declare recovery.
+	var pts []LatencyPoint
+	for ts := int64(0); ts < 1000; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	for ts := int64(1000); ts < 1400; ts += 50 {
+		pts = append(pts, LatencyPoint{ArrivalMs: ts, LatencyMs: 10})
+	}
+	if _, ok := RecoveryTime(pts, 1000, 0.10, 500); ok {
+		t.Fatal("recovery reported though the hold window exceeds the post-failure span")
 	}
 }
 

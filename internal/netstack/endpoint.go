@@ -3,9 +3,22 @@ package netstack
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"clonos/internal/obs"
 	"clonos/internal/types"
 )
+
+// EndpointMetrics instruments an endpoint's receive path. All fields are
+// optional (nil-safe): Accepted counts messages accepted into the queue,
+// Blocked counts Push calls that stalled on the credit limit, and
+// BlockedNs accumulates the stalled nanoseconds. One instance is shared
+// by every endpoint of a gate, so the counters aggregate per task.
+type EndpointMetrics struct {
+	Accepted  *obs.Counter
+	Blocked   *obs.Counter
+	BlockedNs *obs.Counter
+}
 
 // Endpoint is the receiver side of one FIFO channel. Senders block in Push
 // when the bounded queue is full (backpressure); the owning input gate pops
@@ -34,6 +47,11 @@ type Endpoint struct {
 	// expectFirst, when non-zero, is the only seq accepted as the first
 	// message after AcceptFrom.
 	expectFirst uint64
+	// gen, when non-zero, binds the endpoint to one sender incarnation:
+	// only messages stamped with this generation are accepted. Rebind
+	// sets it when a recovering sender takes over the channel, fencing
+	// off the crashed predecessor's lingering sends.
+	gen uint64
 	// unbounded lifts the credit limit while the channel is blocked for
 	// barrier alignment: the consumer is deliberately not draining it,
 	// and capping the queue would deadlock the producer against the
@@ -45,6 +63,9 @@ type Endpoint struct {
 	// notify is signalled (non-blocking) whenever the queue goes
 	// non-empty. It is shared with the owning gate.
 	notify chan<- struct{}
+	// metrics, when set, counts accepted messages and credit-limit
+	// stalls.
+	metrics *EndpointMetrics
 	// onAccept, when set, is invoked for every accepted message before
 	// Push returns. The task routes this to its causal-log manager so
 	// piggybacked determinant deltas are logged as soon as the buffer is
@@ -86,14 +107,31 @@ func (ep *Endpoint) ID() types.ChannelID { return ep.id }
 // bug and returns an error.
 func (ep *Endpoint) Push(m *Message) error {
 	ep.mu.Lock()
-	for len(ep.queue) >= ep.credit && !ep.unbounded && !ep.broken && !ep.closed {
-		ep.sendCond.Wait()
+	if len(ep.queue) >= ep.credit && !ep.unbounded && !ep.broken && !ep.closed {
+		mx := ep.metrics
+		if mx != nil {
+			mx.Blocked.Inc()
+		}
+		start := time.Now()
+		for len(ep.queue) >= ep.credit && !ep.unbounded && !ep.broken && !ep.closed &&
+			(ep.gen == 0 || m.Gen == ep.gen) {
+			ep.sendCond.Wait()
+		}
+		if mx != nil {
+			mx.BlockedNs.AddDuration(time.Since(start))
+		}
 	}
 	if ep.closed {
 		ep.mu.Unlock()
 		return ErrChannelClosed
 	}
 	if ep.broken || !ep.accepting {
+		ep.mu.Unlock()
+		return ErrChannelBroken
+	}
+	if ep.gen != 0 && m.Gen != ep.gen {
+		// A fenced-off predecessor incarnation; reject as transient (the
+		// sender is dead, its channel just flips to pending and stops).
 		ep.mu.Unlock()
 		return ErrChannelBroken
 	}
@@ -125,9 +163,19 @@ func (ep *Endpoint) Push(m *Message) error {
 		ep.mu.Unlock()
 		return err
 	}
+	if ep.gen != 0 && m.Gen != ep.gen {
+		// Rebind fenced this sender off while the hook ran: the message
+		// must not become visible, or the rebinding recovery would count
+		// a seq whose bytes the replacement cannot reproduce.
+		ep.mu.Unlock()
+		return ErrChannelBroken
+	}
 	ep.anchored = true
 	ep.lastPushed = m.Seq
 	ep.queue = append(ep.queue, m)
+	if ep.metrics != nil {
+		ep.metrics.Accepted.Inc()
+	}
 	notify := ep.notify
 	ep.mu.Unlock()
 	if notify != nil {
@@ -137,6 +185,13 @@ func (ep *Endpoint) Push(m *Message) error {
 		}
 	}
 	return nil
+}
+
+// Instrument attaches receive-path metrics (may be nil to detach).
+func (ep *Endpoint) Instrument(m *EndpointMetrics) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.metrics = m
 }
 
 // SetOnAccept installs the accepted-message hook (see the field doc).
@@ -172,6 +227,24 @@ func (ep *Endpoint) Len() int {
 func (ep *Endpoint) LastPushed() uint64 {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	return ep.lastPushed
+}
+
+// Rebind atomically binds the endpoint to a new sender generation and
+// returns the last accepted seq. From this point on only messages stamped
+// with gen are accepted; anything else — notably a crashed predecessor's
+// in-flight send, which may have been parked on the credit limit across
+// the entire recovery protocol — is rejected with ErrChannelBroken. The
+// recovery protocol must rebind BEFORE sampling the sender-side dedup
+// floor and extracting determinants: the returned seq is then guaranteed
+// to count only messages whose piggybacked determinants the receiver has
+// ingested, keeping the replacement's re-executed byte stream identical
+// to the delivered prefix.
+func (ep *Endpoint) Rebind(gen uint64) uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.gen = gen
+	ep.sendCond.Broadcast()
 	return ep.lastPushed
 }
 

@@ -143,6 +143,24 @@ func (g *Gate) NextFrom(idx int, abort <-chan struct{}) (*Message, error) {
 	}
 }
 
+// QueuedBuffers reports the total number of buffers queued across all
+// endpoints (blocked or not) — the task's input backlog. Safe to call
+// from a metrics collector concurrent with the consuming task.
+func (g *Gate) QueuedBuffers() int {
+	n := 0
+	for _, ep := range g.eps {
+		n += ep.Len()
+	}
+	return n
+}
+
+// Instrument attaches one shared metrics instance to every endpoint.
+func (g *Gate) Instrument(m *EndpointMetrics) {
+	for _, ep := range g.eps {
+		ep.Instrument(m)
+	}
+}
+
 // HasData reports whether any unblocked channel has queued data.
 func (g *Gate) HasData() bool {
 	for i, ep := range g.eps {

@@ -32,6 +32,13 @@ type Message struct {
 	// must discard partial deserializer state from the predecessor's
 	// byte stream, which the new stream does not continue.
 	StreamReset bool
+	// Gen identifies the sender incarnation (connection generation).
+	// After an endpoint is Rebound to a recovering sender's generation,
+	// messages stamped with any other generation are rejected — in
+	// particular a crashed predecessor's lingering send, which may have
+	// been blocked on credit across the whole recovery protocol. Zero
+	// means unstamped (accepted unless the endpoint is bound).
+	Gen uint64
 }
 
 // ErrChannelBroken is returned when sending on a channel whose receiver has

@@ -106,6 +106,61 @@ func TestEndpointBreakUnblocksSender(t *testing.T) {
 	}
 }
 
+func TestEndpointRebindFencesPredecessor(t *testing.T) {
+	ep := NewEndpoint(ch(1, 0, 0), 4, nil, true)
+	old := func(seq uint64) *Message { return &Message{Channel: ep.ID(), Seq: seq, Gen: 1} }
+	new_ := func(seq uint64) *Message { return &Message{Channel: ep.ID(), Seq: seq, Gen: 2} }
+	// Unbound endpoint accepts any generation (normal operation).
+	for i := uint64(1); i <= 3; i++ {
+		if err := ep.Push(old(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lp := ep.Rebind(2); lp != 3 {
+		t.Fatalf("Rebind returned %d, want 3", lp)
+	}
+	// The predecessor's lingering send is rejected after the rebind...
+	if err := ep.Push(old(4)); !errors.Is(err, ErrChannelBroken) {
+		t.Fatalf("stale-generation push: err = %v, want ErrChannelBroken", err)
+	}
+	// ...while the replacement continues the FIFO stream.
+	if err := ep.Push(new_(4)); err != nil {
+		t.Fatal(err)
+	}
+	if lp := ep.LastPushed(); lp != 4 {
+		t.Fatalf("LastPushed = %d, want 4", lp)
+	}
+}
+
+func TestEndpointRebindEjectsBlockedSender(t *testing.T) {
+	ep := NewEndpoint(ch(1, 0, 0), 1, nil, true)
+	if err := ep.Push(&Message{Channel: ep.ID(), Seq: 1, Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The predecessor's last send parks on the credit limit (the receiver
+	// is busy) and stays there across the crash and recovery.
+	done := make(chan error, 1)
+	go func() { done <- ep.Push(&Message{Channel: ep.ID(), Seq: 2, Gen: 1}) }()
+	select {
+	case <-done:
+		t.Fatal("push on full endpoint did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ep.Rebind(2)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrChannelBroken) {
+			t.Fatalf("err = %v, want ErrChannelBroken", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Rebind did not eject the parked stale sender")
+	}
+	// The fenced send must not have become visible.
+	if lp := ep.LastPushed(); lp != 1 {
+		t.Fatalf("LastPushed = %d, want 1", lp)
+	}
+}
+
 func TestNetworkAttachSendDetach(t *testing.T) {
 	n := NewNetwork()
 	id := ch(2, 1, 3)

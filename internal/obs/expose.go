@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format 0.0.4: # HELP / # TYPE headers, one sample line per
+// instance, and for histograms the cumulative le-bucket series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	var cur *family
+	r.visit(func(f *family, inst *instance) {
+		if f != cur {
+			cur = f
+			if f.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		}
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(inst.labels, "", ""), inst.counter.Value())
+		case typeGauge:
+			var v float64
+			if inst.fn != nil {
+				v = inst.fn()
+			} else {
+				v = float64(inst.gauge.Value())
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(inst.labels, "", ""), formatFloat(v))
+		case typeHistogram:
+			h := inst.hist
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(inst.labels, "le", formatFloat(bound)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(inst.labels, "le", "+Inf"), h.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(inst.labels, "", ""), formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(inst.labels, "", ""), h.Count())
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...} with labels sorted by key, optionally
+// appending one extra pair (used for the histogram le label). Returns ""
+// when there are no labels at all.
+func labelString(labels Labels, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\n", "\\n")
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is a
+// string ("0.001", "+Inf") because JSON cannot encode infinity.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is one metric instance's state at snapshot time. Value
+// is a pointer so a counter or gauge legitimately at zero still renders,
+// while histograms (which use Count/Sum/Buckets instead) omit it.
+type MetricSnapshot struct {
+	Labels  Labels   `json:"labels,omitempty"`
+	Value   *float64 `json:"value,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one family's state at snapshot time.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// RegistrySnapshot is a point-in-time copy of every registered family,
+// suitable for JSON encoding.
+type RegistrySnapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot captures all families and instances.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	var cur *FamilySnapshot
+	var curFam *family
+	r.visit(func(f *family, inst *instance) {
+		if f != curFam {
+			curFam = f
+			snap.Families = append(snap.Families, FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ})
+			cur = &snap.Families[len(snap.Families)-1]
+		}
+		m := MetricSnapshot{Labels: inst.labels.clone()}
+		setValue := func(v float64) { m.Value = &v }
+		switch f.typ {
+		case typeCounter:
+			setValue(float64(inst.counter.Value()))
+		case typeGauge:
+			if inst.fn != nil {
+				setValue(inst.fn())
+			} else {
+				setValue(float64(inst.gauge.Value()))
+			}
+		case typeHistogram:
+			h := inst.hist
+			m.Count = h.Count()
+			m.Sum = h.Sum()
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				m.Buckets = append(m.Buckets, Bucket{LE: formatFloat(bound), Count: cum})
+			}
+			m.Buckets = append(m.Buckets, Bucket{LE: "+Inf", Count: h.Count()})
+		}
+		cur.Metrics = append(cur.Metrics, m)
+	})
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,369 @@
+// Package obs is the engine's observability layer: a low-overhead,
+// concurrency-safe metrics registry (atomic counters, gauges, callback
+// gauges, and fixed-bucket histograms organized into labeled families)
+// plus a structured span/event tracer for protocol-level timing such as
+// the recovery protocol's phases.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost: recording a metric is one atomic op (plus a bucket
+//     search for histograms). No locks, no allocation after the handle is
+//     created. Handles are looked up once (get-or-create) and cached by
+//     the instrumented component.
+//   - Nil safety: every handle method is a no-op on a nil receiver, and a
+//     nil *Registry hands out detached (unregistered but functional)
+//     handles, so instrumented packages never need nil checks.
+//   - Exposition: the registry renders Prometheus text format 0.0.4 and a
+//     JSON snapshot; see expose.go and server.go.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels is a set of label key/value pairs identifying one metric within
+// a family. Cardinality discipline is the caller's job: label values must
+// come from small, bounded sets (vertex names, pool kinds, phase names —
+// never record keys or sequence numbers).
+type Labels map[string]string
+
+// clone copies l so callers cannot mutate a registered label set.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// key builds the canonical instance key: sorted k=v pairs.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing uint64. Durations are recorded in
+// nanoseconds (name the family *_ns_total).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// AddDuration adds d as nanoseconds.
+func (c *Counter) AddDuration(d time.Duration) {
+	if c != nil && d > 0 {
+		c.v.Add(uint64(d))
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts and
+// a CAS-maintained float64 sum. Bucket bounds are upper-inclusive
+// (Prometheus "le" semantics); an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds (the Prometheus convention for
+// duration histograms).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start with the given factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// DefDurationBuckets spans 50µs..~26s, suitable for the engine's
+// buffer-handling through recovery-phase time scales.
+var DefDurationBuckets = ExpBuckets(50e-6, 2, 20)
+
+// metric family types.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// instance is one (labels, handle) member of a family.
+type instance struct {
+	labels  Labels
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups instances of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	bounds []float64 // histograms only; fixed at first registration
+	insts  map[string]*instance
+	order  []string // stable exposition order (registration order)
+}
+
+// Registry is a set of metric families. All methods are safe for
+// concurrent use. Handles returned by the getters are get-or-create:
+// the same (name, labels) always yields the same handle, so re-created
+// components (e.g. recovered tasks) keep counting where their
+// predecessor stopped.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. A nil registry returns a detached, functional counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	inst := r.instance(name, help, typeCounter, nil, labels)
+	if inst.counter == nil {
+		return &Counter{} // name registered with a different type
+	}
+	return inst.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	inst := r.instance(name, help, typeGauge, nil, labels)
+	if inst.gauge == nil {
+		return &Gauge{}
+	}
+	return inst.gauge
+}
+
+// GaugeFunc registers (or replaces) a callback gauge for (name, labels).
+// The callback is invoked at exposition time; it must be safe to call
+// concurrently with the component it observes. Re-registering the same
+// (name, labels) replaces the callback — recovered components re-register
+// over their dead predecessor's closure.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	inst := r.instance(name, help, typeGauge, nil, labels)
+	r.mu.Lock()
+	inst.fn = f
+	inst.gauge = nil
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. The family's bucket bounds are fixed by the first
+// registration; later bounds arguments are ignored.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	inst := r.instance(name, help, typeHistogram, bounds, labels)
+	if inst.hist == nil {
+		return newHistogram(bounds)
+	}
+	return inst.hist
+}
+
+// instance resolves (name, labels) to its instance, creating family and
+// instance as needed.
+func (r *Registry) instance(name, help, typ string, bounds []float64, labels Labels) *instance {
+	key := labels.key()
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if inst, ok := f.insts[key]; ok && f.typ == typ {
+			r.mu.RUnlock()
+			return inst
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, insts: make(map[string]*instance)}
+		if typ == typeHistogram {
+			if len(bounds) == 0 {
+				bounds = DefDurationBuckets
+			}
+			bs := append([]float64(nil), bounds...)
+			sort.Float64s(bs)
+			f.bounds = bs
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		// Type clash: hand back a detached instance rather than corrupting
+		// the registered family.
+		return &instance{labels: labels.clone()}
+	}
+	inst, ok := f.insts[key]
+	if !ok {
+		inst = &instance{labels: labels.clone()}
+		switch typ {
+		case typeCounter:
+			inst.counter = &Counter{}
+		case typeGauge:
+			inst.gauge = &Gauge{}
+		case typeHistogram:
+			inst.hist = newHistogram(f.bounds)
+		}
+		f.insts[key] = inst
+		f.order = append(f.order, key)
+	}
+	return inst
+}
+
+// visit iterates families and instances in registration order under the
+// read lock, copying out what exposition needs.
+func (r *Registry) visit(fn func(f *family, inst *instance)) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			fn(f, f.insts[key])
+		}
+	}
+}

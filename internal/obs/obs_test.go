@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("clonos_test_total", "help", Labels{"vertex": "map", "subtask": "0"})
+	b := r.Counter("clonos_test_total", "help", Labels{"subtask": "0", "vertex": "map"})
+	if a != b {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("clonos_test_total", "help", Labels{"vertex": "map", "subtask": "1"})
+	if a == c {
+		t.Fatalf("distinct labels returned the same counter")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", nil)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("detached counter did not count")
+	}
+	g := r.Gauge("y", "", nil)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("detached gauge did not store")
+	}
+	h := r.Histogram("z", "", []float64{1}, nil)
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Fatalf("detached histogram did not observe")
+	}
+	r.GaugeFunc("f", "", nil, func() float64 { return 1 })
+
+	var nc *Counter
+	nc.Inc()
+	nc.Add(3)
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(-1)
+	var nh *Histogram
+	nh.Observe(1)
+	var sp *Span
+	sp.Mark("m")
+	sp.SetAttr("k", "v")
+	sp.End()
+	var tr *Tracer
+	tr.Emit("e", nil, nil)
+	if tr.Events() != nil || tr.Spans() != nil {
+		t.Fatalf("nil tracer returned non-nil slices")
+	}
+}
+
+func TestTypeClashDetaches(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("clonos_clash", "", nil)
+	c.Inc()
+	g := r.Gauge("clonos_clash", "", nil)
+	g.Set(99)
+	if c.Value() != 1 {
+		t.Fatalf("clash corrupted registered counter")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "99") {
+		t.Fatalf("detached clash instance leaked into exposition:\n%s", b.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("clonos_h", "h help", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# HELP clonos_h h help",
+		"# TYPE clonos_h histogram",
+		`clonos_h_bucket{le="0.1"} 2`,
+		`clonos_h_bucket{le="1"} 3`,
+		`clonos_h_bucket{le="10"} 4`,
+		`clonos_h_bucket{le="+Inf"} 5`,
+		"clonos_h_sum 55.65",
+		"clonos_h_count 5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestGaugeFuncAndReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("clonos_depth", "", Labels{"q": "a"}, func() float64 { return 3 })
+	// A recovered component re-registers over its predecessor.
+	r.GaugeFunc("clonos_depth", "", Labels{"q": "a"}, func() float64 { return 8 })
+	snap := r.Snapshot()
+	if len(snap.Families) != 1 || len(snap.Families[0].Metrics) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	if got := snap.Families[0].Metrics[0].Value; got == nil || *got != 8 {
+		t.Fatalf("gauge func value = %v, want 8 (replacement)", got)
+	}
+}
+
+func TestPrometheusLabelRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clonos_lbl_total", "", Labels{"vertex": `we"ird`, "subtask": "0"}).Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `clonos_lbl_total{subtask="0",vertex="we\"ird"} 2`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestSnapshotJSONHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("clonos_js", "", []float64{1}, nil).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON with +Inf bucket: %v", err)
+	}
+	if !strings.Contains(b.String(), `"+Inf"`) {
+		t.Fatalf("JSON snapshot missing +Inf bucket:\n%s", b.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("clonos_conc_total", "", Labels{"worker": "shared"})
+			h := r.Histogram("clonos_conc_seconds", "", []float64{0.001, 0.1}, nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-4)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("clonos_conc_total", "", Labels{"worker": "shared"}).Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("clonos_conc_seconds", "", nil, nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSpanPhases(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("recovery", map[string]string{"task": "1/0"})
+	sp.Mark("standby-activated")
+	time.Sleep(2 * time.Millisecond)
+	sp.Mark("determinants-retrieved")
+	sp.SetAttr("mode", "clonos")
+	rec := sp.End()
+
+	if rec.Name != "recovery" || rec.Attr("task") != "1/0" || rec.Attr("mode") != "clonos" {
+		t.Fatalf("span record metadata wrong: %+v", rec)
+	}
+	phases := rec.Phases()
+	if len(phases) != 2 || phases[0].Name != "standby-activated" || phases[1].Name != "determinants-retrieved" {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if d, ok := rec.Phase("determinants-retrieved"); !ok || d < 2*time.Millisecond {
+		t.Fatalf("determinants-retrieved phase = %v ok=%v, want >= 2ms", d, ok)
+	}
+	if rec.Duration() < 2*time.Millisecond {
+		t.Fatalf("total duration %v too short", rec.Duration())
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "recovery" {
+		t.Fatalf("tracer spans = %+v", spans)
+	}
+
+	// End is idempotent and post-End mutation is ignored.
+	sp.Mark("late")
+	sp.SetAttr("x", "y")
+	again := sp.End()
+	if len(again.Marks) != 2 || again.Attr("x") != "" || !again.End.Equal(rec.End) {
+		t.Fatalf("End not idempotent: %+v", again)
+	}
+	if len(tr.Spans()) != 1 {
+		t.Fatalf("double End published twice")
+	}
+}
+
+func TestTracerBounds(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimits(4, 2)
+	for i := 0; i < 10; i++ {
+		tr.Emit("e", i, nil)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 || evs[0].Payload.(int) != 6 || evs[3].Payload.(int) != 9 {
+		t.Fatalf("bounded events = %+v", evs)
+	}
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s", nil).End()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("bounded spans len = %d, want 2", got)
+	}
+	de, ds := tr.Dropped()
+	if de != 6 || ds != 3 {
+		t.Fatalf("dropped = (%d, %d), want (6, 3)", de, ds)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clonos_srv_total", "served", nil).Add(3)
+	s, err := StartServer("127.0.0.1:0", func() *Registry { return r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "clonos_srv_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	body, _ = get("/metrics.json")
+	if !strings.Contains(body, `"clonos_srv_total"`) {
+		t.Fatalf("/metrics.json missing family:\n%s", body)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars missing memstats:\n%s", body[:min(len(body), 200)])
+	}
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ missing index")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

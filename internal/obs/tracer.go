@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one timestamped occurrence recorded by a Tracer. Payload
+// carries a caller-defined structured value (e.g. the job package's Event
+// struct) so higher-level APIs can be rebuilt from the trace.
+type Event struct {
+	Time    time.Time
+	Name    string
+	Attrs   map[string]string
+	Payload any
+}
+
+// Mark is a named instant inside a span.
+type Mark struct {
+	Name string
+	At   time.Time
+}
+
+// Phase is one segment of a span: the interval ending at the mark with
+// this name, measured from the previous mark (or the span start).
+type Phase struct {
+	Name string
+	Dur  time.Duration
+}
+
+// SpanRecord is the immutable result of an ended span.
+type SpanRecord struct {
+	Name  string
+	Attrs map[string]string
+	Start time.Time
+	End   time.Time
+	Marks []Mark
+}
+
+// Duration returns the span's total wall time.
+func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Phases decomposes the span into consecutive mark-to-mark segments. The
+// first phase is measured from the span start; marks are assumed to be in
+// time order (Mark appends monotonically).
+func (s SpanRecord) Phases() []Phase {
+	out := make([]Phase, 0, len(s.Marks))
+	prev := s.Start
+	for _, m := range s.Marks {
+		out = append(out, Phase{Name: m.Name, Dur: m.At.Sub(prev)})
+		prev = m.At
+	}
+	return out
+}
+
+// Phase returns the duration of the named phase segment.
+func (s SpanRecord) Phase(name string) (time.Duration, bool) {
+	for _, p := range s.Phases() {
+		if p.Name == name {
+			return p.Dur, true
+		}
+	}
+	return 0, false
+}
+
+// Attr returns the attribute value for key ("" when absent).
+func (s SpanRecord) Attr(key string) string { return s.Attrs[key] }
+
+// Span is an in-progress named operation. Marks partition it into
+// phases; attributes carry outcome metadata (e.g. aborted=crashed).
+// All methods are safe for concurrent use and nil-receiver safe.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	name  string
+	attrs map[string]string
+	start time.Time
+	marks []Mark
+	ended bool
+	rec   SpanRecord
+}
+
+// Mark records a named instant, ending the current phase.
+func (s *Span) Mark(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.marks = append(s.marks, Mark{Name: name, At: time.Now()})
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr sets an attribute on the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.attrs == nil {
+			s.attrs = make(map[string]string)
+		}
+		s.attrs[k] = v
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span, publishes it to the tracer, and returns the
+// record. Idempotent: later calls return the first record.
+func (s *Span) End() SpanRecord {
+	if s == nil {
+		return SpanRecord{}
+	}
+	s.mu.Lock()
+	if s.ended {
+		rec := s.rec
+		s.mu.Unlock()
+		return rec
+	}
+	s.ended = true
+	s.rec = SpanRecord{
+		Name:  s.name,
+		Attrs: s.attrs,
+		Start: s.start,
+		End:   time.Now(),
+		Marks: append([]Mark(nil), s.marks...),
+	}
+	rec := s.rec
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.addSpan(rec)
+	}
+	return rec
+}
+
+// Tracer collects events and ended spans in bounded rings: the newest
+// maxEvents/maxSpans entries are kept, and older ones are counted as
+// dropped rather than growing memory without bound on long runs.
+type Tracer struct {
+	mu            sync.Mutex
+	events        []Event
+	spans         []SpanRecord
+	maxEvents     int
+	maxSpans      int
+	droppedEvents uint64
+	droppedSpans  uint64
+}
+
+const (
+	defaultMaxEvents = 8192
+	defaultMaxSpans  = 1024
+)
+
+// NewTracer creates a tracer with default bounds.
+func NewTracer() *Tracer {
+	return &Tracer{maxEvents: defaultMaxEvents, maxSpans: defaultMaxSpans}
+}
+
+// SetLimits overrides the event/span retention bounds (values <= 0 keep
+// the current bound). For tests.
+func (t *Tracer) SetLimits(maxEvents, maxSpans int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if maxEvents > 0 {
+		t.maxEvents = maxEvents
+	}
+	if maxSpans > 0 {
+		t.maxSpans = maxSpans
+	}
+	t.mu.Unlock()
+}
+
+// Emit records an event.
+func (t *Tracer) Emit(name string, payload any, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Name: name, Attrs: attrs, Payload: payload}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	if len(t.events) > t.maxEvents {
+		drop := len(t.events) - t.maxEvents
+		t.events = append(t.events[:0], t.events[drop:]...)
+		t.droppedEvents += uint64(drop)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in arrival order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// StartSpan begins a span. End() publishes it to this tracer.
+func (t *Tracer) StartSpan(name string, attrs map[string]string) *Span {
+	var a map[string]string
+	if len(attrs) > 0 {
+		a = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			a[k] = v
+		}
+	}
+	return &Span{tracer: t, name: name, attrs: a, start: time.Now()}
+}
+
+func (t *Tracer) addSpan(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	if len(t.spans) > t.maxSpans {
+		drop := len(t.spans) - t.maxSpans
+		t.spans = append(t.spans[:0], t.spans[drop:]...)
+		t.droppedSpans += uint64(drop)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the retained ended spans in end order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Dropped reports how many events and spans fell out of the rings.
+func (t *Tracer) Dropped() (events, spans uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedEvents, t.droppedSpans
+}
