@@ -22,6 +22,12 @@
 //	  text format), /metrics.json, /debug/vars, and /debug/pprof/.
 //	clonos-bench -metrics-dump metrics.json -experiment fig5
 //	  writes a JSON snapshot of the final registry on exit.
+//	clonos-bench -bench-json results.json -experiment fig6a
+//	  writes machine-readable results (throughput, recovery percentiles,
+//	  per-phase breakdown) for regression diffing.
+//	clonos-bench -record trace.jsonl -experiment fig6a
+//	  streams tracer spans/events plus periodic registry samples to a
+//	  JSONL flight recording; inspect with clonos-trace.
 package main
 
 import (
@@ -42,10 +48,34 @@ func main() {
 	queries := flag.String("queries", "", "comma-separated query subset for fig5 (default: all)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	metricsDump := flag.String("metrics-dump", "", "write a JSON snapshot of the final run's metrics to this file on exit")
+	benchJSON := flag.String("bench-json", "", "write machine-readable experiment results to this file on exit")
+	recordPath := flag.String("record", "", "write a JSONL flight recording (tracer spans/events + registry samples) to this file")
+	recordSample := flag.Duration("record-sample", 250*time.Millisecond, "registry sampling interval for -record")
 	flag.Parse()
 
+	var recorder *obs.Recorder
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: %v\n", err)
+			os.Exit(1)
+		}
+		recorder = obs.NewRecorder(f, obs.RecorderConfig{})
+		harness.SetRecorder(recorder)
+		recorder.StartSampling(harness.CurrentRegistry, *recordSample)
+		defer func() {
+			if err := recorder.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder: %v\n", err)
+			}
+			if n := recorder.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "flight recorder: dropped %d records (queue overflow)\n", n)
+			}
+			f.Close()
+		}()
+	}
+
 	if *metricsAddr != "" {
-		srv, err := obs.StartServer(*metricsAddr, harness.CurrentRegistry)
+		srv, err := obs.StartServer(*metricsAddr, harness.CurrentRegistry, harness.CurrentTracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)
@@ -53,9 +83,28 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
 	}
+	var report *harness.BenchReport
+	if *benchJSON != "" {
+		report = harness.NewBenchReport()
+		report.Options["experiment"] = *experiment
+		report.Options["parallelism"] = *parallelism
+		if *rate > 0 {
+			report.Options["rate"] = *rate
+		}
+		if *duration > 0 {
+			report.Options["duration"] = duration.String()
+		}
+	}
+
 	// Runs after the experiments; a failed dump fails the process so
 	// scripts don't read success from a run whose snapshot was lost.
 	dump := func() {
+		if report != nil {
+			if err := report.WriteFile(*benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *metricsDump == "" {
 			return
 		}
@@ -98,10 +147,13 @@ func main() {
 		if *queries != "" {
 			opt.Queries = splitCSV(*queries)
 		}
-		_, err := harness.Fig5(w, opt)
+		rows, err := harness.Fig5(w, opt)
+		if err == nil {
+			report.Add("fig5", rows)
+		}
 		return err
 	}
-	fig6 := func(query string, vertex int32, rateOverride int) func() error {
+	fig6 := func(name, query string, vertex int32, rateOverride int) func() error {
 		return func() error {
 			opt := harness.DefaultFig6Options()
 			opt.Parallelism = *parallelism
@@ -114,11 +166,14 @@ func main() {
 			if *duration > 0 {
 				opt.Duration = *duration
 			}
-			_, err := harness.Fig6Single(w, query, vertex, opt)
+			res, err := harness.Fig6Single(w, query, vertex, opt)
+			if err == nil {
+				report.Add(name, harness.Fig6Summaries(res))
+			}
 			return err
 		}
 	}
-	fig6multi := func(concurrent bool) func() error {
+	fig6multi := func(name string, concurrent bool) func() error {
 		return func() error {
 			opt := harness.DefaultFig6Options()
 			if *rate > 0 {
@@ -128,17 +183,20 @@ func main() {
 			if *duration > 0 {
 				opt.Duration = *duration
 			}
-			_, err := harness.Fig6Multi(w, concurrent, opt)
+			res, err := harness.Fig6Multi(w, concurrent, opt)
+			if err == nil {
+				report.Add(name, harness.Fig6Summaries(res))
+			}
 			return err
 		}
 	}
 
 	experiments := map[string]func() error{
 		"fig5":   fig5,
-		"fig6a":  fig6("Q3", 3, 0), // fail the Q3 join operator
-		"fig6b":  fig6("Q8", 3, 0), // fail the Q8 windowed join
-		"fig6c":  fig6multi(false),
-		"fig6d":  fig6multi(true),
+		"fig6a":  fig6("fig6a", "Q3", 3, 0), // fail the Q3 join operator
+		"fig6b":  fig6("fig6b", "Q8", 3, 0), // fail the Q8 windowed join
+		"fig6c":  fig6multi("fig6c", false),
+		"fig6d":  fig6multi("fig6d", true),
 		"table1": func() error { harness.Table1(w); return nil },
 		"mem": func() error {
 			opt := harness.DefaultMemOptions()
@@ -148,7 +206,10 @@ func main() {
 			if *duration > 0 {
 				opt.Duration = *duration
 			}
-			_, err := harness.MemStudy(w, opt)
+			rows, err := harness.MemStudy(w, opt)
+			if err == nil {
+				report.Add("mem", rows)
+			}
 			return err
 		},
 		"guarantees": func() error {
@@ -156,7 +217,10 @@ func main() {
 			if *rate > 0 {
 				opt.Rate = *rate
 			}
-			_, err := harness.Guarantees(w, opt)
+			rows, err := harness.Guarantees(w, opt)
+			if err == nil {
+				report.Add("guarantees", rows)
+			}
 			return err
 		},
 		"dsd": func() error {
@@ -167,7 +231,10 @@ func main() {
 			if *duration > 0 {
 				opt.Duration = *duration
 			}
-			_, err := harness.DSDSweep(w, opt)
+			rows, err := harness.DSDSweep(w, opt)
+			if err == nil {
+				report.Add("dsd", rows)
+			}
 			return err
 		},
 	}

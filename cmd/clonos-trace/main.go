@@ -1,0 +1,328 @@
+// Command clonos-trace inspects JSONL flight recordings produced by
+// clonos-bench -record or downloaded from a running job's /debug/trace
+// endpoint.
+//
+// Usage:
+//
+//	clonos-trace trace.jsonl
+//	  prints a human summary: checkpoint-epoch durations and the slowest
+//	  epochs with per-phase breakdowns, alignment outliers, recovery
+//	  spans, stall events, and watermark stagnation between samples.
+//	clonos-trace -top 10 trace.jsonl
+//	  widens the outlier lists.
+//	clonos-trace -chrome trace.json trace.jsonl
+//	  converts the recording to Chrome trace_event JSON; open it in
+//	  Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Reading "-" takes the recording from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"clonos/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 5, "how many slowest epochs / alignment outliers to list")
+	chrome := flag.String("chrome", "", "convert the recording to Chrome trace_event JSON at this path instead of summarizing")
+	stallGap := flag.Duration("stall-gap", 2*time.Second, "report watermarks that stay flat across samples for longer than this")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clonos-trace [-top N] [-chrome out.json] [-stall-gap 2s] <recording.jsonl | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clonos-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := obs.ReadTraceJSONL(in)
+	if err != nil {
+		if len(recs) == 0 {
+			fmt.Fprintf(os.Stderr, "clonos-trace: %v\n", err)
+			os.Exit(1)
+		}
+		// A truncated tail (recorder killed mid-write) is expected in
+		// post-mortem use; summarize what parsed.
+		fmt.Fprintf(os.Stderr, "clonos-trace: warning: %v (summarizing %d records)\n", err, len(recs))
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "clonos-trace: recording is empty")
+		os.Exit(1)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clonos-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, recs); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clonos-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records); open in ui.perfetto.dev or chrome://tracing\n", *chrome, len(recs))
+		return
+	}
+
+	summarize(os.Stdout, recs, *top, *stallGap)
+}
+
+func summarize(w io.Writer, recs []obs.TraceRecord, top int, stallGap time.Duration) {
+	base := recs[0].TS
+	end := base
+	counts := map[string]int{}
+	var checkpoints, recoveries, restarts []obs.TraceRecord
+	var stalls []obs.TraceRecord
+	var samples []obs.TraceRecord
+	for _, r := range recs {
+		counts[r.Type]++
+		if r.TS > end {
+			end = r.TS
+		}
+		if r.End > end {
+			end = r.End
+		}
+		switch r.Type {
+		case obs.RecordSpan:
+			switch r.Name {
+			case "checkpoint":
+				checkpoints = append(checkpoints, r)
+			case "recovery":
+				recoveries = append(recoveries, r)
+			case "global-restart":
+				restarts = append(restarts, r)
+			}
+		case obs.RecordEvent:
+			switch r.Name {
+			case "task-stall", "alignment-stall", "epoch-stall", "alignment-superseded":
+				stalls = append(stalls, r)
+			}
+		case obs.RecordSample:
+			samples = append(samples, r)
+		}
+	}
+
+	fmt.Fprintf(w, "recording: %d records (%d events, %d spans, %d samples) over %s\n",
+		len(recs), counts[obs.RecordEvent], counts[obs.RecordSpan], counts[obs.RecordSample],
+		time.Duration(end-base).Round(time.Millisecond))
+
+	summarizeCheckpoints(w, checkpoints, base, top)
+	summarizeRecoveries(w, recoveries, restarts, base)
+	summarizeStalls(w, stalls, base)
+	summarizeWatermarks(w, samples, base, stallGap)
+}
+
+// epochStats is the derived timing of one checkpoint-epoch span.
+type epochStats struct {
+	rec     obs.TraceRecord
+	aborted string // abort reason, "" when completed
+	// alignment is first-barrier -> last align-complete; zero when the
+	// epoch never reached alignment (or had nothing to align).
+	alignment time.Duration
+	// persist / acks measure trigger -> last snapshot / last ack.
+	persist, acks time.Duration
+}
+
+func newEpochStats(r obs.TraceRecord) epochStats {
+	st := epochStats{rec: r, aborted: r.Attrs["aborted"]}
+	firstBarrier, haveBarrier := r.Mark("first-barrier")
+	var lastAlign, lastSnap, lastAck int64
+	for _, m := range r.Marks {
+		switch {
+		case strings.HasPrefix(m.Name, "align-complete:"):
+			if m.At > lastAlign {
+				lastAlign = m.At
+			}
+		case strings.HasPrefix(m.Name, "snapshot-persisted:"):
+			if m.At > lastSnap {
+				lastSnap = m.At
+			}
+		case strings.HasPrefix(m.Name, "ack:"):
+			if m.At > lastAck {
+				lastAck = m.At
+			}
+		}
+	}
+	if haveBarrier && lastAlign > firstBarrier {
+		st.alignment = time.Duration(lastAlign - firstBarrier)
+	}
+	if lastSnap > r.TS {
+		st.persist = time.Duration(lastSnap - r.TS)
+	}
+	if lastAck > r.TS {
+		st.acks = time.Duration(lastAck - r.TS)
+	}
+	return st
+}
+
+func summarizeCheckpoints(w io.Writer, spans []obs.TraceRecord, base int64, top int) {
+	fmt.Fprintf(w, "\ncheckpoint epochs: %d\n", len(spans))
+	if len(spans) == 0 {
+		return
+	}
+	var stats []epochStats
+	var durs []time.Duration
+	abortReasons := map[string]int{}
+	for _, r := range spans {
+		st := newEpochStats(r)
+		stats = append(stats, st)
+		if st.aborted != "" {
+			abortReasons[st.aborted]++
+			continue
+		}
+		durs = append(durs, r.Duration())
+	}
+	if len(abortReasons) > 0 {
+		var parts []string
+		for reason, n := range abortReasons {
+			parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(w, "  aborted: %s\n", strings.Join(parts, " "))
+	}
+	if len(durs) > 0 {
+		fmt.Fprintf(w, "  completed %d: duration p50=%s p99=%s max=%s\n",
+			len(durs), durPercentile(durs, 0.5), durPercentile(durs, 0.99), durPercentile(durs, 1))
+	}
+
+	slowest := append([]epochStats(nil), stats...)
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].rec.Duration() > slowest[j].rec.Duration() })
+	fmt.Fprintf(w, "  slowest epochs:\n")
+	for i, st := range slowest {
+		if i >= top {
+			break
+		}
+		status := "complete"
+		if st.aborted != "" {
+			status = "aborted:" + st.aborted
+		}
+		fmt.Fprintf(w, "    cp %-4s t=%7s  total=%-9s align=%-9s persist=%-9s acks=%-9s %s\n",
+			st.rec.Attrs["cp"], rel(st.rec.TS, base),
+			fmtD(st.rec.Duration()), fmtD(st.alignment), fmtD(st.persist), fmtD(st.acks), status)
+	}
+
+	outliers := append([]epochStats(nil), stats...)
+	sort.Slice(outliers, func(i, j int) bool { return outliers[i].alignment > outliers[j].alignment })
+	if len(outliers) > 0 && outliers[0].alignment > 0 {
+		fmt.Fprintf(w, "  alignment outliers (first-barrier -> last align-complete):\n")
+		for i, st := range outliers {
+			if i >= top || st.alignment == 0 {
+				break
+			}
+			fmt.Fprintf(w, "    cp %-4s t=%7s  align=%s\n", st.rec.Attrs["cp"], rel(st.rec.TS, base), fmtD(st.alignment))
+		}
+	}
+}
+
+func summarizeRecoveries(w io.Writer, recoveries, restarts []obs.TraceRecord, base int64) {
+	fmt.Fprintf(w, "\nrecovery spans: %d local, %d global restarts\n", len(recoveries), len(restarts))
+	for _, r := range recoveries {
+		fmt.Fprintf(w, "  task %-6s t=%7s  total=%s  %s\n",
+			r.Attrs["task"], rel(r.TS, base), fmtD(r.Duration()), fmtRecordPhases(r))
+	}
+	for _, r := range restarts {
+		fmt.Fprintf(w, "  global restart (%s) t=%7s total=%s\n", r.Attrs["reason"], rel(r.TS, base), fmtD(r.Duration()))
+	}
+}
+
+func summarizeStalls(w io.Writer, stalls []obs.TraceRecord, base int64) {
+	fmt.Fprintf(w, "\nstall / supersede events: %d\n", len(stalls))
+	for _, r := range stalls {
+		line := fmt.Sprintf("  %-21s t=%7s task=%s", r.Name, rel(r.TS, base), r.Attrs["task"])
+		if info := r.Attrs["info"]; info != "" {
+			line += "  " + info
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// summarizeWatermarks scans the sampled clonos_task_watermark_ms series
+// for stretches where a task's emitted watermark did not advance between
+// consecutive samples for longer than gap — the recorded-data view of
+// what the live stall watchdog detects.
+func summarizeWatermarks(w io.Writer, samples []obs.TraceRecord, base int64, gap time.Duration) {
+	if len(samples) < 2 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].TS < samples[j].TS })
+	type flat struct {
+		fromTS, toTS int64
+		val          float64
+	}
+	cur := map[string]*flat{}    // open flat stretch per series
+	worst := map[string]flat{}   // longest stretch per series
+	for _, s := range samples {
+		for key, v := range s.Vals {
+			if !strings.HasPrefix(key, "clonos_task_watermark_ms{") {
+				continue
+			}
+			c := cur[key]
+			if c == nil || c.val != v {
+				cur[key] = &flat{fromTS: s.TS, toTS: s.TS, val: v}
+				continue
+			}
+			c.toTS = s.TS
+			if best, ok := worst[key]; !ok || c.toTS-c.fromTS > best.toTS-best.fromTS {
+				worst[key] = *c
+			}
+		}
+	}
+	var keys []string
+	for key, f := range worst {
+		if time.Duration(f.toTS-f.fromTS) > gap {
+			keys = append(keys, key)
+		}
+	}
+	fmt.Fprintf(w, "\nwatermark stagnation (flat > %s between samples): %d series\n", gap, len(keys))
+	sort.Strings(keys)
+	for _, key := range keys {
+		f := worst[key]
+		fmt.Fprintf(w, "  %s flat for %s (t=%s..%s)\n",
+			key, time.Duration(f.toTS-f.fromTS).Round(time.Millisecond), rel(f.fromTS, base), rel(f.toTS, base))
+	}
+}
+
+func fmtRecordPhases(r obs.TraceRecord) string {
+	var parts []string
+	for _, p := range r.Phases() {
+		parts = append(parts, fmt.Sprintf("%s=%s", p.Name, fmtD(p.Dur)))
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtD(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// rel renders an absolute unix-nano timestamp as seconds since the
+// recording started.
+func rel(ts, base int64) string {
+	return fmt.Sprintf("%.2fs", time.Duration(ts-base).Seconds())
+}
+
+func durPercentile(durs []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Round(100 * time.Microsecond)
+}

@@ -72,6 +72,7 @@ type Pool struct {
 	// backpressure instrumentation (nil-safe; see Instrument)
 	waits  *obs.Counter
 	waitNs *obs.Counter
+	stall  *obs.Histogram
 }
 
 // NewPool creates a pool holding n buffers of the given byte size.
@@ -98,6 +99,14 @@ func (p *Pool) Instrument(waits, waitNs *obs.Counter) {
 	p.waitNs = waitNs
 }
 
+// InstrumentStall additionally observes each starvation wait's duration
+// into a histogram (nil detaches).
+func (p *Pool) InstrumentStall(h *obs.Histogram) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stall = h
+}
+
 // waitLocked blocks until a buffer is free or the pool closes, recording
 // the backpressure wait. Callers hold p.mu.
 func (p *Pool) waitLocked() {
@@ -110,6 +119,7 @@ func (p *Pool) waitLocked() {
 		p.cond.Wait()
 	}
 	p.waitNs.AddDuration(time.Since(start))
+	p.stall.ObserveSince(start)
 }
 
 // Get returns a free buffer, blocking until one is available. It returns

@@ -203,6 +203,16 @@ type CoordinatorMetrics struct {
 	Duration  *obs.Histogram
 }
 
+// SpanName names the tracer span covering one checkpoint epoch, from
+// trigger to completion (or abort). Its marks record the protocol
+// milestones in arrival order: "first-barrier" when any task first sees
+// the epoch's barrier, "align-complete:<task>" when that task finishes
+// barrier alignment, "snapshot-persisted:<task>" when its snapshot
+// lands in the store, "ack:<task>" for each acknowledgement, and
+// "complete" when the epoch is declared done. Aborted epochs end with
+// an "aborted" attribute (pause | reset | timeout) instead.
+const SpanName = "checkpoint"
+
 type Coordinator struct {
 	interval time.Duration
 	timeout  time.Duration
@@ -210,6 +220,7 @@ type Coordinator struct {
 	trigger  func(cp types.CheckpointID)
 	complete func(cp types.CheckpointID)
 	metrics  CoordinatorMetrics
+	tracer   *obs.Tracer
 
 	mu        sync.Mutex
 	current   types.CheckpointID // checkpoint in flight, 0 = none
@@ -218,6 +229,8 @@ type Coordinator struct {
 	started   time.Time
 	completed types.CheckpointID
 	paused    bool
+	span      *obs.Span       // epoch span for the in-flight checkpoint
+	marked    map[string]bool // span marks already recorded (dedup)
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -241,6 +254,46 @@ func NewCoordinator(interval, timeout time.Duration, expected func() []types.Tas
 // Instrument attaches progress metrics. Call before Start.
 func (c *Coordinator) Instrument(m CoordinatorMetrics) {
 	c.metrics = m
+}
+
+// Trace attaches a tracer; each subsequent checkpoint epoch becomes a
+// SpanName span from trigger to completion/abort. Call before Start.
+func (c *Coordinator) Trace(tr *obs.Tracer) {
+	c.tracer = tr
+}
+
+// MarkCheckpoint records a named milestone on the in-flight epoch's
+// span. Marks for checkpoints that are not in flight are dropped (stale
+// barriers from recovered tasks), and each name is recorded at most once
+// per epoch — so "first-barrier" can be reported by every task and only
+// the first arrival lands on the span. Nil-safe without a tracer.
+func (c *Coordinator) MarkCheckpoint(cp types.CheckpointID, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cp != c.current || c.span == nil || c.marked[name] {
+		return
+	}
+	c.marked[name] = true
+	c.span.Mark(name)
+}
+
+// endSpanLocked detaches and finishes the in-flight epoch span. With a
+// non-empty abort reason the span gets an "aborted" attribute instead of
+// a "complete" mark. Caller holds c.mu; Span methods take only the
+// span's own lock, so ending under c.mu cannot deadlock.
+func (c *Coordinator) endSpanLocked(aborted string) {
+	sp := c.span
+	c.span = nil
+	c.marked = nil
+	if sp == nil {
+		return
+	}
+	if aborted != "" {
+		sp.SetAttr("aborted", aborted)
+	} else {
+		sp.Mark("complete")
+	}
+	sp.End()
 }
 
 // Start launches the coordinator loop.
@@ -269,6 +322,7 @@ func (c *Coordinator) Pause() {
 	c.paused = true
 	if c.current != 0 {
 		c.metrics.Aborted.Inc()
+		c.endSpanLocked("pause")
 	}
 	c.current = 0
 	c.acked = nil
@@ -295,6 +349,7 @@ func (c *Coordinator) Reset() {
 	defer c.mu.Unlock()
 	if c.current != 0 {
 		c.metrics.Aborted.Inc()
+		c.endSpanLocked("reset")
 	}
 	c.current = 0
 	c.acked = nil
@@ -310,6 +365,13 @@ func (c *Coordinator) Ack(cp types.CheckpointID, task types.TaskID) {
 		return
 	}
 	c.acked[task] = true
+	if c.span != nil {
+		name := "ack:" + task.String()
+		if !c.marked[name] {
+			c.marked[name] = true
+			c.span.Mark(name)
+		}
+	}
 	expected := c.expected()
 	for _, t := range expected {
 		if !c.acked[t] {
@@ -336,6 +398,7 @@ func (c *Coordinator) finishLocked() {
 	c.completed = cp
 	c.metrics.Completed.Inc()
 	c.metrics.Duration.ObserveSince(c.started)
+	c.endSpanLocked("")
 	complete := c.complete
 	c.mu.Unlock()
 	if complete != nil {
@@ -375,6 +438,7 @@ func (c *Coordinator) run() {
 				c.finishLocked()
 			} else if c.timeout > 0 && time.Since(c.started) > c.timeout {
 				c.metrics.Aborted.Inc()
+				c.endSpanLocked("timeout")
 				c.current = 0
 				c.acked = nil
 			}
@@ -391,6 +455,10 @@ func (c *Coordinator) run() {
 		c.acked = make(map[types.TaskID]bool)
 		c.started = time.Now()
 		c.metrics.Triggered.Inc()
+		if c.tracer != nil {
+			c.span = c.tracer.StartSpan(SpanName, map[string]string{"cp": fmt.Sprintf("%d", cp)})
+			c.marked = make(map[string]bool)
+		}
 		trigger := c.trigger
 		c.mu.Unlock()
 		lastTrigger = time.Now()

@@ -62,6 +62,23 @@ type Fig6Result struct {
 	System     string
 	Run        RunResult
 	Summary    recoverySummary
+	// Recoveries holds every repeat's recovery time (not just the
+	// median), so percentiles survive into the machine-readable report.
+	Recoveries []RecoverySample
+}
+
+// RecoverySample is one repeat's recovery measurement.
+type RecoverySample struct {
+	RecoveryMs float64 `json:"recovery_ms"`
+	OK         bool    `json:"ok"`
+}
+
+func recoverySamples(sums []recoverySummary) []RecoverySample {
+	out := make([]RecoverySample, 0, len(sums))
+	for _, s := range sums {
+		out = append(out, RecoverySample{RecoveryMs: float64(s.Recovery.Milliseconds()), OK: s.RecoveryOK})
+	}
+	return out
 }
 
 // fig6Systems fixes the comparison (and print) order.
@@ -122,7 +139,8 @@ func Fig6Single(w io.Writer, query string, failVertex int32, opt Fig6Options) ([
 	var out []Fig6Result
 	for _, system := range fig6Systems {
 		med, idx := medianSummary(sums[system])
-		out = append(out, Fig6Result{Experiment: query, System: system, Run: runs[system][idx], Summary: med})
+		out = append(out, Fig6Result{Experiment: query, System: system, Run: runs[system][idx], Summary: med,
+			Recoveries: recoverySamples(sums[system])})
 	}
 	if w != nil {
 		PrintFig6(w, fmt.Sprintf("single failure, NEXMark %s (Figures 6a/6e style, median of %d)", query, repeats), out)
@@ -197,7 +215,8 @@ func Fig6Multi(w io.Writer, concurrent bool, opt Fig6Options) ([]Fig6Result, err
 	var out []Fig6Result
 	for _, system := range fig6Systems {
 		med, idx := medianSummary(sums[system])
-		out = append(out, Fig6Result{Experiment: label, System: system, Run: runs[system][idx], Summary: med})
+		out = append(out, Fig6Result{Experiment: label, System: system, Run: runs[system][idx], Summary: med,
+			Recoveries: recoverySamples(sums[system])})
 	}
 	if w != nil {
 		name := fmt.Sprintf("three staggered failures (Figures 6c/6g style, median of %d)", repeats)

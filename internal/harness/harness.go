@@ -74,6 +74,22 @@ var currentObs atomic.Pointer[obs.Registry]
 // (or the most recent one); nil before the first run.
 func CurrentRegistry() *obs.Registry { return currentObs.Load() }
 
+// currentTracer points at the tracer of the run in progress, backing the
+// live /debug/trace endpoints across harness runs.
+var currentTracer atomic.Pointer[obs.Tracer]
+
+// CurrentTracer returns the tracer of the run currently executing (or
+// the most recent one); nil before the first run.
+func CurrentTracer() *obs.Tracer { return currentTracer.Load() }
+
+// recorder, when set, flight-records every subsequent harness run.
+var recorder atomic.Pointer[obs.Recorder]
+
+// SetRecorder attaches a flight recorder to all subsequent Run calls
+// (nil detaches). Each run's tracer streams its spans and events into
+// the recorder; the caller owns the recorder's lifecycle (Close).
+func SetRecorder(rec *obs.Recorder) { recorder.Store(rec) }
+
 // Run executes one measured job.
 func Run(spec RunSpec) (RunResult, error) {
 	topic := spec.NewTopic()
@@ -85,11 +101,17 @@ func Run(spec RunSpec) (RunResult, error) {
 	if spec.Cfg.Obs == nil {
 		spec.Cfg.Obs = obs.NewRegistry()
 	}
+	if spec.Cfg.TraceSink == nil {
+		if rec := recorder.Load(); rec != nil {
+			spec.Cfg.TraceSink = rec
+		}
+	}
 	currentObs.Store(spec.Cfg.Obs)
 	rt, err := job.NewRuntime(g, spec.Cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
+	currentTracer.Store(rt.Tracer())
 	if err := rt.Start(); err != nil {
 		return RunResult{}, err
 	}

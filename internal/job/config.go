@@ -106,6 +106,19 @@ type Config struct {
 	// the previous snapshot (§6.4); the snapshot store reconstructs the
 	// full image. The first snapshot after start or recovery is full.
 	IncrementalCheckpoints bool
+
+	// StallDeadline arms the runtime's stall watchdog: a tracer event
+	// fires when a running task's watermark/offset, a pending barrier
+	// alignment, or checkpoint completion stops advancing for this long.
+	// 0 disables the watchdog.
+	StallDeadline time.Duration
+	// TraceMaxEvents / TraceMaxSpans bound the tracer's retention rings
+	// (0 keeps the obs package defaults: 8192 events, 1024 spans).
+	TraceMaxEvents int
+	TraceMaxSpans  int
+	// TraceSink, when set, additionally receives every tracer event and
+	// ended span as it is published — the flight recorder plugs in here.
+	TraceSink obs.TracerSink
 }
 
 // DefaultConfig returns a configuration scaled for in-process experiments
@@ -127,6 +140,7 @@ func DefaultConfig() Config {
 		InFlight:               inflight.Config{Policy: inflight.PolicySpillThreshold, Threshold: 0.25},
 		TimestampGranularityMs: 1,
 		MailboxSize:            1024,
+		StallDeadline:          5 * time.Second,
 	}
 }
 

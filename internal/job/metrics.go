@@ -1,6 +1,7 @@
 package job
 
 import (
+	"math"
 	"strconv"
 
 	"clonos/internal/inflight"
@@ -20,6 +21,16 @@ type taskMetrics struct {
 	process    *obs.Histogram
 	align      *obs.Histogram
 	sync       *obs.Histogram
+	// alignBlocked observes how long each input channel stayed blocked
+	// for one barrier alignment (completed or superseded).
+	alignBlocked *obs.Histogram
+	// sendStall observes the wall time of each outbound push, including
+	// credit-limit stalls inside the receiving endpoint.
+	sendStall *obs.Histogram
+	// snapshots / snapshotBytes count completed task snapshots and their
+	// serialized size (state + timers).
+	snapshots     *obs.Counter
+	snapshotBytes *obs.Counter
 
 	ep      *netstack.EndpointMetrics
 	iflight *inflight.Metrics
@@ -39,10 +50,19 @@ func newTaskMetrics(reg *obs.Registry, vertexName string, subtask int32) *taskMe
 		process:    reg.Histogram("clonos_task_process_seconds", "Main-thread time handling one input buffer.", procBuckets, lbl),
 		align:      reg.Histogram("clonos_checkpoint_align_seconds", "Barrier alignment time (first barrier to snapshot).", obs.DefDurationBuckets, lbl),
 		sync:       reg.Histogram("clonos_checkpoint_sync_seconds", "Synchronous snapshot time on the main thread.", obs.DefDurationBuckets, lbl),
+		alignBlocked: reg.Histogram("clonos_checkpoint_blocked_channel_seconds",
+			"Per-channel blocked time during barrier alignment.", obs.DefDurationBuckets, lbl),
+		sendStall: reg.Histogram("clonos_outchannel_send_seconds",
+			"Wall time per outbound push, including receiver credit stalls.", procBuckets, lbl),
+		snapshots: reg.Counter("clonos_checkpoint_snapshots_total", "Task snapshots completed.", lbl),
+		snapshotBytes: reg.Counter("clonos_checkpoint_snapshot_bytes_total",
+			"Serialized snapshot bytes (state + timers) produced by the task.", lbl),
 		ep: &netstack.EndpointMetrics{
 			Accepted:  reg.Counter("clonos_netstack_accepted_total", "Messages accepted into the task's input queues.", lbl),
 			Blocked:   reg.Counter("clonos_netstack_send_blocked_total", "Sender pushes that stalled on the credit limit.", lbl),
 			BlockedNs: reg.Counter("clonos_netstack_send_blocked_ns_total", "Nanoseconds senders spent stalled on the credit limit.", lbl),
+			Stall: reg.Histogram("clonos_netstack_send_stall_seconds",
+				"Duration of each credit-limit stall on the task's input endpoints.", obs.DefDurationBuckets, lbl),
 		},
 		iflight: &inflight.Metrics{
 			Appended:     reg.Counter("clonos_inflight_appended_total", "Buffers retained in the in-flight log.", lbl),
@@ -59,6 +79,13 @@ func poolWaitCounters(reg *obs.Registry, vertexName string, subtask int32, pool 
 	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask)), "pool": pool}
 	return reg.Counter("clonos_buffer_wait_total", "Buffer acquisitions that blocked on an exhausted pool.", lbl),
 		reg.Counter("clonos_buffer_wait_ns_total", "Nanoseconds blocked waiting for a free buffer.", lbl)
+}
+
+// poolStallHistogram returns the starvation-duration histogram for one
+// of the task's buffer pools.
+func poolStallHistogram(reg *obs.Registry, vertexName string, subtask int32, pool string) *obs.Histogram {
+	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask)), "pool": pool}
+	return reg.Histogram("clonos_buffer_wait_seconds", "Duration of each blocked wait for a free buffer.", obs.DefDurationBuckets, lbl)
 }
 
 // causalMetrics returns the determinant counters for one task.
@@ -80,6 +107,57 @@ func (t *Task) registerGauges() {
 	if gate := t.gate; gate != nil {
 		reg.GaugeFunc("clonos_netstack_queue_depth", "Buffers queued across the task's input channels.", lbl,
 			func() float64 { return float64(gate.QueuedBuffers()) })
+		reg.GaugeFunc("clonos_task_blocked_channels", "Input channels currently blocked for barrier alignment.", lbl,
+			func() float64 { return float64(gate.BlockedChannels()) })
+	}
+	// Watermark progress gauges read the atomic shadows, so they are safe
+	// concurrent with the main thread. Values are raw stream timestamps in
+	// ms; unseeded channels surface as a huge negative number (MinInt64).
+	reg.GaugeFunc("clonos_task_watermark_ms", "Combined (min) watermark the task has emitted.", lbl,
+		func() float64 { return float64(t.wmShadow.Load()) })
+	for i := range t.chanWmShadow {
+		clbl := obs.Labels{"vertex": t.vertex.Name, "subtask": strconv.Itoa(int(t.id.Subtask)), "channel": strconv.Itoa(i)}
+		wm := &t.chanWmShadow[i]
+		reg.GaugeFunc("clonos_task_channel_watermark_ms", "Highest watermark received on one input channel.", clbl,
+			func() float64 { return float64(wm.Load()) })
+	}
+	if len(t.chanWmShadow) > 1 {
+		shadows := t.chanWmShadow
+		reg.GaugeFunc("clonos_task_watermark_skew_ms", "Spread (max-min) across seeded input-channel watermarks; the per-channel watermark lag.", lbl,
+			func() float64 {
+				lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+				seeded := 0
+				for i := range shadows {
+					v := shadows[i].Load()
+					if v == math.MinInt64 || v == math.MaxInt64 {
+						continue // unseeded or finished channels carry no lag signal
+					}
+					seeded++
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+				if seeded < 2 {
+					return 0
+				}
+				return float64(hi - lo)
+			})
+	}
+	if len(t.allOut) > 0 {
+		outs := t.allOut
+		reg.GaugeFunc("clonos_outchannel_pending", "Output channels with direct sends suppressed (receiver down or replay in progress).", lbl,
+			func() float64 {
+				n := 0
+				for _, oc := range outs {
+					if oc.isPending() {
+						n++
+					}
+				}
+				return float64(n)
+			})
 	}
 	if pool := t.logPool; pool != nil {
 		plbl := obs.Labels{"vertex": t.vertex.Name, "subtask": strconv.Itoa(int(t.id.Subtask)), "pool": "inflight-log"}
@@ -135,6 +213,7 @@ type runtimeMetrics struct {
 	reg             *obs.Registry
 	recoveries      *obs.Counter
 	recoverySeconds *obs.Histogram
+	stalledTasks    *obs.Gauge
 }
 
 func newRuntimeMetrics(reg *obs.Registry) runtimeMetrics {
@@ -142,6 +221,7 @@ func newRuntimeMetrics(reg *obs.Registry) runtimeMetrics {
 		reg:             reg,
 		recoveries:      reg.Counter("clonos_recovery_completed_total", "Local recoveries that reached caught-up.", nil),
 		recoverySeconds: reg.Histogram("clonos_recovery_seconds", "Failure-detection to caught-up wall time.", obs.DefDurationBuckets, nil),
+		stalledTasks:    reg.Gauge("clonos_stalled_tasks", "Tasks the stall watchdog currently considers stuck.", nil),
 	}
 }
 

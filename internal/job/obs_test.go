@@ -91,6 +91,34 @@ func TestRecoverySpanAndMetrics(t *testing.T) {
 		t.Errorf("last phase = %q, want caught-up (all: %v)", order[len(order)-1], order)
 	}
 
+	// At least one checkpoint epoch span must have completed with the
+	// lifecycle marks: trigger (span start), first-barrier, per-task
+	// alignment completions, snapshot persistence, acks, complete.
+	var epoch *obs.SpanRecord
+	for _, sp := range r.Tracer().Spans() {
+		if sp.Name == "checkpoint" && sp.Attr("aborted") == "" {
+			cp := sp
+			epoch = &cp
+			break
+		}
+	}
+	if epoch == nil {
+		t.Fatalf("no completed checkpoint span; spans: %+v", r.Tracer().Spans())
+	}
+	markPrefixes := map[string]bool{}
+	for _, m := range epoch.Marks {
+		name := m.Name
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		markPrefixes[name] = true
+	}
+	for _, want := range []string{"first-barrier", "align-complete", "snapshot-persisted", "ack", "complete"} {
+		if !markPrefixes[want] {
+			t.Errorf("checkpoint span missing %q mark; marks: %+v", want, epoch.Marks)
+		}
+	}
+
 	caughtUp := false
 	for _, ev := range r.Events() {
 		if ev.Kind == EventCaughtUp && ev.Task == failed {
@@ -118,6 +146,22 @@ func TestRecoverySpanAndMetrics(t *testing.T) {
 		"clonos_recovery_completed_total",
 		"clonos_recovery_phase_seconds_bucket",
 		"clonos_recovery_seconds_count",
+		"clonos_checkpoint_align_seconds",
+		"clonos_checkpoint_blocked_channel_seconds",
+		"clonos_checkpoint_snapshots_total",
+		"clonos_checkpoint_snapshot_bytes_total",
+		"clonos_outchannel_send_seconds",
+		"clonos_outchannel_pending",
+		"clonos_netstack_send_stall_seconds",
+		"clonos_buffer_wait_seconds",
+		"clonos_buffer_pool_free_buffers",
+		"clonos_task_watermark_ms",
+		"clonos_task_channel_watermark_ms",
+		"clonos_task_watermark_skew_ms",
+		"clonos_task_blocked_channels",
+		"clonos_stalled_tasks",
+		"clonos_tracer_ring_events",
+		"clonos_tracer_dropped_spans",
 	} {
 		if !strings.Contains(text, family) {
 			t.Errorf("exposition missing %s", family)

@@ -155,8 +155,22 @@ func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 }
 
 // send pushes a message to the live endpoint, returning the raw error.
+// The wall time of each push — including any credit-limit stall inside
+// the receiving endpoint — feeds the send-stall histogram, making
+// backpressure on this channel visible per sending task.
 func (oc *outChannel) send(m *netstack.Message) error {
-	return oc.task.env.net.Send(m)
+	start := time.Now()
+	err := oc.task.env.net.Send(m)
+	oc.task.metrics.sendStall.ObserveSince(start)
+	return err
+}
+
+// isPending reports whether direct sends are suppressed (receiver down
+// or replay in progress). Safe off-thread; backs the pending gauge.
+func (oc *outChannel) isPending() bool {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.pending
 }
 
 // startEpoch advances the channel's epoch after its barrier was flushed.

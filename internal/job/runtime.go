@@ -26,6 +26,15 @@ const (
 	EventCheckpointDone   EventKind = "checkpoint-complete"
 	EventOrphanFallback   EventKind = "orphan-global-fallback"
 	EventNodeFailure      EventKind = "node-failure"
+	// EventAlignSuperseded records a newer barrier cancelling a pending
+	// alignment (the older checkpoint was aborted mid-flight).
+	EventAlignSuperseded EventKind = "alignment-superseded"
+	// Watchdog events (see Config.StallDeadline): progress stopped on a
+	// task's input stream, a pending barrier alignment, or checkpoint
+	// completion respectively.
+	EventTaskStall      EventKind = "task-stall"
+	EventAlignmentStall EventKind = "alignment-stall"
+	EventEpochStall     EventKind = "epoch-stall"
 )
 
 // RecoverySpanName is the tracer span covering one local recovery, from
@@ -129,6 +138,11 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		obs:           cfg.Obs,
 		tracer:        obs.NewTracer(),
 	}
+	r.tracer.SetLimits(cfg.TraceMaxEvents, cfg.TraceMaxSpans)
+	if cfg.TraceSink != nil {
+		r.tracer.SetSink(cfg.TraceSink)
+	}
+	r.registerTracerHealth()
 	r.metrics = newRuntimeMetrics(r.obs)
 	r.snaps.Instrument(
 		r.obs.Counter("clonos_checkpoint_state_bytes_total", "State bytes received by the snapshot store.", obs.Labels{"kind": "full"}),
@@ -147,7 +161,30 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		Aborted:   r.obs.Counter("clonos_checkpoint_aborted_total", "Checkpoints abandoned (timeout or recovery pause).", nil),
 		Duration:  r.obs.Histogram("clonos_checkpoint_duration_seconds", "Trigger-to-completion checkpoint time.", obs.DefDurationBuckets, nil),
 	})
+	r.coord.Trace(r.tracer)
 	return r, nil
+}
+
+// registerTracerHealth exposes the tracer's own health: records that
+// fell out of the bounded rings and current ring occupancy.
+func (r *Runtime) registerTracerHealth() {
+	tr := r.tracer
+	r.obs.GaugeFunc("clonos_tracer_dropped_events", "Tracer events evicted from the bounded ring.", nil, func() float64 {
+		ev, _ := tr.Dropped()
+		return float64(ev)
+	})
+	r.obs.GaugeFunc("clonos_tracer_dropped_spans", "Tracer spans evicted from the bounded ring.", nil, func() float64 {
+		_, sp := tr.Dropped()
+		return float64(sp)
+	})
+	r.obs.GaugeFunc("clonos_tracer_ring_events", "Tracer events currently retained.", nil, func() float64 {
+		ev, _ := tr.Len()
+		return float64(ev)
+	})
+	r.obs.GaugeFunc("clonos_tracer_ring_spans", "Tracer spans currently retained.", nil, func() float64 {
+		_, sp := tr.Len()
+		return float64(sp)
+	})
 }
 
 // Obs returns the runtime's metrics registry.
@@ -193,6 +230,10 @@ func (r *Runtime) Start() error {
 	r.wg.Add(2)
 	go r.detector()
 	go r.recoveryWorker()
+	if r.cfg.StallDeadline > 0 {
+		r.wg.Add(1)
+		go r.watchdog()
+	}
 	return nil
 }
 
@@ -290,7 +331,13 @@ func (r *Runtime) TaskRecordCounts(v types.VertexID) (in, out uint64) {
 }
 
 func (r *Runtime) recordEvent(kind EventKind, id types.TaskID, info string) {
-	r.tracer.Emit(string(kind), Event{Time: time.Now(), Kind: kind, Task: id, Info: info}, nil)
+	// Attrs duplicate the payload's portable fields: the payload is not
+	// serialized into flight recordings, attributes are.
+	attrs := map[string]string{"task": id.String()}
+	if info != "" {
+		attrs["info"] = info
+	}
+	r.tracer.Emit(string(kind), Event{Time: time.Now(), Kind: kind, Task: id, Info: info}, attrs)
 }
 
 // expectedAcks lists unfinished tasks (the coordinator's ack set).
@@ -348,7 +395,21 @@ func (r *Runtime) onSnapshot(snap *checkpoint.TaskSnapshot) {
 		r.reportTaskError(snap.Task, err)
 		return
 	}
+	r.coord.MarkCheckpoint(snap.Checkpoint, "snapshot-persisted:"+snap.Task.String())
 	r.coord.Ack(snap.Checkpoint, snap.Task)
+}
+
+// onBarrier marks the epoch span when a task sees the checkpoint's
+// barrier; the coordinator dedupes so only the first arrival lands.
+func (r *Runtime) onBarrier(cp types.CheckpointID, id types.TaskID) {
+	_ = id
+	r.coord.MarkCheckpoint(cp, "first-barrier")
+}
+
+// onAlignmentComplete marks the epoch span when one task finished
+// barrier alignment.
+func (r *Runtime) onAlignmentComplete(cp types.CheckpointID, id types.TaskID) {
+	r.coord.MarkCheckpoint(cp, "align-complete:"+id.String())
 }
 
 // onTaskLive is called when a task finishes causally guided replay (or

@@ -95,7 +95,19 @@ type Task struct {
 	recordsIn    atomic.Uint64
 	recordsOut   atomic.Uint64
 	// alignStart is when the pending alignment's first barrier arrived.
-	alignStart  time.Time
+	alignStart time.Time
+	// blockStart records when each input channel was blocked for the
+	// pending alignment (zero = not blocked). Main thread only.
+	blockStart []time.Time
+
+	// Shadows of main-thread progress state, stored atomically so the
+	// stall watchdog and callback gauges can read them off-thread.
+	wmShadow      atomic.Int64
+	chanWmShadow  []atomic.Int64
+	offsetShadow  atomic.Uint64
+	alignStartNs  atomic.Int64 // 0 = no alignment pending
+	alignCpShadow atomic.Int64
+
 	heartbeatAt atomic.Int64
 	lastErr      atomic.Value
 	flushStop    chan struct{}
@@ -173,6 +185,7 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	t.metrics = newTaskMetrics(env.obs, vertex.Name, subtask)
 	if t.logPool != nil {
 		t.logPool.Instrument(poolWaitCounters(env.obs, vertex.Name, subtask, "inflight-log"))
+		t.logPool.InstrumentStall(poolStallHistogram(env.obs, vertex.Name, subtask, "inflight-log"))
 	}
 	if t.causal != nil {
 		appended, extractions := causalMetrics(env.obs, vertex.Name, subtask)
@@ -193,12 +206,14 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	})
 
 	outWaits, outWaitNs := poolWaitCounters(env.obs, vertex.Name, subtask, "output")
+	outStall := poolStallHistogram(env.obs, vertex.Name, subtask, "output")
 	for _, e := range vertex.OutEdges {
 		oe := &taskOutEdge{edge: e}
 		for to := int32(0); to < int32(e.To.Parallelism); to++ {
 			chID := channelID(e, subtask, to)
 			outPool := buffer.NewPool(cfg.ChannelBuffers, cfg.BufferSize)
 			outPool.Instrument(outWaits, outWaitNs)
+			outPool.InstrumentStall(outStall)
 			var log *inflight.Log
 			if logging {
 				l, err := inflight.NewLog(chID, t.logPool, cfg.InFlight)
@@ -226,6 +241,12 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	t.eosSeen = make([]bool, len(t.inIDs))
 	t.eosLeft = len(t.inIDs)
 	t.barriersSeen = make([]bool, len(t.inIDs))
+	t.blockStart = make([]time.Time, len(t.inIDs))
+	t.wmShadow.Store(math.MinInt64)
+	t.chanWmShadow = make([]atomic.Int64, len(t.inIDs))
+	for i := range t.chanWmShadow {
+		t.chanWmShadow[i].Store(math.MinInt64)
+	}
 
 	t.chn = newChain(t)
 	t.srcCtx = t.chn.sourceContext()
@@ -283,9 +304,12 @@ func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 	// epoch boundary — see the TaskSnapshot field docs for why guided
 	// re-execution diverges without this.
 	t.curWm = snap.CurWm
+	t.wmShadow.Store(snap.CurWm)
+	t.offsetShadow.Store(0)
 	for i, id := range t.inIDs {
 		if wm, ok := snap.ChanWms[id]; ok {
 			t.chanWms[i] = wm
+			t.chanWmShadow[i].Store(wm)
 		}
 	}
 	if t.causal != nil {
@@ -634,6 +658,7 @@ func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 		t.causal.AppendOrder(int32(idx))
 	}
 	t.offset++
+	t.offsetShadow.Store(t.offset)
 	d := t.desers[idx]
 	if m.StreamReset {
 		// A divergent sender incarnation: its byte stream does not
@@ -663,6 +688,7 @@ func (t *Task) handleElement(idx int, e types.Element) {
 	case types.KindWatermark:
 		if e.Timestamp > t.chanWms[idx] {
 			t.chanWms[idx] = e.Timestamp
+			t.chanWmShadow[idx].Store(e.Timestamp)
 			t.maybeAdvanceWatermark()
 		}
 	case types.KindBarrier:
@@ -672,6 +698,7 @@ func (t *Task) handleElement(idx int, e types.Element) {
 			t.eosSeen[idx] = true
 			t.eosLeft--
 			t.chanWms[idx] = math.MaxInt64
+			t.chanWmShadow[idx].Store(math.MaxInt64)
 			if t.eosLeft > 0 {
 				t.maybeAdvanceWatermark()
 			} else {
@@ -697,6 +724,7 @@ func (t *Task) maybeAdvanceWatermark() {
 // chain, and forwards the watermark downstream.
 func (t *Task) advanceWatermark(wm int64) {
 	t.curWm = wm
+	t.wmShadow.Store(wm)
 	for {
 		due := t.timerSvc.AdvanceWatermark(wm)
 		if len(due) == 0 {
@@ -720,6 +748,7 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	if cp < t.epoch {
 		return // stale barrier from a replayed stream, already covered
 	}
+	t.env.onBarrier(cp, t.id)
 	if len(t.inIDs) == 1 {
 		t.snapshot(cp)
 		return
@@ -727,15 +756,20 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	// A barrier of a newer checkpoint supersedes a pending alignment:
 	// the older checkpoint was aborted (its barriers may be lost with a
 	// failed task), so release the blocked channels and align on the
-	// newer one.
+	// newer one. The abandoned alignment must NOT feed the align
+	// histogram — it never completed — but the blocked-channel time was
+	// genuine backpressure and is recorded by releaseAlignment.
 	if t.aligning && cp > t.alignCp {
-		t.aligning = false
-		t.gate.UnblockAll()
+		t.env.recordEvent(EventAlignSuperseded, t.id,
+			fmt.Sprintf("cp %d superseded by cp %d", t.alignCp, cp))
+		t.releaseAlignment()
 	}
 	if !t.aligning {
 		t.aligning = true
 		t.alignCp = cp
 		t.alignStart = time.Now()
+		t.alignStartNs.Store(t.alignStart.UnixNano())
+		t.alignCpShadow.Store(int64(cp))
 		for i := range t.barriersSeen {
 			t.barriersSeen[i] = t.eosSeen[i] // finished channels need no barrier
 		}
@@ -753,11 +787,28 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	t.barriersLeft--
 	if t.barriersLeft > 0 {
 		t.gate.Block(idx)
+		t.blockStart[idx] = time.Now()
 		return
 	}
 	t.metrics.align.ObserveSince(t.alignStart)
+	t.env.onAlignmentComplete(cp, t.id)
 	t.snapshot(cp)
+	t.releaseAlignment()
+}
+
+// releaseAlignment ends a pending alignment (completed or superseded):
+// it folds each channel's genuine blocked time into the blocked-channel
+// histogram, clears the watchdog shadows, and reopens the gate.
+func (t *Task) releaseAlignment() {
+	for i := range t.blockStart {
+		if !t.blockStart[i].IsZero() {
+			t.metrics.alignBlocked.ObserveSince(t.blockStart[i])
+			t.blockStart[i] = time.Time{}
+		}
+	}
 	t.aligning = false
+	t.alignStartNs.Store(0)
+	t.alignCpShadow.Store(0)
 	t.gate.UnblockAll()
 }
 
@@ -826,8 +877,11 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	}
 	t.epoch = cp + 1
 	t.offset = 0
+	t.offsetShadow.Store(0)
 	t.svcs.StartEpoch()
 	t.metrics.sync.ObserveSince(syncStart)
+	t.metrics.snapshots.Inc()
+	t.metrics.snapshotBytes.Add(uint64(len(stateBytes) + len(timerBytes)))
 	t.env.onSnapshot(snap)
 }
 
@@ -919,6 +973,7 @@ func (t *Task) emitNextSourceElement(wait bool) bool {
 	e := t.pendingBatch[0]
 	t.pendingBatch = t.pendingBatch[1:]
 	t.offset++
+	t.offsetShadow.Store(t.offset)
 	switch e.Kind {
 	case types.KindRecord:
 		t.recordsIn.Add(1)

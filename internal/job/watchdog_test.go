@@ -1,0 +1,253 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"clonos/internal/kafkasim"
+	"clonos/internal/obs"
+	"clonos/internal/types"
+)
+
+// sinkTask builds an unstarted runtime plus a manually constructed sink
+// task (two input channels) so barrier handling can be driven directly
+// from the test, without network or goroutines.
+func sinkTask(t *testing.T, cfg Config) (*Runtime, *Task) {
+	t.Helper()
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := buildLinear(topic, sink, 2)
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := newTask(r, g.Vertices[2], 0)
+	tk.attachNetwork(true)
+	if len(tk.inIDs) != 2 {
+		t.Fatalf("sink task has %d input channels, want 2", len(tk.inIDs))
+	}
+	return r, tk
+}
+
+// countEvents returns how many recorded runtime events match the kind.
+func countEvents(r *Runtime, kind EventKind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAlignmentSupersededReleasesChannels exercises the barrier-supersede
+// path: a newer barrier cancelling a pending alignment must release the
+// blocked channels, must not record an alignment-time sample for the
+// abandoned epoch, and must still record the genuine blocked-channel
+// time.
+func TestAlignmentSupersededReleasesChannels(t *testing.T) {
+	r, tk := sinkTask(t, quickConfig(ModeClonos))
+
+	// First barrier of cp 1 on channel 0: alignment starts, channel 0
+	// blocks.
+	tk.handleBarrier(0, 1)
+	if !tk.aligning || tk.alignCp != 1 {
+		t.Fatalf("aligning=%v alignCp=%d after first barrier, want aligning on cp 1", tk.aligning, tk.alignCp)
+	}
+	if got := tk.gate.BlockedChannels(); got != 1 {
+		t.Fatalf("blocked channels = %d, want 1", got)
+	}
+	if got := tk.alignStartNs.Load(); got == 0 {
+		t.Error("alignStartNs not published for the watchdog")
+	}
+
+	// A barrier of cp 2 arrives on the same channel before cp 1 ever
+	// completed: cp 1 was aborted upstream, so its alignment is abandoned
+	// and channel 0 re-blocks for cp 2.
+	tk.handleBarrier(0, 2)
+	if !tk.aligning || tk.alignCp != 2 {
+		t.Fatalf("aligning=%v alignCp=%d after superseding barrier, want aligning on cp 2", tk.aligning, tk.alignCp)
+	}
+	if got := countEvents(r, EventAlignSuperseded); got != 1 {
+		t.Errorf("alignment-superseded events = %d, want 1", got)
+	}
+	if got := tk.metrics.align.Count(); got != 0 {
+		t.Errorf("align histogram count = %d after abandoned alignment, want 0 (never completed)", got)
+	}
+	if got := tk.metrics.alignBlocked.Count(); got != 1 {
+		t.Errorf("blocked-channel histogram count = %d, want 1 (cp 1's genuine blocked time)", got)
+	}
+	if got := tk.gate.BlockedChannels(); got != 1 {
+		t.Errorf("blocked channels = %d after supersede, want 1 (re-blocked for cp 2)", got)
+	}
+	if got := tk.alignCpShadow.Load(); got != 2 {
+		t.Errorf("alignCpShadow = %d, want 2", got)
+	}
+
+	// The second channel's cp-2 barrier completes the alignment: one
+	// align sample, channels released, watchdog shadows cleared.
+	tk.handleBarrier(1, 2)
+	if tk.aligning {
+		t.Error("still aligning after the last barrier")
+	}
+	if got := tk.metrics.align.Count(); got != 1 {
+		t.Errorf("align histogram count = %d after completed alignment, want 1", got)
+	}
+	if got := tk.gate.BlockedChannels(); got != 0 {
+		t.Errorf("blocked channels = %d after completion, want 0", got)
+	}
+	if got := tk.alignStartNs.Load(); got != 0 {
+		t.Errorf("alignStartNs = %d after completion, want 0", got)
+	}
+	if got := tk.metrics.snapshots.Value(); got != 1 {
+		t.Errorf("snapshots counter = %d, want 1", got)
+	}
+}
+
+// TestWatchdogAlignmentStall drives the watchdog scan directly: an
+// alignment pending past the deadline fires one alignment-stall event
+// and counts the task as stalled until it resolves.
+func TestWatchdogAlignmentStall(t *testing.T) {
+	cfg := quickConfig(ModeClonos)
+	cfg.StallDeadline = 50 * time.Millisecond
+	r, tk := sinkTask(t, cfg)
+	tk.state.Store(int32(stateRunning))
+	r.tasks[tk.id] = tk
+
+	tk.handleBarrier(0, 1) // alignment starts, never completes
+	ws := newWatchdogState(time.Now())
+	late := time.Now().Add(cfg.StallDeadline + time.Second)
+	if got := r.scanStalls(ws, late); got != 1 {
+		t.Errorf("stalled = %d, want 1 (pending alignment past deadline)", got)
+	}
+	if got := countEvents(r, EventAlignmentStall); got != 1 {
+		t.Fatalf("alignment-stall events = %d, want 1", got)
+	}
+	// A second scan must not re-report the same stuck epoch.
+	r.scanStalls(ws, late.Add(time.Second))
+	if got := countEvents(r, EventAlignmentStall); got != 1 {
+		t.Errorf("alignment-stall events after rescan = %d, want 1 (one event per stuck epoch)", got)
+	}
+
+	// Completing the alignment (plus some input progress, so the
+	// no-progress detector re-arms too) clears the stall.
+	tk.handleBarrier(1, 1)
+	tk.offsetShadow.Store(5)
+	if got := r.scanStalls(ws, late.Add(2*time.Second)); got != 0 {
+		t.Errorf("stalled = %d after alignment completed, want 0", got)
+	}
+}
+
+// TestWatchdogTaskStall verifies the no-progress detector: a running
+// task whose watermark and offset shadows stop moving past the deadline
+// fires one task-stall event, and any progress re-arms it.
+func TestWatchdogTaskStall(t *testing.T) {
+	cfg := quickConfig(ModeClonos)
+	cfg.StallDeadline = 50 * time.Millisecond
+	r, tk := sinkTask(t, cfg)
+	tk.state.Store(int32(stateRunning))
+	r.tasks[tk.id] = tk
+
+	t0 := time.Now()
+	ws := newWatchdogState(t0)
+	// First scan baselines the shadows; no stall yet.
+	if got := r.scanStalls(ws, t0); got != 0 {
+		t.Errorf("stalled = %d on baseline scan, want 0", got)
+	}
+	late := t0.Add(cfg.StallDeadline + time.Second)
+	if got := r.scanStalls(ws, late); got != 1 {
+		t.Errorf("stalled = %d past deadline, want 1", got)
+	}
+	if got := countEvents(r, EventTaskStall); got != 1 {
+		t.Fatalf("task-stall events = %d, want 1", got)
+	}
+	r.scanStalls(ws, late.Add(time.Second))
+	if got := countEvents(r, EventTaskStall); got != 1 {
+		t.Errorf("task-stall events after rescan = %d, want 1 (reported once)", got)
+	}
+
+	// Progress (an offset advance) re-arms the detector.
+	tk.offsetShadow.Store(7)
+	if got := r.scanStalls(ws, late.Add(2*time.Second)); got != 0 {
+		t.Errorf("stalled = %d after progress, want 0", got)
+	}
+	// A finished task (wm = MaxInt64) never counts as stalled.
+	tk.wmShadow.Store(math.MaxInt64)
+	if got := r.scanStalls(ws, late.Add(time.Hour)); got != 0 {
+		t.Errorf("stalled = %d for a drained task, want 0", got)
+	}
+}
+
+// TestWatchdogEpochStall verifies the global checkpoint-progress check:
+// no completed checkpoint past deadline + 2 intervals fires one
+// epoch-stall event while tasks are active and no recovery explains the
+// pause.
+func TestWatchdogEpochStall(t *testing.T) {
+	cfg := quickConfig(ModeClonos)
+	cfg.StallDeadline = 50 * time.Millisecond
+	r, tk := sinkTask(t, cfg)
+	tk.state.Store(int32(stateRunning))
+	r.tasks[tk.id] = tk
+
+	t0 := time.Now()
+	ws := newWatchdogState(t0)
+	r.scanStalls(ws, t0.Add(time.Millisecond))
+	if got := countEvents(r, EventEpochStall); got != 0 {
+		t.Fatalf("epoch-stall events = %d before the deadline, want 0", got)
+	}
+	late := t0.Add(cfg.StallDeadline + 2*cfg.CheckpointInterval + time.Second)
+	r.scanStalls(ws, late)
+	if got := countEvents(r, EventEpochStall); got != 1 {
+		t.Fatalf("epoch-stall events = %d past the deadline, want 1", got)
+	}
+	r.scanStalls(ws, late.Add(time.Second))
+	if got := countEvents(r, EventEpochStall); got != 1 {
+		t.Errorf("epoch-stall events after rescan = %d, want 1 (reported once)", got)
+	}
+	// A recovery in flight legitimately pauses checkpointing: no event.
+	ws2 := newWatchdogState(t0)
+	r.mu.Lock()
+	r.failedSet[tk.id] = true
+	r.mu.Unlock()
+	r.scanStalls(ws2, late.Add(time.Hour))
+	if got := countEvents(r, EventEpochStall); got != 1 {
+		t.Errorf("epoch-stall events during recovery = %d, want 1 (quiesced job exempt)", got)
+	}
+}
+
+// captureSink records everything a tracer forwards to its sink.
+type captureSink struct {
+	events []obs.Event
+	spans  []obs.SpanRecord
+}
+
+func (c *captureSink) OnEvent(ev obs.Event)     { c.events = append(c.events, ev) }
+func (c *captureSink) OnSpan(sp obs.SpanRecord) { c.spans = append(c.spans, sp) }
+
+// TestTracerConfigFromJobConfig verifies the runtime passes the job
+// config's trace limits and sink through to its tracer.
+func TestTracerConfigFromJobConfig(t *testing.T) {
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := buildLinear(topic, sink, 2)
+	cfg := quickConfig(ModeClonos)
+	cfg.TraceMaxEvents = 13
+	cfg.TraceMaxSpans = 7
+	cap := &captureSink{}
+	cfg.TraceSink = cap
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, sp := r.Tracer().Limits(); ev != 13 || sp != 7 {
+		t.Errorf("tracer limits = (%d, %d), want (13, 7)", ev, sp)
+	}
+	r.recordEvent(EventTaskStall, types.TaskID{Vertex: 1, Subtask: 0}, "synthetic")
+	if len(cap.events) != 1 || cap.events[0].Name != string(EventTaskStall) {
+		t.Fatalf("sink saw events %+v, want one task-stall", cap.events)
+	}
+	if got := cap.events[0].Attrs["info"]; got != "synthetic" {
+		t.Errorf("sink event info attr = %q, want %q", got, "synthetic")
+	}
+}

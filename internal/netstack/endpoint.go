@@ -11,13 +11,16 @@ import (
 
 // EndpointMetrics instruments an endpoint's receive path. All fields are
 // optional (nil-safe): Accepted counts messages accepted into the queue,
-// Blocked counts Push calls that stalled on the credit limit, and
-// BlockedNs accumulates the stalled nanoseconds. One instance is shared
-// by every endpoint of a gate, so the counters aggregate per task.
+// Blocked counts Push calls that stalled on the credit limit, BlockedNs
+// accumulates the stalled nanoseconds, and Stall observes each stall's
+// duration (the credit-wait distribution, not just its sum). One
+// instance is shared by every endpoint of a gate, so the counters
+// aggregate per task.
 type EndpointMetrics struct {
 	Accepted  *obs.Counter
 	Blocked   *obs.Counter
 	BlockedNs *obs.Counter
+	Stall     *obs.Histogram
 }
 
 // Endpoint is the receiver side of one FIFO channel. Senders block in Push
@@ -119,6 +122,7 @@ func (ep *Endpoint) Push(m *Message) error {
 		}
 		if mx != nil {
 			mx.BlockedNs.AddDuration(time.Since(start))
+			mx.Stall.ObserveSince(start)
 		}
 	}
 	if ep.closed {

@@ -2,6 +2,7 @@ package netstack
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"clonos/internal/types"
 )
@@ -18,9 +19,11 @@ var ErrGateClosed = errors.New("netstack: gate closed")
 // barrier alignment uses: data behind an already-received barrier stays
 // queued until the barriers of all channels have arrived.
 type Gate struct {
-	notify  chan struct{}
-	eps     []*Endpoint
-	blocked []bool
+	notify chan struct{}
+	eps    []*Endpoint
+	// blocked flags are written by the main thread only but read by
+	// off-thread metrics collectors (BlockedChannels), hence atomic.
+	blocked []atomic.Bool
 	// rr is the round-robin cursor that makes channel selection depend
 	// on arrival timing — honest nondeterminism, captured by ORDER.
 	rr int
@@ -33,7 +36,7 @@ type Gate struct {
 func NewGate(net *Network, ids []types.ChannelID, credit int, accepting bool) *Gate {
 	g := &Gate{notify: make(chan struct{}, 1)}
 	g.eps = make([]*Endpoint, 0, len(ids))
-	g.blocked = make([]bool, len(ids))
+	g.blocked = make([]atomic.Bool, len(ids))
 	for _, id := range ids {
 		ep := NewEndpoint(id, credit, g.notify, accepting)
 		net.Attach(ep)
@@ -53,14 +56,14 @@ func (g *Gate) Endpoint(idx int) *Endpoint { return g.eps[idx] }
 // not stall against the alignment, or backpressure cycles deadlock the
 // checkpoint (the Flink alignment-buffer behaviour).
 func (g *Gate) Block(idx int) {
-	g.blocked[idx] = true
+	g.blocked[idx].Store(true)
 	g.eps[idx].SetUnbounded(true)
 }
 
 // Unblock releases a channel blocked for alignment. It re-signals the
 // wake-up channel since blocked data may now be servable.
 func (g *Gate) Unblock(idx int) {
-	g.blocked[idx] = false
+	g.blocked[idx].Store(false)
 	g.eps[idx].SetUnbounded(false)
 	select {
 	case g.notify <- struct{}{}:
@@ -71,7 +74,7 @@ func (g *Gate) Unblock(idx int) {
 // UnblockAll releases every channel.
 func (g *Gate) UnblockAll() {
 	for i := range g.blocked {
-		g.blocked[i] = false
+		g.blocked[i].Store(false)
 		g.eps[i].SetUnbounded(false)
 	}
 	select {
@@ -90,7 +93,7 @@ func (g *Gate) Next(abort <-chan struct{}) (int, *Message, error) {
 		n := len(g.eps)
 		for off := 1; off <= n; off++ {
 			idx := (g.rr + off) % n
-			if g.blocked[idx] {
+			if g.blocked[idx].Load() {
 				continue
 			}
 			if m := g.eps[idx].Pop(); m != nil {
@@ -112,7 +115,7 @@ func (g *Gate) TryNext() (int, *Message, bool) {
 	n := len(g.eps)
 	for off := 1; off <= n; off++ {
 		idx := (g.rr + off) % n
-		if g.blocked[idx] {
+		if g.blocked[idx].Load() {
 			continue
 		}
 		if m := g.eps[idx].Pop(); m != nil {
@@ -154,6 +157,19 @@ func (g *Gate) QueuedBuffers() int {
 	return n
 }
 
+// BlockedChannels reports how many input channels are currently blocked
+// for barrier alignment. Safe to call from a metrics collector
+// concurrent with the consuming task.
+func (g *Gate) BlockedChannels() int {
+	n := 0
+	for i := range g.blocked {
+		if g.blocked[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // Instrument attaches one shared metrics instance to every endpoint.
 func (g *Gate) Instrument(m *EndpointMetrics) {
 	for _, ep := range g.eps {
@@ -164,7 +180,7 @@ func (g *Gate) Instrument(m *EndpointMetrics) {
 // HasData reports whether any unblocked channel has queued data.
 func (g *Gate) HasData() bool {
 	for i, ep := range g.eps {
-		if !g.blocked[i] && ep.Len() > 0 {
+		if !g.blocked[i].Load() && ep.Len() > 0 {
 			return true
 		}
 	}

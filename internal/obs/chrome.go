@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and ui.perfetto.dev). Timestamps and
+// durations are microseconds relative to the earliest record so traces
+// open centered instead of at the unix epoch.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Registry sample series worth plotting as counter tracks. Everything
+// else in a sample is ignored — counter tracks are expensive to render
+// and most families only make sense as a final snapshot.
+var chromeCounterPrefixes = []string{
+	"clonos_task_watermark_ms",
+	"clonos_task_watermark_skew_ms",
+	"clonos_task_blocked_channels",
+	"clonos_stalled_tasks",
+	"clonos_netstack_queue_depth",
+	"clonos_buffer_pool_free_buffers",
+}
+
+// WriteChromeTrace converts a flight recording to Chrome trace_event
+// JSON. Spans become complete ("X") slices with their marks as instant
+// events, tracer events become instants, and whitelisted registry
+// sample series become counter ("C") tracks. Records are grouped into
+// tracks by their "task" attribute (falling back to the record name) so
+// per-task activity lines up vertically in the viewer.
+func WriteChromeTrace(w io.Writer, recs []TraceRecord) error {
+	var t0 int64
+	for _, rec := range recs {
+		if t0 == 0 || (rec.TS != 0 && rec.TS < t0) {
+			t0 = rec.TS
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	tids := map[string]int{}
+	tid := func(track string) int {
+		id, ok := tids[track]
+		if !ok {
+			id = len(tids) + 1
+			tids[track] = id
+		}
+		return id
+	}
+	track := func(rec TraceRecord) string {
+		if task := rec.Attrs["task"]; task != "" {
+			return task
+		}
+		return rec.Name
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, rec := range recs {
+		switch rec.Type {
+		case RecordSpan:
+			args := attrArgs(rec.Attrs)
+			id := tid(track(rec))
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: rec.Name, Phase: "X", TS: us(rec.TS), Dur: us(rec.End) - us(rec.TS),
+				PID: 1, TID: id, Cat: "span", Args: args,
+			})
+			for _, m := range rec.Marks {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: m.Name, Phase: "i", TS: us(m.At), PID: 1, TID: id, Scope: "t", Cat: "mark",
+				})
+			}
+		case RecordEvent:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: rec.Name, Phase: "i", TS: us(rec.TS), PID: 1, TID: tid(track(rec)),
+				Scope: "t", Cat: "event", Args: attrArgs(rec.Attrs),
+			})
+		case RecordSample:
+			for key, val := range rec.Vals {
+				if !counterSeries(key) {
+					continue
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: key, Phase: "C", TS: us(rec.TS), PID: 1,
+					Args: map[string]any{"value": val},
+				})
+			}
+		}
+	}
+	// Counter events from map iteration arrive in random order; the
+	// viewers tolerate it but sorted output diffs cleanly in tests.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool { return out.TraceEvents[i].TS < out.TraceEvents[j].TS })
+
+	// Name the tracks after their grouping key.
+	names := make([]string, 0, len(tids))
+	for name := range tids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func counterSeries(key string) bool {
+	for _, p := range chromeCounterPrefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func attrArgs(attrs map[string]string) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		args[k] = v
+	}
+	return args
+}

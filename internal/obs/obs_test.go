@@ -265,7 +265,12 @@ func TestExpBuckets(t *testing.T) {
 func TestServerEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("clonos_srv_total", "served", nil).Add(3)
-	s, err := StartServer("127.0.0.1:0", func() *Registry { return r })
+	tr := NewTracer()
+	sp := tr.StartSpan("srv-span", map[string]string{"task": "1/0"})
+	sp.Mark("midpoint")
+	sp.End()
+	tr.Emit("srv-event", nil, nil)
+	s, err := StartServer("127.0.0.1:0", func() *Registry { return r }, func() *Tracer { return tr })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,6 +312,41 @@ func TestServerEndpoints(t *testing.T) {
 	body, _ = get("/debug/pprof/")
 	if !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ missing index")
+	}
+	body, ctype = get("/debug/trace")
+	if !strings.Contains(ctype, "ndjson") {
+		t.Fatalf("/debug/trace content type = %q", ctype)
+	}
+	recs, err := ReadTraceJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/debug/trace parse: %v", err)
+	}
+	var haveSpan, haveEvent, haveSample bool
+	for _, rec := range recs {
+		switch {
+		case rec.Type == RecordSpan && rec.Name == "srv-span":
+			haveSpan = true
+			if _, ok := rec.Mark("midpoint"); !ok {
+				t.Fatalf("span record lost its mark: %+v", rec)
+			}
+		case rec.Type == RecordEvent && rec.Name == "srv-event":
+			haveEvent = true
+		case rec.Type == RecordSample:
+			haveSample = true
+			if rec.Vals["clonos_srv_total"] != 3 {
+				t.Fatalf("sample missing counter: %v", rec.Vals)
+			}
+		}
+	}
+	if !haveSpan || !haveEvent || !haveSample {
+		t.Fatalf("span=%v event=%v sample=%v in %d records", haveSpan, haveEvent, haveSample, len(recs))
+	}
+	body, ctype = get("/debug/trace.chrome")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/trace.chrome content type = %q", ctype)
+	}
+	if !strings.Contains(body, `"traceEvents"`) || !strings.Contains(body, `"srv-span"`) {
+		t.Fatalf("/debug/trace.chrome missing span:\n%s", body[:min(len(body), 300)])
 	}
 }
 

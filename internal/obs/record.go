@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Flight-recording record types. A recording is a JSONL stream of
+// TraceRecord lines: tracer events and spans interleaved with periodic
+// registry samples, in arrival order. The same shape backs the live
+// /debug/trace endpoint and the clonos-trace CLI.
+const (
+	RecordEvent  = "event"
+	RecordSpan   = "span"
+	RecordSample = "sample"
+)
+
+// TraceMark is a named instant inside a recorded span (unix nanos).
+type TraceMark struct {
+	Name string `json:"name"`
+	At   int64  `json:"at"`
+}
+
+// TraceRecord is one line of a flight recording. TS is unix nanoseconds:
+// the event instant, the span start, or the sample time. End is set for
+// spans only. Vals carries a flattened registry sample keyed by
+// exposition-style instance names (`family{k="v"}`, histograms as
+// `_count`/`_sum`).
+type TraceRecord struct {
+	Type  string             `json:"type"`
+	Name  string             `json:"name,omitempty"`
+	TS    int64              `json:"ts"`
+	End   int64              `json:"end,omitempty"`
+	Attrs map[string]string  `json:"attrs,omitempty"`
+	Marks []TraceMark        `json:"marks,omitempty"`
+	Vals  map[string]float64 `json:"vals,omitempty"`
+}
+
+// Duration returns a span record's wall time (0 for non-spans).
+func (r TraceRecord) Duration() time.Duration {
+	if r.Type != RecordSpan || r.End == 0 {
+		return 0
+	}
+	return time.Duration(r.End - r.TS)
+}
+
+// Phases decomposes a span record into consecutive mark-to-mark
+// segments, mirroring SpanRecord.Phases.
+func (r TraceRecord) Phases() []Phase {
+	out := make([]Phase, 0, len(r.Marks))
+	prev := r.TS
+	for _, m := range r.Marks {
+		out = append(out, Phase{Name: m.Name, Dur: time.Duration(m.At - prev)})
+		prev = m.At
+	}
+	return out
+}
+
+// Mark returns the instant of the named mark (ok=false when absent).
+func (r TraceRecord) Mark(name string) (int64, bool) {
+	for _, m := range r.Marks {
+		if m.Name == name {
+			return m.At, true
+		}
+	}
+	return 0, false
+}
+
+// EventRecord converts a tracer event to its recording shape. The
+// structured payload is not serialized — attributes carry the portable
+// metadata.
+func EventRecord(ev Event) TraceRecord {
+	return TraceRecord{Type: RecordEvent, Name: ev.Name, TS: ev.Time.UnixNano(), Attrs: ev.Attrs}
+}
+
+// SpanTraceRecord converts an ended span to its recording shape.
+func SpanTraceRecord(sp SpanRecord) TraceRecord {
+	rec := TraceRecord{Type: RecordSpan, Name: sp.Name, TS: sp.Start.UnixNano(), End: sp.End.UnixNano(), Attrs: sp.Attrs}
+	for _, m := range sp.Marks {
+		rec.Marks = append(rec.Marks, TraceMark{Name: m.Name, At: m.At.UnixNano()})
+	}
+	return rec
+}
+
+// SampleRecord captures the registry's flattened state at time now.
+func SampleRecord(r *Registry, now time.Time) TraceRecord {
+	return TraceRecord{Type: RecordSample, TS: now.UnixNano(), Vals: r.Snapshot().Flatten()}
+}
+
+// Flatten renders the snapshot as a flat map keyed by exposition-style
+// instance names: counters and gauges map to their value, histograms to
+// `name_count` and `name_sum` entries.
+func (s RegistrySnapshot) Flatten() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range s.Families {
+		for _, m := range f.Metrics {
+			key := f.Name + labelString(m.Labels, "", "")
+			switch f.Type {
+			case typeHistogram:
+				out[key+"_count"] = float64(m.Count)
+				out[key+"_sum"] = m.Sum
+			default:
+				if m.Value != nil {
+					out[key] = *m.Value
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TracerRecords converts a tracer's retained events and spans into
+// recording shape, sorted by start time. Nil-safe.
+func TracerRecords(t *Tracer) []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	spans := t.Spans()
+	out := make([]TraceRecord, 0, len(events)+len(spans))
+	for _, ev := range events {
+		out = append(out, EventRecord(ev))
+	}
+	for _, sp := range spans {
+		out = append(out, SpanTraceRecord(sp))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// WriteTraceJSONL writes records as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, recs []TraceRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSONL parses a JSONL recording. Blank lines are skipped; a
+// malformed line fails with its line number so a truncated tail (the
+// recorder was killed mid-write) is easy to diagnose.
+func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []TraceRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return out, fmt.Errorf("obs: recording line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecorderConfig bounds a flight recorder. Zero values select defaults.
+type RecorderConfig struct {
+	// QueueSize bounds the in-memory record queue between the engine
+	// threads and the writer goroutine (default 8192). When full,
+	// records are dropped and counted rather than blocking publishers.
+	QueueSize int
+	// FlushInterval bounds how stale the underlying writer may be
+	// (default 500ms), so a recording survives a crash mostly intact.
+	FlushInterval time.Duration
+}
+
+// Recorder is a flight recorder: a TracerSink that streams every event,
+// ended span, and periodic registry sample to an io.Writer as JSONL
+// (one TraceRecord per line). Publishing is allocation-light and never
+// blocks — records are handed to a single writer goroutine through a
+// bounded queue and dropped (with a count) on overflow.
+type Recorder struct {
+	ch      chan TraceRecord
+	dropped atomic.Uint64
+
+	wg       sync.WaitGroup
+	sampStop chan struct{}
+	sampOnce sync.Once
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// NewRecorder starts a recorder writing to w. Close flushes and stops
+// the writer goroutine; it does not close w.
+func NewRecorder(w io.Writer, cfg RecorderConfig) *Recorder {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8192
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	r := &Recorder{
+		ch:       make(chan TraceRecord, cfg.QueueSize),
+		sampStop: make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.drain(w, cfg.FlushInterval)
+	return r
+}
+
+func (r *Recorder) drain(w io.Writer, flushEvery time.Duration) {
+	defer r.wg.Done()
+	bw := bufio.NewWriterSize(w, 64*1024)
+	enc := json.NewEncoder(bw)
+	tick := time.NewTicker(flushEvery)
+	defer tick.Stop()
+	fail := func(err error) {
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.mu.Unlock()
+	}
+	for {
+		select {
+		case rec, ok := <-r.ch:
+			if !ok {
+				if err := bw.Flush(); err != nil {
+					fail(err)
+				}
+				return
+			}
+			if err := enc.Encode(rec); err != nil {
+				fail(err)
+			}
+		case <-tick.C:
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// Push enqueues a record, dropping it (counted) if the queue is full or
+// the recorder is closed. Safe for concurrent use; nil-receiver safe.
+func (r *Recorder) Push(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	// Send under the lock so Close cannot close the channel between the
+	// check and the send; the channel send itself never blocks.
+	select {
+	case r.ch <- rec:
+	default:
+		r.dropped.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// OnEvent implements TracerSink.
+func (r *Recorder) OnEvent(ev Event) { r.Push(EventRecord(ev)) }
+
+// OnSpan implements TracerSink.
+func (r *Recorder) OnSpan(sp SpanRecord) { r.Push(SpanTraceRecord(sp)) }
+
+// StartSampling records a registry sample every interval until Close.
+// The source is re-resolved each tick (the harness swaps registries
+// between runs); nil results are skipped.
+func (r *Recorder) StartSampling(source func() *Registry, every time.Duration) {
+	if r == nil || source == nil {
+		return
+	}
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.sampStop:
+				return
+			case now := <-tick.C:
+				if reg := source(); reg != nil {
+					r.Push(SampleRecord(reg, now))
+				}
+			}
+		}
+	}()
+}
+
+// Dropped reports how many records overflowed the queue.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Occupancy reports the current and maximum queue depth.
+func (r *Recorder) Occupancy() (used, capacity int) {
+	if r == nil {
+		return 0, 0
+	}
+	return len(r.ch), cap(r.ch)
+}
+
+// Close stops sampling, drains queued records, flushes the writer, and
+// returns the first write error (if any). Idempotent.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.sampOnce.Do(func() { close(r.sampStop) })
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.ch)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

@@ -12,22 +12,28 @@ import (
 // Server serves metric exposition and the standard Go debug endpoints
 // over HTTP:
 //
-//	/metrics       Prometheus text format 0.0.4
-//	/metrics.json  JSON registry snapshot
-//	/debug/vars    expvar
-//	/debug/pprof/  runtime profiling
+//	/metrics             Prometheus text format 0.0.4
+//	/metrics.json        JSON registry snapshot
+//	/debug/trace         retained tracer spans/events + one registry sample, JSONL
+//	/debug/trace.chrome  the same, as Chrome trace_event JSON (Perfetto)
+//	/debug/vars          expvar
+//	/debug/pprof/        runtime profiling
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // StartServer listens on addr and serves exposition for whatever
-// registry source returns at request time (source may return nil, which
-// renders an empty page). The indirection lets a long-running process
-// expose the registry of the currently active experiment run.
-func StartServer(addr string, source func() *Registry) (*Server, error) {
+// registry source (and tracer, for the /debug/trace endpoints) the
+// callbacks return at request time; either may be nil or return nil,
+// which renders an empty page. The indirection lets a long-running
+// process expose the registry of the currently active experiment run.
+func StartServer(addr string, source func() *Registry, tracer func() *Tracer) (*Server, error) {
 	if source == nil {
 		source = func() *Registry { return nil }
+	}
+	if tracer == nil {
+		tracer = func() *Tracer { return nil }
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -41,6 +47,24 @@ func StartServer(addr string, source func() *Registry) (*Server, error) {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = source().WriteJSON(w)
+	})
+	// Live trace dump: everything the tracer rings still retain, plus a
+	// registry sample taken now so counter state rides along with the
+	// spans. Same record shape as the flight recorder's JSONL output.
+	liveRecords := func() []TraceRecord {
+		recs := TracerRecords(tracer())
+		if reg := source(); reg != nil {
+			recs = append(recs, SampleRecord(reg, time.Now()))
+		}
+		return recs
+	}
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteTraceJSONL(w, liveRecords())
+	})
+	mux.HandleFunc("/debug/trace.chrome", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, liveRecords())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

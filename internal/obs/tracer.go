@@ -137,9 +137,20 @@ func (s *Span) End() SpanRecord {
 	return rec
 }
 
+// TracerSink receives every event and ended span published to a Tracer,
+// synchronously on the publishing goroutine. Implementations must be
+// cheap and non-blocking (the flight recorder enqueues into a bounded
+// channel and drops on overflow rather than stalling the engine).
+type TracerSink interface {
+	OnEvent(Event)
+	OnSpan(SpanRecord)
+}
+
 // Tracer collects events and ended spans in bounded rings: the newest
 // maxEvents/maxSpans entries are kept, and older ones are counted as
-// dropped rather than growing memory without bound on long runs.
+// dropped rather than growing memory without bound on long runs. An
+// optional sink additionally receives every record as it is published,
+// unaffected by the ring bounds.
 type Tracer struct {
 	mu            sync.Mutex
 	events        []Event
@@ -148,6 +159,7 @@ type Tracer struct {
 	maxSpans      int
 	droppedEvents uint64
 	droppedSpans  uint64
+	sink          TracerSink
 }
 
 const (
@@ -160,8 +172,19 @@ func NewTracer() *Tracer {
 	return &Tracer{maxEvents: defaultMaxEvents, maxSpans: defaultMaxSpans}
 }
 
+// SetSink attaches a sink that receives every subsequent event and ended
+// span (nil detaches). The sink is invoked synchronously; see TracerSink.
+func (t *Tracer) SetSink(s TracerSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
 // SetLimits overrides the event/span retention bounds (values <= 0 keep
-// the current bound). For tests.
+// the current bound). job.Config.TraceMaxEvents/TraceMaxSpans route here.
 func (t *Tracer) SetLimits(maxEvents, maxSpans int) {
 	if t == nil {
 		return
@@ -189,7 +212,11 @@ func (t *Tracer) Emit(name string, payload any, attrs map[string]string) {
 		t.events = append(t.events[:0], t.events[drop:]...)
 		t.droppedEvents += uint64(drop)
 	}
+	sink := t.sink
 	t.mu.Unlock()
+	if sink != nil {
+		sink.OnEvent(ev)
+	}
 }
 
 // Events returns a copy of the retained events in arrival order.
@@ -222,7 +249,11 @@ func (t *Tracer) addSpan(rec SpanRecord) {
 		t.spans = append(t.spans[:0], t.spans[drop:]...)
 		t.droppedSpans += uint64(drop)
 	}
+	sink := t.sink
 	t.mu.Unlock()
+	if sink != nil {
+		sink.OnSpan(rec)
+	}
 }
 
 // Spans returns a copy of the retained ended spans in end order.
@@ -243,4 +274,24 @@ func (t *Tracer) Dropped() (events, spans uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.droppedEvents, t.droppedSpans
+}
+
+// Len reports the current ring occupancy (retained events and spans).
+func (t *Tracer) Len() (events, spans int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events), len(t.spans)
+}
+
+// Limits reports the retention bounds of the event and span rings.
+func (t *Tracer) Limits() (maxEvents, maxSpans int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.maxEvents, t.maxSpans
 }
