@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet race bench
+.PHONY: build check vet race bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,14 @@ race: vet
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# bench-smoke compiles and runs every benchmark exactly once so benches
+# cannot bit-rot (CI runs this; it is not a measurement).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -p 1 ./...
+
+# bench-json refreshes the hot-path trajectory baseline. The committed
+# BENCH_hotpath.json lets future PRs diff throughput, allocs/elem, and
+# the residual copy fractions of the zero-copy pipeline.
+bench-json:
+	$(GO) run ./cmd/clonos-hotpath -out BENCH_hotpath.json

@@ -1,0 +1,59 @@
+// Command clonos-hotpath benchmarks the zero-copy data-path hot loop —
+// serialize → dispatch → transmit → deserialize → decode — and writes a
+// machine-readable baseline so the perf trajectory can be tracked across
+// PRs (BENCH_hotpath.json; see `make bench-json`).
+//
+// Usage:
+//
+//	clonos-hotpath                      # print the table
+//	clonos-hotpath -out BENCH_hotpath.json
+//	clonos-hotpath -scenario int64     # run one scenario only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"clonos/internal/harness"
+	"clonos/internal/hotbench"
+)
+
+func main() {
+	out := flag.String("out", "", "write results as JSON to this path")
+	scenario := flag.String("scenario", "", "run only the named scenario")
+	flag.Parse()
+
+	var results []hotbench.Result
+	for _, sc := range hotbench.Scenarios() {
+		if *scenario != "" && sc.Name != *scenario {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", sc.Name)
+		results = append(results, hotbench.Measure(sc))
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "no scenario matches %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tns/elem\telems/s\tMB/s\tallocs/elem\tscratch%\tcopied%")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.0f\t%.1f\t%.2f\t%.3f%%\t%.3f%%\n",
+			r.Scenario, r.NsPerElem, r.ElemsPerSec, r.MBPerSec, r.AllocsPerOp,
+			100*r.ScratchFraction, 100*r.CopiedFraction)
+	}
+	tw.Flush()
+
+	if *out != "" {
+		rep := harness.NewBenchReport()
+		rep.Add("hotpath", results)
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

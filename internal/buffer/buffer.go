@@ -11,6 +11,7 @@ package buffer
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clonos/internal/obs"
@@ -23,6 +24,19 @@ const DefaultSize = 32 * 1024
 
 // Buffer is one network buffer: a bounded byte slice of serialized stream
 // elements plus the metadata stamped on it when it is dispatched.
+//
+// Buffers are reference counted so the zero-copy dispatch path can alias
+// one backing array from several holders at once (the in-flight log and
+// the wire message share the bytes). The rules:
+//
+//   - Get/Take hand out a buffer holding one reference (the caller's).
+//   - Retain adds a reference; it may only be called while holding one.
+//   - Data is immutable from dispatch until the refcount drains to zero:
+//     holders read, nobody writes. Reset (and the rewrite by the next
+//     writer) happens only after recycling.
+//   - The structural owner recycles with ReleaseTo/DonateTo, naming the
+//     pool the buffer returns to; plain Release just drops a reference.
+//     Whoever drops the last reference performs the recycle.
 type Buffer struct {
 	// Data holds the serialized element stream. len(Data) is the bytes
 	// written so far; cap(Data) is the buffer size.
@@ -35,6 +49,20 @@ type Buffer struct {
 	// Delta carries the piggybacked causal-log delta attached at
 	// dispatch. It is not part of the record byte stream.
 	Delta []byte
+
+	// refs counts the live holders of Data. 0 means free / sole untracked
+	// owner (pool free list, pre-refcount call sites).
+	refs atomic.Int32
+	// dest, when set, is where the buffer goes once refs drains to zero.
+	dest atomic.Pointer[recycleDest]
+}
+
+// recycleDest names the pool (and transfer semantics) a released buffer
+// returns to. Pools pre-build their two destinations so the release path
+// does not allocate.
+type recycleDest struct {
+	pool   *Pool
+	donate bool
 }
 
 // NewBuffer allocates a standalone buffer of the given capacity.
@@ -48,6 +76,46 @@ func (b *Buffer) Reset() {
 	b.Seq = 0
 	b.Epoch = 0
 	b.Delta = nil
+}
+
+// Retain adds a reference. The caller must already hold one, so the
+// count can never be resurrected from zero.
+func (b *Buffer) Retain() { b.refs.Add(1) }
+
+// Refs reports the current reference count (diagnostics and tests).
+func (b *Buffer) Refs() int32 { return b.refs.Load() }
+
+// Release drops one reference. The holder that drops the last reference
+// recycles the buffer into the destination set by ReleaseTo/DonateTo (a
+// release without a destination leaves the buffer to the garbage
+// collector — correct for buffers whose owning task died with its pools).
+func (b *Buffer) Release() {
+	if n := b.refs.Add(-1); n == 0 {
+		if d := b.dest.Swap(nil); d != nil {
+			if d.donate {
+				d.pool.Donate(b)
+			} else {
+				d.pool.Put(b)
+			}
+		}
+	} else if n < 0 {
+		panic("buffer: Release without matching reference")
+	}
+}
+
+// ReleaseTo drops the structural owner's reference and routes the
+// eventual recycle to p with Put semantics (return to owning pool).
+func (b *Buffer) ReleaseTo(p *Pool) {
+	b.dest.Store(p.putDest)
+	b.Release()
+}
+
+// DonateTo drops the structural owner's reference and routes the
+// eventual recycle to p with Donate semantics (grow p by one; the §6.1
+// exchange hand-off).
+func (b *Buffer) DonateTo(p *Pool) {
+	b.dest.Store(p.donateDest)
+	b.Release()
 }
 
 // Remaining reports how many bytes can still be written.
@@ -69,6 +137,11 @@ type Pool struct {
 	total  int
 	closed bool
 
+	// putDest/donateDest are the pre-built recycle destinations handed to
+	// Buffer.ReleaseTo/DonateTo, so releases do not allocate.
+	putDest    *recycleDest
+	donateDest *recycleDest
+
 	// backpressure instrumentation (nil-safe; see Instrument)
 	waits  *obs.Counter
 	waitNs *obs.Counter
@@ -78,6 +151,8 @@ type Pool struct {
 // NewPool creates a pool holding n buffers of the given byte size.
 func NewPool(n, size int) *Pool {
 	p := &Pool{size: size, total: n}
+	p.putDest = &recycleDest{pool: p}
+	p.donateDest = &recycleDest{pool: p, donate: true}
 	p.cond = sync.NewCond(&p.mu)
 	p.free = make([]*Buffer, 0, n)
 	for i := 0; i < n; i++ {
@@ -122,6 +197,16 @@ func (p *Pool) waitLocked() {
 	p.stall.ObserveSince(start)
 }
 
+// handOutLocked pops a free buffer and arms its reference count: the
+// caller receives the sole reference.
+func (p *Pool) handOutLocked() *Buffer {
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	b.refs.Store(1)
+	b.dest.Store(nil)
+	return b
+}
+
 // Get returns a free buffer, blocking until one is available. It returns
 // nil if the pool is closed while waiting.
 func (p *Pool) Get() *Buffer {
@@ -131,9 +216,7 @@ func (p *Pool) Get() *Buffer {
 	if p.closed {
 		return nil
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	return b
+	return p.handOutLocked()
 }
 
 // TryGet returns a free buffer or nil without blocking.
@@ -143,17 +226,18 @@ func (p *Pool) TryGet() *Buffer {
 	if p.closed || len(p.free) == 0 {
 		return nil
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	return b
+	return p.handOutLocked()
 }
 
-// Put returns a buffer to the pool after resetting it.
+// Put returns a buffer to the pool after resetting it. The caller asserts
+// sole ownership: any reference count is cleared.
 func (p *Pool) Put(b *Buffer) {
 	if b == nil {
 		return
 	}
 	b.Reset()
+	b.refs.Store(0)
+	b.dest.Store(nil)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -171,6 +255,8 @@ func (p *Pool) Donate(b *Buffer) {
 		return
 	}
 	b.Reset()
+	b.refs.Store(0)
+	b.dest.Store(nil)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.total++
@@ -191,10 +277,8 @@ func (p *Pool) Take() *Buffer {
 	if p.closed {
 		return nil
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
 	p.total--
-	return b
+	return p.handOutLocked()
 }
 
 // TryTake is Take without blocking; it returns nil when no buffer is free.
@@ -204,10 +288,8 @@ func (p *Pool) TryTake() *Buffer {
 	if p.closed || len(p.free) == 0 {
 		return nil
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
 	p.total--
-	return b
+	return p.handOutLocked()
 }
 
 // Forfeit records that one outstanding buffer will never be returned —

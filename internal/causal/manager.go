@@ -35,6 +35,12 @@ type Manager struct {
 	// exactly-once output): sink tasks piggyback their main-log deltas
 	// on records written to e.g. Kafka.
 	externalCursors map[string]uint64
+	// encScratch is the reused delta-encode buffer (guarded by mu).
+	// Deltas are encoded into it first, then copied out right-sized: the
+	// returned slice is retained by in-flight log entries and aliased by
+	// wire messages, so it must be private, but the growth churn of
+	// building it from nil is amortized away.
+	encScratch []byte
 
 	appended *obs.Counter
 }
@@ -141,11 +147,22 @@ func (m *Manager) DeltaForExternal(consumer string) []byte {
 	m.mu.Lock()
 	m.externalCursors[consumer] = start + uint64(len(ents))
 	m.mu.Unlock()
-	return EncodeDelta(nil, []ForwardSet{{
+	return m.encodeDelta([]ForwardSet{{
 		Origin: m.self,
 		Hops:   1,
 		Logs:   map[LogKey]Run{MainLogKey: {Start: start, Ents: ents}},
 	}})
+}
+
+// encodeDelta serializes sets via the reused scratch buffer and returns a
+// private right-sized copy (one exact allocation instead of append-growth
+// doubling).
+func (m *Manager) encodeDelta(sets []ForwardSet) []byte {
+	m.mu.Lock()
+	m.encScratch = EncodeDelta(m.encScratch[:0], sets)
+	out := append(make([]byte, 0, len(m.encScratch)), m.encScratch...)
+	m.mu.Unlock()
+	return out
 }
 
 // DeltaFor assembles and serializes the causal delta to piggyback on the
@@ -197,7 +214,7 @@ func (m *Manager) DeltaFor(down types.ChannelID) []byte {
 	if len(sets) == 0 {
 		return nil
 	}
-	return EncodeDelta(nil, sets)
+	return m.encodeDelta(sets)
 }
 
 // Ingest merges a received delta into the replica store. The task runtime

@@ -3,23 +3,46 @@ package codec
 import (
 	"bytes"
 	"encoding/gob"
+	"sync"
 )
 
 // GobCodec encodes arbitrary values with encoding/gob. Concrete types
 // must be registered (see statestore.Register / gob.Register). It is the
 // default edge codec for pipelines that do not provide a hand-written one;
-// a fresh encoder per value trades efficiency for self-containment.
+// a fresh encoder per value trades efficiency for self-containment (each
+// value's stream is self-describing, matching the fresh decoder per
+// value on the receive side).
 type GobCodec struct{}
 
 type gobBox struct{ V any }
 
+// appendSink adapts a byte slice as the encoder's io.Writer so gob output
+// lands directly in the destination — no intermediate bytes.Buffer whose
+// contents get copied out again. Sinks are pooled to keep the encode path
+// free of per-value scaffolding allocations.
+type appendSink struct{ b []byte }
+
+func (w *appendSink) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+var sinkPool = sync.Pool{New: func() any { return new(appendSink) }}
+
 // EncodeAppend implements Codec.
 func (GobCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(gobBox{V: v}); err != nil {
+	w := sinkPool.Get().(*appendSink)
+	w.b = dst
+	err := gob.NewEncoder(w).Encode(gobBox{V: v})
+	out := w.b
+	w.b = nil
+	sinkPool.Put(w)
+	if err != nil {
+		// Partial output may sit past len(dst) in the shared array; the
+		// caller truncates back to its own length, so it is never seen.
 		return dst, err
 	}
-	return append(dst, buf.Bytes()...), nil
+	return out, nil
 }
 
 // Decode implements Codec.

@@ -276,7 +276,10 @@ func (l *Log) spillEntryLocked(e *Entry) error {
 	}
 	b := e.buf
 	e.buf = nil
-	l.pool.Donate(b)
+	// The log's reference is dropped only now that the bytes are on
+	// disk; if the wire still aliases the buffer, the recycle into the
+	// pool is deferred until the receiver releases it too.
+	b.DonateTo(l.pool)
 	return nil
 }
 
@@ -331,7 +334,10 @@ func (l *Log) Truncate(upTo types.EpochID) {
 	}
 	l.mu.Unlock()
 	for _, b := range bufs {
-		l.pool.Donate(b)
+		// Drop the log's reference; a wire message may still alias the
+		// buffer, in which case the donate is deferred until the receiver
+		// releases it too.
+		b.DonateTo(l.pool)
 	}
 	for _, f := range files {
 		name := f.Name()
@@ -473,7 +479,7 @@ func (l *Log) Close() {
 	ownDir, dir := l.ownDir, l.dir
 	l.mu.Unlock()
 	for _, b := range bufs {
-		l.pool.Donate(b)
+		b.DonateTo(l.pool)
 	}
 	for _, f := range files {
 		name := f.Name()

@@ -88,22 +88,25 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 		b.Delta = t.causal.DeltaFor(oc.id)
 	}
 
-	// Copy the payload for the wire before the in-flight log takes
-	// ownership of the buffer (the spiller may recycle it concurrently).
-	msg := &netstack.Message{
-		Channel: oc.id,
-		Seq:     seq,
-		Epoch:   b.Epoch,
-		Gen:     oc.gen,
-		Data:    append([]byte(nil), b.Data...),
-		Delta:   append([]byte(nil), b.Delta...),
-	}
+	// Alias the payload into a pooled message: the wire retains the
+	// buffer (Bind), so the in-flight log's spiller can drop its own
+	// reference concurrently without the bytes going away — no copy.
+	// The delta is aliased too; deltas are freshly allocated per buffer
+	// and never mutated.
+	msg := netstack.NewMessage()
+	msg.Channel = oc.id
+	msg.Seq = seq
+	msg.Epoch = b.Epoch
+	msg.Gen = oc.gen
+	msg.Delta = b.Delta
+	msg.Bind(b)
 
 	if oc.iflog == nil {
-		// No in-flight logging (at-most-once / baseline): transmit and
-		// recycle the buffer immediately.
+		// No in-flight logging (at-most-once / baseline): transmit, then
+		// drop the structural reference with the channel pool as the
+		// recycle destination (deferred until the receiver releases).
 		err := oc.maybeTransmit(msg)
-		oc.outPool.Put(b)
+		b.ReleaseTo(oc.outPool)
 		return err
 	}
 
@@ -112,11 +115,13 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 	// backpressure behaviour §7.5 measures.
 	replacement := t.logPool.Take()
 	if replacement == nil {
+		msg.Release()
 		return netstack.ErrWriterClosed
 	}
 	oc.outPool.Forfeit()
 	oc.outPool.Donate(replacement)
 	if err := oc.iflog.Append(b); err != nil {
+		msg.Release()
 		return err
 	}
 	// The send decision comes *after* the log append so the replay
@@ -142,9 +147,16 @@ func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 	}
 	oc.mu.Unlock()
 	if !send {
+		m.Release()
 		return nil
 	}
 	err := oc.send(m)
+	if err == nil {
+		// Ownership of m (and its payload reference) transferred to the
+		// receiving endpoint.
+		return nil
+	}
+	m.Release()
 	if errors.Is(err, netstack.ErrChannelBroken) {
 		oc.mu.Lock()
 		oc.pending = true
@@ -286,15 +298,18 @@ func (oc *outChannel) replayLoop() {
 			oc.mu.Unlock()
 			continue
 		}
-		sendErr := oc.send(&netstack.Message{
-			Channel:  oc.id,
-			Seq:      entry.Seq,
-			Epoch:    entry.Epoch,
-			Gen:      oc.gen,
-			Data:     data,
-			Delta:    append([]byte(nil), entry.Delta...),
-			Replayed: true,
-		})
+		m := netstack.NewMessage()
+		m.Channel = oc.id
+		m.Seq = entry.Seq
+		m.Epoch = entry.Epoch
+		m.Gen = oc.gen
+		m.Data = data // ReadEntry returns a private copy
+		m.Delta = entry.Delta
+		m.Replayed = true
+		sendErr := oc.send(m)
+		if sendErr != nil {
+			m.Release() // rejected pushes leave ownership with the sender
+		}
 		oc.mu.Lock()
 		if oc.replaySeq != seq {
 			oc.mu.Unlock()

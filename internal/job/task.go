@@ -82,6 +82,10 @@ type Task struct {
 	offset       uint64
 	curWm        int64
 	chanWms      []int64
+	// wmMin is the running minimum over chanWms, maintained incrementally
+	// so each watermark element costs O(1) instead of a full channel scan
+	// (rescans happen only when the minimum channel itself advances).
+	wmMin int64
 	aligning     bool
 	alignCp      types.CheckpointID
 	barriersSeen []bool
@@ -238,6 +242,7 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	for i := range t.chanWms {
 		t.chanWms[i] = math.MinInt64
 	}
+	t.recomputeWmMin()
 	t.eosSeen = make([]bool, len(t.inIDs))
 	t.eosLeft = len(t.inIDs)
 	t.barriersSeen = make([]bool, len(t.inIDs))
@@ -312,6 +317,7 @@ func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 			t.chanWmShadow[i].Store(wm)
 		}
 	}
+	t.recomputeWmMin()
 	if t.causal != nil {
 		t.causal.SeedForRecovery(snap.MainLogBase, snap.ChannelLogBase)
 		t.causal.StartEpochMain(t.epoch)
@@ -450,6 +456,12 @@ func (t *Task) crash() {
 		for i := 0; i < t.gate.NumChannels(); i++ {
 			t.gate.Endpoint(i).Break()
 		}
+	}
+	// Release deserializer-held payload references: a crashed receiver
+	// must not strand surviving senders' buffers (their log pools would
+	// otherwise starve waiting for recycles that never come).
+	for _, d := range t.desers {
+		d.Close()
 	}
 	t.timerSvc.Stop()
 	close(t.flushStop)
@@ -652,6 +664,7 @@ func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 	defer t.metrics.process.ObserveSince(time.Now())
 	if t.causal != nil {
 		if err := t.causal.Ingest(m.Delta); err != nil {
+			m.Release()
 			t.fail(err)
 			return
 		}
@@ -665,7 +678,10 @@ func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 		// continue the predecessor's, so drop any partial record.
 		d.Reset()
 	}
-	d.Feed(m.Data)
+	// The deserializer takes ownership of m (and the payload-buffer
+	// reference it carries) — no copy; the message is released once its
+	// bytes are fully consumed.
+	d.Push(m)
 	for !t.crashed.Load() {
 		e, ok, err := d.Next()
 		if err != nil {
@@ -687,8 +703,7 @@ func (t *Task) handleElement(idx int, e types.Element) {
 		t.chn.processInput(t.inPorts[idx], e)
 	case types.KindWatermark:
 		if e.Timestamp > t.chanWms[idx] {
-			t.chanWms[idx] = e.Timestamp
-			t.chanWmShadow[idx].Store(e.Timestamp)
+			t.raiseChanWm(idx, e.Timestamp)
 			t.maybeAdvanceWatermark()
 		}
 	case types.KindBarrier:
@@ -697,8 +712,7 @@ func (t *Task) handleElement(idx int, e types.Element) {
 		if !t.eosSeen[idx] {
 			t.eosSeen[idx] = true
 			t.eosLeft--
-			t.chanWms[idx] = math.MaxInt64
-			t.chanWmShadow[idx].Store(math.MaxInt64)
+			t.raiseChanWm(idx, math.MaxInt64)
 			if t.eosLeft > 0 {
 				t.maybeAdvanceWatermark()
 			} else {
@@ -708,15 +722,32 @@ func (t *Task) handleElement(idx int, e types.Element) {
 	}
 }
 
-func (t *Task) maybeAdvanceWatermark() {
+// raiseChanWm records a channel watermark advance, keeping the running
+// minimum current. Only when the raised channel sat at the minimum can
+// the minimum itself change, so the full rescan is amortized away.
+func (t *Task) raiseChanWm(idx int, wm int64) {
+	old := t.chanWms[idx]
+	t.chanWms[idx] = wm
+	t.chanWmShadow[idx].Store(wm)
+	if old <= t.wmMin {
+		t.recomputeWmMin()
+	}
+}
+
+// recomputeWmMin rescans chanWms; MaxInt64 when the task has no inputs.
+func (t *Task) recomputeWmMin() {
 	min := int64(math.MaxInt64)
 	for _, wm := range t.chanWms {
 		if wm < min {
 			min = wm
 		}
 	}
-	if min > t.curWm && min != math.MaxInt64 {
-		t.advanceWatermark(min)
+	t.wmMin = min
+}
+
+func (t *Task) maybeAdvanceWatermark() {
+	if t.wmMin > t.curWm && t.wmMin != math.MaxInt64 {
+		t.advanceWatermark(t.wmMin)
 	}
 }
 

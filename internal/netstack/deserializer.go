@@ -2,19 +2,40 @@ package netstack
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"clonos/internal/codec"
 	"clonos/internal/types"
 )
 
 // Deserializer reassembles the length-prefixed element stream of one input
-// channel. Because elements may span network buffers, it keeps partial
-// bytes between Feed calls — the per-channel deserializer state §6.2 calls
-// out as a reconfiguration hazard. Reset clears that state when a channel
-// is rebuilt.
+// channel as a cursor over a queue of retained message payloads: Push
+// keeps the message (no copy), Next decodes elements in place from the
+// queued bytes, and each message is released once fully consumed. Only an
+// element that genuinely straddles a message boundary pays a reassembly
+// copy into a reused scratch buffer.
+//
+// Because elements may span network buffers, partial bytes persist between
+// messages — the per-channel deserializer state §6.2 calls out as a
+// reconfiguration hazard. Reset clears that state (releasing the retained
+// messages) when a channel is rebuilt; Close does the same permanently
+// when the owning task dies, so a crashed receiver cannot strand the
+// sender's buffer references.
+//
+// The mutex exists for Reset/Close racing the consuming main thread at
+// crash time; in steady state all calls come from one goroutine and the
+// lock is uncontended.
 type Deserializer struct {
 	codec codec.Codec
-	buf   []byte
+
+	mu      sync.Mutex
+	msgs    []*Message
+	head    int // index of the current message in msgs
+	off     int // consumed bytes of msgs[head].Data
+	pending int // total unconsumed bytes across the queue
+	scratch []byte
+	copied  uint64 // bytes copied reassembling straddling elements
+	closed  bool
 }
 
 // NewDeserializer builds a deserializer decoding payloads with c.
@@ -22,34 +43,154 @@ func NewDeserializer(c codec.Codec) *Deserializer {
 	return &Deserializer{codec: c}
 }
 
-// Feed appends the payload of a received buffer.
+// Push appends a received message's payload without copying. The
+// deserializer takes ownership and releases the message once its bytes
+// are consumed (or on Reset/Close). Pushing into a closed deserializer
+// releases the message immediately.
+func (d *Deserializer) Push(m *Message) {
+	d.mu.Lock()
+	if d.closed || len(m.Data) == 0 {
+		d.mu.Unlock()
+		m.Release()
+		return
+	}
+	d.msgs = append(d.msgs, m)
+	d.pending += len(m.Data)
+	d.mu.Unlock()
+}
+
+// Feed appends a copy of a raw payload (convenience for callers without a
+// pooled message, e.g. tests).
 func (d *Deserializer) Feed(p []byte) {
-	d.buf = append(d.buf, p...)
+	m := NewMessage()
+	m.Data = append(m.Data, p...)
+	d.Push(m)
 }
 
 // Next decodes the next complete element. ok is false when more bytes are
 // needed.
 func (d *Deserializer) Next() (e types.Element, ok bool, err error) {
-	if len(d.buf) < 4 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.pending < 4 {
 		return types.Element{}, false, nil
 	}
-	n := binary.BigEndian.Uint32(d.buf)
-	if uint32(len(d.buf)-4) < n {
+	head := d.msgs[d.head].Data[d.off:]
+	var n int
+	if len(head) >= 4 {
+		n = int(binary.BigEndian.Uint32(head))
+	} else {
+		var hdr [4]byte
+		d.peekLocked(hdr[:])
+		n = int(binary.BigEndian.Uint32(hdr[:]))
+	}
+	if d.pending-4 < n {
 		return types.Element{}, false, nil
 	}
-	body := d.buf[4 : 4+n]
+	var body []byte
+	if len(head) >= 4+n {
+		// Fast path: the element is contiguous in the current message —
+		// decode straight from the retained payload, zero copies.
+		body = head[4 : 4+n]
+	} else {
+		// The element straddles message boundaries: reassemble it into
+		// the reused scratch buffer (the only copy on the receive path).
+		need := 4 + n
+		if cap(d.scratch) < need {
+			d.scratch = make([]byte, need)
+		}
+		d.scratch = d.scratch[:need]
+		d.peekLocked(d.scratch)
+		d.copied += uint64(need)
+		body = d.scratch[4:]
+	}
 	e, err = codec.DecodeElement(body, d.codec)
 	if err != nil {
 		return types.Element{}, false, err
 	}
-	// Shift consumed bytes; keep the tail for the next element.
-	d.buf = append(d.buf[:0], d.buf[4+n:]...)
+	// Consume only after decoding: advancing may release the message,
+	// letting the sender recycle (and rewrite) the aliased buffer.
+	d.advanceLocked(4 + n)
 	return e, true, nil
 }
 
-// Pending reports the buffered byte count awaiting completion.
-func (d *Deserializer) Pending() int { return len(d.buf) }
+// peekLocked copies the next len(dst) queued bytes into dst without
+// consuming them. The caller guarantees d.pending >= len(dst).
+func (d *Deserializer) peekLocked(dst []byte) {
+	i, off := d.head, d.off
+	for len(dst) > 0 {
+		src := d.msgs[i].Data[off:]
+		n := copy(dst, src)
+		dst = dst[n:]
+		i++
+		off = 0
+	}
+}
 
-// Reset discards partial state; used when a channel is rebuilt during
-// recovery and the byte stream restarts at a buffer boundary.
-func (d *Deserializer) Reset() { d.buf = d.buf[:0] }
+// advanceLocked consumes k queued bytes, releasing messages as they drain.
+func (d *Deserializer) advanceLocked(k int) {
+	d.pending -= k
+	for k > 0 {
+		m := d.msgs[d.head]
+		avail := len(m.Data) - d.off
+		if k < avail {
+			d.off += k
+			return
+		}
+		k -= avail
+		d.off = 0
+		d.msgs[d.head] = nil
+		d.head++
+		m.Release()
+	}
+	if d.head == len(d.msgs) {
+		d.msgs = d.msgs[:0]
+		d.head = 0
+	}
+}
+
+// Pending reports the buffered byte count awaiting completion.
+func (d *Deserializer) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pending
+}
+
+// CopiedBytes reports the bytes copied reassembling elements that
+// straddled message boundaries — the residual copy cost of the otherwise
+// zero-copy receive path.
+func (d *Deserializer) CopiedBytes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.copied
+}
+
+// Reset discards partial state, releasing every retained message; used
+// when a channel is rebuilt during recovery and the byte stream restarts
+// at a buffer boundary.
+func (d *Deserializer) Reset() {
+	d.mu.Lock()
+	d.resetLocked()
+	d.mu.Unlock()
+}
+
+func (d *Deserializer) resetLocked() {
+	for i := d.head; i < len(d.msgs); i++ {
+		d.msgs[i].Release()
+		d.msgs[i] = nil
+	}
+	d.msgs = d.msgs[:0]
+	d.head = 0
+	d.off = 0
+	d.pending = 0
+}
+
+// Close releases all retained messages and rejects further pushes. The
+// owning task calls it on crash/shutdown so sender-side buffers recycle
+// even when the receiver dies mid-stream.
+func (d *Deserializer) Close() {
+	d.mu.Lock()
+	d.resetLocked()
+	d.closed = true
+	d.mu.Unlock()
+}

@@ -97,8 +97,17 @@ func (ep *Endpoint) AcceptFrom(firstSeq uint64) {
 	ep.accepting = true
 	ep.anchored = false
 	ep.expectFirst = firstSeq
-	ep.queue = nil
+	ep.dropQueueLocked()
 	ep.sendCond.Broadcast()
+}
+
+// dropQueueLocked discards queued messages, releasing their payload
+// references so the senders' buffers recycle.
+func (ep *Endpoint) dropQueueLocked() {
+	for _, m := range ep.queue {
+		m.Release()
+	}
+	ep.queue = nil
 }
 
 // ID returns the channel this endpoint terminates.
@@ -176,6 +185,14 @@ func (ep *Endpoint) Push(m *Message) error {
 	}
 	ep.anchored = true
 	ep.lastPushed = m.Seq
+	if ep.unbounded {
+		// The consumer is deliberately not draining this queue (barrier
+		// alignment): detach the payload from the sender's buffer so the
+		// parked message cannot pin the sender's pool — that pool running
+		// dry would stall the sender's main thread and deadlock the very
+		// alignment this queue is buffering for.
+		m.Unalias()
+	}
 	ep.queue = append(ep.queue, m)
 	if ep.metrics != nil {
 		ep.metrics.Accepted.Inc()
@@ -253,12 +270,17 @@ func (ep *Endpoint) Rebind(gen uint64) uint64 {
 }
 
 // SetUnbounded toggles alignment buffering: while true, Push never blocks
-// on the credit limit.
+// on the credit limit and parked messages are detached from their
+// senders' buffers (see the Unalias note in Push) — including anything
+// already queued when the block engages.
 func (ep *Endpoint) SetUnbounded(v bool) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	ep.unbounded = v
 	if v {
+		for _, m := range ep.queue {
+			m.Unalias()
+		}
 		ep.sendCond.Broadcast()
 	}
 }
@@ -270,7 +292,7 @@ func (ep *Endpoint) Break() {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	ep.broken = true
-	ep.queue = nil
+	ep.dropQueueLocked()
 	ep.sendCond.Broadcast()
 }
 
@@ -286,6 +308,6 @@ func (ep *Endpoint) Close() {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	ep.closed = true
-	ep.queue = nil
+	ep.dropQueueLocked()
 	ep.sendCond.Broadcast()
 }

@@ -7,13 +7,21 @@ package netstack
 
 import (
 	"errors"
+	"sync"
 
+	"clonos/internal/buffer"
 	"clonos/internal/types"
 )
 
-// Message is the unit transferred over a channel: an immutable copy of a
-// dispatched network buffer. The sender retains the original buffer in its
-// in-flight log; the receiver owns the copy.
+// Message is the unit transferred over a channel. On the zero-copy
+// dispatch path Data aliases the sender's network buffer (retained via
+// Bind); the sender's in-flight log and the wire share one backing
+// array, and the receiver drops the reference with Release once the
+// payload is fully consumed. Replayed messages carry their own copy.
+//
+// Messages are pooled: obtain with NewMessage, hand back with Release.
+// Ownership transfers on successful Push into an endpoint; on any push
+// error the sender still owns (and must Release) the message.
 type Message struct {
 	Channel types.ChannelID
 	// Seq is the per-channel sequence number, consecutive from 1.
@@ -39,6 +47,52 @@ type Message struct {
 	// been blocked on credit across the whole recovery protocol. Zero
 	// means unstamped (accepted unless the endpoint is bound).
 	Gen uint64
+
+	// buf, when non-nil, is the retained network buffer whose backing
+	// array Data aliases; Release drops that reference.
+	buf *buffer.Buffer
+}
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed message from the pool.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// Bind aliases b's bytes as the message payload and retains b until
+// Release. The caller must hold a reference to b while calling.
+func (m *Message) Bind(b *buffer.Buffer) {
+	b.Retain()
+	m.buf = b
+	m.Data = b.Data
+}
+
+// Unalias detaches the payload from the sender's network buffer: the
+// bytes move into a private copy and the buffer reference is dropped, so
+// the sender can recycle (and rewrite) the buffer while the message is
+// parked. Endpoints use it on alignment-blocked channels, where the
+// consumer deliberately stops draining — a parked alias would pin the
+// sender's pool and deadlock the checkpoint (see Gate.Block).
+func (m *Message) Unalias() {
+	if m.buf == nil {
+		return
+	}
+	m.Data = append([]byte(nil), m.Data...)
+	m.buf.Release()
+	m.buf = nil
+}
+
+// Release drops the payload-buffer reference (if any) and returns the
+// message to the pool. The message must not be used afterwards. Safe on
+// nil and on messages built as plain literals.
+func (m *Message) Release() {
+	if m == nil {
+		return
+	}
+	if m.buf != nil {
+		m.buf.Release()
+	}
+	*m = Message{}
+	msgPool.Put(m)
 }
 
 // ErrChannelBroken is returned when sending on a channel whose receiver has

@@ -32,6 +32,10 @@ type ChannelWriter struct {
 
 	// cuts holds recovery-mode target buffer sizes, FIFO.
 	cuts []int
+	// scratchBytes counts bytes that took the copying fallback path
+	// (element straddled a buffer boundary or recovery cuts were
+	// pending) — the residual copy cost of the direct-encode fast path.
+	scratchBytes uint64
 }
 
 // NewChannelWriter builds a writer drawing buffers from pool and invoking
@@ -59,15 +63,55 @@ func (w *ChannelWriter) InRecovery() bool {
 
 // WriteElement serializes e into the current buffer, dispatching buffers
 // as they fill (or as they reach the recorded cut size during recovery).
+//
+// Fast path: with no recovery cuts pending, the element is encoded
+// directly into the current buffer's remaining room — no scratch encode,
+// no copy. When the element does not fit (or cuts are pending), it is
+// encoded once and chunked across buffers exactly as before, so the byte
+// stream and cut positions are identical either way.
 func (w *ChannelWriter) WriteElement(e types.Element) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if len(w.cuts) == 0 {
+		if w.cur == nil {
+			if w.cur = w.pool.Get(); w.cur == nil {
+				return ErrWriterClosed
+			}
+		}
+		base := w.cur.Data
+		ext, err := codec.EncodeElement(base, e, w.codec)
+		if err != nil {
+			return err
+		}
+		if len(ext) <= cap(base) {
+			// The encoder appended monotonically and the final length
+			// fits, so it never reallocated: the bytes landed in the
+			// buffer's own backing array.
+			w.cur.Data = ext
+			if w.cur.Remaining() == 0 {
+				return w.dispatchLocked()
+			}
+			return nil
+		}
+		// The element overflowed: the encoder grew into a fresh array and
+		// the buffer itself is untouched. Chunk the encoded bytes across
+		// buffers (the first chunk fills the current buffer's room).
+		data := ext[len(base):]
+		w.scratchBytes += uint64(len(data))
+		return w.writeChunkedLocked(data)
+	}
 	var err error
 	w.scratch, err = codec.EncodeElement(w.scratch[:0], e, w.codec)
 	if err != nil {
 		return err
 	}
-	data := w.scratch
+	w.scratchBytes += uint64(len(w.scratch))
+	return w.writeChunkedLocked(w.scratch)
+}
+
+// writeChunkedLocked copies encoded element bytes into buffers, splitting
+// across boundaries and honouring pending recovery cuts.
+func (w *ChannelWriter) writeChunkedLocked(data []byte) error {
 	for len(data) > 0 {
 		if w.cur == nil {
 			if w.cur = w.pool.Get(); w.cur == nil {
@@ -93,6 +137,14 @@ func (w *ChannelWriter) WriteElement(e types.Element) error {
 		}
 	}
 	return nil
+}
+
+// ScratchBytes reports the cumulative bytes that took the copying
+// fallback (straddling elements and recovery-guided writes).
+func (w *ChannelWriter) ScratchBytes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.scratchBytes
 }
 
 // atCut reports whether the current buffer must be dispatched now: it is
