@@ -35,3 +35,11 @@ bench-smoke:
 # the residual copy fractions of the zero-copy pipeline.
 bench-json:
 	$(GO) run ./cmd/clonos-hotpath -out BENCH_hotpath.json
+
+# fault-sweep is the bounded deterministic chaos gate: one schedule per
+# registered crash point (including the second-failure-during-recovery
+# windows), a seeded fuzz batch, and the pinned regression schedules.
+# Failing subtests log a one-line replayable schedule string.
+fault-sweep:
+	$(GO) test -count=1 ./internal/faultinject
+	$(GO) test -run 'TestFaultSweep|TestFaultFuzz|TestCrashScheduleRegressions' -count=1 -p 1 -timeout 10m ./internal/job

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	cases := []Schedule{
+		{},
+		{Kills: []Kill{{Point: PointTaskLoop, Victim: "v1[0]"}}},
+		{Kills: []Kill{
+			{Point: PointTaskLoop, Victim: "v2[0]", Skip: 40},
+			{Point: PointRecoveryRebind, Victim: "v2[0]", Skip: 1},
+		}},
+		{Kills: []Kill{
+			{Point: PointAlignBlocked, Victim: "v3[0]", Target: "v1[1]"},
+			{Point: PointServeReplayEntry, Victim: "*", Skip: 3},
+		}},
+	}
+	for _, want := range cases {
+		s := want.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, want)
+		}
+		if got.String() != s {
+			t.Fatalf("re-render %q != %q", got.String(), s)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"task/loop@v1[0]",              // missing kill= prefix
+		"kill=task/loop",               // missing victim
+		"kill=nonsense/point@v1[0]",    // unregistered point
+		"kill=task/loop@v1[0]#x",       // bad skip
+		"kill=task/loop@",              // empty victim
+		"kill=task/loop@v1[0]#-2",      // negative skip
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestInjectorOccurrenceAndTarget(t *testing.T) {
+	sched := Schedule{Kills: []Kill{
+		{Point: PointReplayStep, Victim: "v1[0]", Skip: 2},
+		{Point: PointTaskLoop, Victim: "*", Target: "v9[9]"},
+	}}
+	in := New(sched)
+	var killed []string
+	in.OnKill(func(task string) { killed = append(killed, task) })
+
+	// Wildcard victim with a redirect target: the hitting task survives,
+	// the target dies, and the kill fires exactly once.
+	if in.Hit(PointTaskLoop, "v0[0]") {
+		t.Fatal("redirected kill must not self-crash the hitting task")
+	}
+	if in.Hit(PointTaskLoop, "v0[1]") {
+		t.Fatal("fired kill must not fire twice")
+	}
+	if !reflect.DeepEqual(killed, []string{"v9[9]"}) {
+		t.Fatalf("killed = %v, want [v9[9]]", killed)
+	}
+
+	// Occurrence skip: the first two matching hits pass, the third fires.
+	if in.Hit(PointReplayStep, "v1[0]") || in.Hit(PointReplayStep, "v1[0]") {
+		t.Fatal("skip=2 fired early")
+	}
+	if in.Hit(PointReplayStep, "v1[1]") {
+		t.Fatal("non-matching victim fired")
+	}
+	if !in.Hit(PointReplayStep, "v1[0]") {
+		t.Fatal("skip=2 did not fire on the third matching hit")
+	}
+	if in.Hit(PointReplayStep, "v1[0]") {
+		t.Fatal("kill must fire at most once")
+	}
+
+	if got := len(in.Fired()); got != 2 {
+		t.Fatalf("Fired() len = %d, want 2", got)
+	}
+	if got := len(in.Unfired()); got != 0 {
+		t.Fatalf("Unfired() len = %d, want 0", got)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	plan := SweepPlan{
+		Victims:   []string{"v1[0]", "v2[0]", "v3[0]"},
+		Source:    "v0[1]",
+		Align:     "v2[0]",
+		Recovery:  "v2[0]",
+		PrimeSkip: 40,
+		StepSkip:  1,
+	}
+	scheds := Sweep(plan)
+	if len(scheds) < 20 {
+		t.Fatalf("sweep produced %d schedules, want >= 20", len(scheds))
+	}
+	seen := map[string]bool{}
+	secondFailure := 0
+	for _, s := range scheds {
+		if len(s.Kills) == 0 {
+			t.Fatal("empty schedule in sweep")
+		}
+		last := s.Kills[len(s.Kills)-1]
+		seen[last.Point] = true
+		if len(s.Kills) == 2 {
+			if s.Kills[0].Point != PointTaskLoop {
+				t.Fatalf("two-kill schedule %q not primed at task/loop", s)
+			}
+			if p, _ := LookupPoint(last.Point); p.Kind == KindRecovery {
+				secondFailure++
+			}
+		}
+		// Every sweep schedule must survive a parse round trip.
+		if rt, err := Parse(s.String()); err != nil || !reflect.DeepEqual(rt, s) {
+			t.Fatalf("sweep schedule %q does not round-trip (err=%v)", s, err)
+		}
+	}
+	// Every registered point except the timer point (no timer victim in
+	// this plan) must be enumerated.
+	for _, p := range Points() {
+		if p.Name == PointTimerFiring {
+			continue
+		}
+		if !seen[p.Name] {
+			t.Errorf("sweep never targets point %q", p.Name)
+		}
+	}
+	if secondFailure < 4 {
+		t.Fatalf("sweep has %d second-failure-during-recovery windows, want >= 4", secondFailure)
+	}
+	// Determinism: same plan, byte-identical output.
+	again := Sweep(plan)
+	if !reflect.DeepEqual(again, scheds) {
+		t.Fatal("Sweep is not deterministic")
+	}
+}
+
+func TestFuzzDeterminism(t *testing.T) {
+	plan := SweepPlan{Victims: []string{"v1[0]", "v2[1]"}, Source: "v0[0]"}
+	a := Fuzz(42, 50, plan)
+	b := Fuzz(42, 50, plan)
+	if len(a) != 50 {
+		t.Fatalf("Fuzz produced %d schedules, want 50", len(a))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("seed 42 schedule %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := Fuzz(43, 50, plan)
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedule lists")
+	}
+	// Fuzz output must always be parseable (it becomes the artifact).
+	for _, s := range a {
+		if _, err := Parse(s.String()); err != nil {
+			t.Fatalf("fuzz schedule %q does not parse: %v", s, err)
+		}
+	}
+}

@@ -41,12 +41,8 @@ func TestChaosMonkey(t *testing.T) {
 		})
 		gen.Start()
 
-		deadline := time.Now().Add(10 * time.Second)
-		for r.LatestCompletedCheckpoint() < 1 {
-			if time.Now().After(deadline) {
-				t.Fatalf("seed %d: no checkpoint: %v", seed, r.Errors())
-			}
-			time.Sleep(10 * time.Millisecond)
+		if !r.WaitForCheckpoint(1, 30*time.Second) {
+			t.Fatalf("seed %d: no checkpoint: %v", seed, r.Errors())
 		}
 
 		// Random victims across all vertices (0..3), random gaps —

@@ -3,6 +3,7 @@ package job
 import (
 	"time"
 
+	"clonos/internal/faultinject"
 	"clonos/internal/inflight"
 	"clonos/internal/obs"
 	"clonos/internal/services"
@@ -119,6 +120,24 @@ type Config struct {
 	// TraceSink, when set, additionally receives every tracer event and
 	// ended span as it is published — the flight recorder plugs in here.
 	TraceSink obs.TracerSink
+
+	// RestartDelay is the settle pause a global restart waits between
+	// tearing the old tasks down and deploying the rebuilt topology
+	// (draining lingering sends from the torn-down incarnations). 0
+	// keeps the historical default of HeartbeatTimeout/2; a negative
+	// value removes the pause entirely.
+	RestartDelay time.Duration
+	// ServiceSeed, when non-zero, derives a deterministic per-task seed
+	// stream for the nondeterministic UDF services (random source):
+	// replaying a crash schedule then reproduces the exact nondeterminant
+	// stream the determinant log claims to cover. 0 preserves the
+	// wall-clock fallback seeding.
+	ServiceSeed int64
+	// Faults, when set, arms the crash-point injector: the runtime calls
+	// it at every named crash point and crashes whatever task the armed
+	// schedule dictates. Nil (the default) keeps every crash point a
+	// no-op.
+	Faults *faultinject.Injector
 }
 
 // DefaultConfig returns a configuration scaled for in-process experiments
@@ -141,6 +160,18 @@ func DefaultConfig() Config {
 		TimestampGranularityMs: 1,
 		MailboxSize:            1024,
 		StallDeadline:          5 * time.Second,
+	}
+}
+
+// effectiveRestartDelay resolves the global-restart settle pause.
+func (c Config) effectiveRestartDelay() time.Duration {
+	switch {
+	case c.RestartDelay < 0:
+		return 0
+	case c.RestartDelay == 0:
+		return c.HeartbeatTimeout / 2
+	default:
+		return c.RestartDelay
 	}
 }
 

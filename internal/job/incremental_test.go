@@ -34,12 +34,8 @@ func TestIncrementalCheckpointsRecovery(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoints: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(2, 30*time.Second) {
+		t.Fatalf("no checkpoints: %v", r.Errors())
 	}
 	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
 		t.Fatal(err)

@@ -267,12 +267,8 @@ func TestLocalRecoverySingleFailure(t *testing.T) {
 	defer gen.Stop()
 
 	// Let at least one checkpoint complete, then kill a middle task.
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint completed: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint completed: %v", r.Errors())
 	}
 	victim := types.TaskID{Vertex: 1, Subtask: 0}
 	if err := r.InjectFailure(victim); err != nil {

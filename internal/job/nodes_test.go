@@ -34,12 +34,8 @@ func runNodeFailure(t *testing.T, alloc AllocationStrategy, nodes int) (*Runtime
 	gen.Start()
 	t.Cleanup(gen.Stop)
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	// Kill the node hosting the first sum subtask.
 	victim := r.NodeOf(types.TaskID{Vertex: 1, Subtask: 0})

@@ -40,12 +40,8 @@ func TestRecoverySpanAndMetrics(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	failed := types.TaskID{Vertex: 1, Subtask: 0}
 	if err := r.InjectFailure(failed); err != nil {

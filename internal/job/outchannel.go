@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"clonos/internal/buffer"
+	"clonos/internal/faultinject"
 	"clonos/internal/inflight"
 	"clonos/internal/netstack"
 	"clonos/internal/types"
@@ -60,13 +61,35 @@ type outChannel struct {
 	resetPending bool
 	// replayActive guards against concurrent replay goroutines.
 	replayActive bool
+
+	// retryWake is signalled (capacity 1, never blocking) whenever the
+	// receiving side may have become able to accept a previously rejected
+	// replay push: a new replay request redirected the loop, the
+	// receiver's endpoint was opened, the channel resumed direct sending,
+	// or it closed. The replay loop parks here instead of busy-waiting.
+	retryWake chan struct{}
 }
 
 func newOutChannel(t *Task, id types.ChannelID, outPool *buffer.Pool, iflog *inflight.Log) *outChannel {
-	oc := &outChannel{id: id, task: t, gen: channelGen.Add(1), outPool: outPool, iflog: iflog, nextSeq: 1, epochStartSeq: 1}
+	// epoch starts at 1 to match the task's initial epoch: buffers
+	// dispatched before the first barrier belong to epoch 1, and a replay
+	// request for epoch 1 (a failure before the first completed
+	// checkpoint) must find them — FirstSeqOfEpoch scans by entry epoch,
+	// so epoch-0 labels would silently drop the whole pre-barrier prefix.
+	oc := &outChannel{id: id, task: t, gen: channelGen.Add(1), outPool: outPool, iflog: iflog, nextSeq: 1, epochStartSeq: 1,
+		epoch: 1, retryWake: make(chan struct{}, 1)}
 	edge := t.graph().Edges[id.Edge]
 	oc.writer = netstack.NewChannelWriter(outPool, edge.CodecOrDefault(), oc.dispatch)
 	return oc
+}
+
+// wakeReplay nudges a replay loop parked on a rejected push (non-blocking;
+// a single buffered token coalesces bursts).
+func (oc *outChannel) wakeReplay() {
+	select {
+	case oc.retryWake <- struct{}{}:
+	default:
+	}
 }
 
 // dispatch receives a filled buffer from the writer (writer lock held):
@@ -251,6 +274,9 @@ func (oc *outChannel) PrepareReplay(fromEpoch types.EpochID, afterSeq uint64) (u
 	oc.mu.Unlock()
 	if spawn {
 		go oc.replayLoop()
+	} else {
+		// Redirect a running loop that may be parked on a rejected push.
+		oc.wakeReplay()
 	}
 	return start, nil
 }
@@ -298,6 +324,11 @@ func (oc *outChannel) replayLoop() {
 			oc.mu.Unlock()
 			continue
 		}
+		if oc.task.crashPoint(faultinject.PointServeReplayEntry) {
+			// This task died mid-retransmission; the loop head performs
+			// the crashed-task cleanup and exit.
+			continue
+		}
 		m := netstack.NewMessage()
 		m.Channel = oc.id
 		m.Seq = entry.Seq
@@ -317,9 +348,17 @@ func (oc *outChannel) replayLoop() {
 		}
 		if sendErr != nil {
 			oc.mu.Unlock()
-			// Receiver not (yet) accepting: wait briefly and retry the
-			// same seq; a fresh request redirects us if needed.
-			time.Sleep(2 * time.Millisecond)
+			// Receiver not (yet, or no longer) accepting. Park until the
+			// receiving side changes — a replay redirect, its endpoint
+			// opening, or this task aborting — rather than spinning: if
+			// the receiver never comes back, a sleep-retry loop would spin
+			// forever. The timer is a lost-wake-up safety net across
+			// endpoint replacement, not a polling interval.
+			select {
+			case <-oc.retryWake:
+			case <-oc.task.abort:
+			case <-time.After(250 * time.Millisecond):
+			}
 			continue
 		}
 		oc.replaySeq = seq + 1
@@ -341,6 +380,7 @@ func (oc *outChannel) resumeDirect(afterSeq uint64) {
 	oc.pending = false
 	oc.resetPending = true
 	oc.mu.Unlock()
+	oc.wakeReplay()
 }
 
 // setDedup configures sender-side deduplication after this task's own
@@ -369,4 +409,5 @@ func (oc *outChannel) close() {
 		oc.iflog.Close()
 	}
 	oc.outPool.Close()
+	oc.wakeReplay()
 }

@@ -6,6 +6,7 @@ import (
 
 	"clonos/internal/causal"
 	"clonos/internal/checkpoint"
+	"clonos/internal/faultinject"
 	"clonos/internal/obs"
 	"clonos/internal/operator"
 	"clonos/internal/types"
@@ -91,6 +92,12 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	if old != nil {
 		old.crash() // ensure threads are gone even if detection raced
 	}
+	// Fault-injection windows: each crashPoint below may kill the
+	// replacement between two named protocol phases. The protocol keeps
+	// executing — the job manager does not die with a standby — and the
+	// detector re-detects the dead replacement by its stale heartbeat,
+	// driving a fresh recovery. The steps are harmless on a crashed task.
+	t.crashPoint(faultinject.PointRecoveryPreActivate)
 	if snap != nil {
 		if err := t.restore(snap); err != nil {
 			r.reportTaskError(failed, err)
@@ -100,6 +107,7 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 		}
 	}
 	sp.Mark("standby-activated")
+	t.crashPoint(faultinject.PointRecoveryActivated)
 
 	// Step 4 (part of step 2's reconnection): sender-side dedup per
 	// §5.2 — downstream survivors report how far they got. This runs
@@ -128,7 +136,9 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 			// at-least-once; or fresh data only — at-most-once).
 			oc.forceNextSeq(lp + 1)
 		}
+		t.crashPoint(faultinject.PointRecoveryRebind)
 	}
+	t.crashPoint(faultinject.PointRecoveryDedupSampled)
 
 	// Step 3: retrieve determinant logs from tasks within DSD hops.
 	guided := false
@@ -188,12 +198,14 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 		}
 	}
 	sp.Mark("determinants-retrieved")
+	t.crashPoint(faultinject.PointRecoveryDeterminants)
 
 	// Step 2: network reconfiguration — fresh endpoints replace broken
 	// ones, created closed: stale direct sends are rejected until the
 	// replay request opens each endpoint at the expected first seq.
 	t.attachNetwork(false)
 	sp.Mark("network-reconfigured")
+	t.crashPoint(faultinject.PointRecoveryNetwork)
 
 	r.mu.Lock()
 	r.tasks[failed] = t
@@ -213,6 +225,7 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	if sp != nil {
 		t.recSpan.Store(sp) // before start: the main thread finishes it
 	}
+	t.crashPoint(faultinject.PointRecoveryPreStart)
 	t.start()
 
 	// Steps 4-5: request in-flight replay from upstreams (or plain
@@ -220,6 +233,7 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	for _, chID := range t.inIDs {
 		r.routeUpstream(chID, t.epoch)
 	}
+	t.crashPoint(faultinject.PointRecoveryServeReplay)
 	// Serve replay requests that were waiting for this task.
 	for _, req := range pending {
 		if oc := t.outChannelByID(req.channel); oc != nil {
@@ -273,6 +287,7 @@ func (r *Runtime) routeUpstream(chID types.ChannelID, fromEpoch types.EpochID) {
 		if ep := r.net.Endpoint(chID); ep != nil {
 			ep.AcceptFrom(0)
 		}
+		oc.wakeReplay()
 		return
 	}
 	r.serveReplay(oc, fromEpoch, 0)
@@ -294,6 +309,10 @@ func (r *Runtime) serveReplay(oc *outChannel, fromEpoch types.EpochID, afterSeq 
 	if ep := r.net.Endpoint(oc.id); ep != nil {
 		ep.AcceptFrom(start)
 	}
+	// Wake a replay loop parked on a previously rejected push: the
+	// endpoint is open now (wake AFTER AcceptFrom, so a retry provoked by
+	// this signal observes the accepting endpoint).
+	oc.wakeReplay()
 }
 
 // dependantsExist reports whether recovering the task divergently (no
@@ -406,8 +425,11 @@ func (r *Runtime) globalRestart(reason string) {
 		return
 	}
 
-	// Simulated scheduler/deployment delay of a full restart.
-	time.Sleep(r.cfg.HeartbeatTimeout / 2)
+	// Simulated scheduler/deployment delay of a full restart (see
+	// Config.RestartDelay).
+	if d := r.cfg.effectiveRestartDelay(); d > 0 {
+		time.Sleep(d)
+	}
 
 	var fresh []*Task
 	r.mu.Lock()
@@ -437,6 +459,9 @@ func (r *Runtime) globalRestart(reason string) {
 			}
 		}
 		t.start()
+		// A rebuilt task dying right after deployment: the detector must
+		// notice and drive another full restart.
+		t.crashPoint(faultinject.PointGlobalRebuilt)
 	}
 	r.mu.Lock()
 	r.restarting = false

@@ -78,12 +78,8 @@ func TestNondeterministicOperatorExactlyOnce(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
 		t.Fatal(err)
@@ -160,12 +156,8 @@ func TestProcessingTimeWindowSurvivesFailure(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
 		t.Fatal(err)
@@ -235,12 +227,8 @@ func runDeepFailure(t *testing.T, cfg Config, n int, keys uint64, plan func(r *R
 	gen.Start()
 	t.Cleanup(gen.Stop)
 
-	deadline := time.Now().Add(10 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	plan(r)
 	if !r.WaitFinished(90 * time.Second) {
@@ -499,21 +487,10 @@ func TestFailureDuringRecovery(t *testing.T) {
 		}
 		// Wait for the standby to activate, then kill it immediately —
 		// with high probability mid-replay.
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			activated := false
-			for _, ev := range r.Events() {
-				if ev.Kind == EventStandbyActivated && ev.Task == victim {
-					activated = true
-				}
-			}
-			if activated {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatal("standby never activated")
-			}
-			time.Sleep(5 * time.Millisecond)
+		if !r.WaitForEvent(15*time.Second, func(ev Event) bool {
+			return ev.Kind == EventStandbyActivated && ev.Task == victim
+		}) {
+			t.Fatal("standby never activated")
 		}
 		if err := r.InjectFailure(victim); err != nil {
 			t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clonos/internal/checkpoint"
+	"clonos/internal/faultinject"
 	"clonos/internal/netstack"
 	"clonos/internal/obs"
 	"clonos/internal/types"
@@ -35,6 +36,9 @@ const (
 	EventTaskStall      EventKind = "task-stall"
 	EventAlignmentStall EventKind = "alignment-stall"
 	EventEpochStall     EventKind = "epoch-stall"
+	// EventFaultInjected records an armed crash point firing (see
+	// Config.Faults); Info carries the crash-point name.
+	EventFaultInjected EventKind = "fault-injected"
 )
 
 // RecoverySpanName is the tracer span covering one local recovery, from
@@ -95,6 +99,12 @@ type Runtime struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 
+	// progress is a broadcast channel for event-driven waiting: every
+	// recorded runtime event closes and replaces it, waking WaitForEvent /
+	// WaitForCheckpoint without polling.
+	progressMu sync.Mutex
+	progress   chan struct{}
+
 	obs     *obs.Registry
 	tracer  *obs.Tracer
 	metrics runtimeMetrics
@@ -137,6 +147,25 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		stop:          make(chan struct{}),
 		obs:           cfg.Obs,
 		tracer:        obs.NewTracer(),
+		progress:      make(chan struct{}),
+	}
+	if cfg.Faults != nil {
+		// Kills redirected at a different task than the one hitting the
+		// crash point route through here (overlapping-failure schedules).
+		cfg.Faults.OnKill(func(task string) {
+			for _, id := range g.AllTaskIDs() {
+				if id.String() == task {
+					r.mu.Lock()
+					t := r.tasks[id]
+					r.mu.Unlock()
+					if t != nil {
+						r.recordEvent(EventFaultInjected, id, "target-kill")
+						t.crash()
+					}
+					return
+				}
+			}
+		})
 	}
 	r.tracer.SetLimits(cfg.TraceMaxEvents, cfg.TraceMaxSpans)
 	if cfg.TraceSink != nil {
@@ -338,6 +367,75 @@ func (r *Runtime) recordEvent(kind EventKind, id types.TaskID, info string) {
 		attrs["info"] = info
 	}
 	r.tracer.Emit(string(kind), Event{Time: time.Now(), Kind: kind, Task: id, Info: info}, attrs)
+	r.notifyProgress()
+}
+
+// notifyProgress wakes everything blocked in WaitForEvent/WaitForCheckpoint.
+func (r *Runtime) notifyProgress() {
+	r.progressMu.Lock()
+	close(r.progress)
+	r.progress = make(chan struct{})
+	r.progressMu.Unlock()
+}
+
+// progressCh returns the current broadcast channel; it is closed on the
+// next recorded event. Take the channel BEFORE checking a condition and
+// a wake-up can never be lost between check and wait.
+func (r *Runtime) progressCh() <-chan struct{} {
+	r.progressMu.Lock()
+	ch := r.progress
+	r.progressMu.Unlock()
+	return ch
+}
+
+// WaitForCheckpoint blocks until checkpoint cp has completed (event-
+// driven, no polling) and reports whether it did before the timeout.
+func (r *Runtime) WaitForCheckpoint(cp types.CheckpointID, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := r.progressCh()
+		if r.snaps.LatestCompleted() >= cp {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return r.snaps.LatestCompleted() >= cp
+		case <-r.stop:
+			return false
+		}
+	}
+}
+
+// WaitForEvent blocks until a recorded runtime event satisfies pred
+// (evaluated over the full retained event history, so an event recorded
+// before the call also matches) and reports whether one did before the
+// timeout.
+func (r *Runtime) WaitForEvent(timeout time.Duration, pred func(Event) bool) bool {
+	check := func() bool {
+		for _, ev := range r.Events() {
+			if pred(ev) {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := r.progressCh()
+		if check() {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return check()
+		case <-r.stop:
+			return false
+		}
+	}
 }
 
 // expectedAcks lists unfinished tasks (the coordinator's ack set).
@@ -396,7 +494,33 @@ func (r *Runtime) onSnapshot(snap *checkpoint.TaskSnapshot) {
 		return
 	}
 	r.coord.MarkCheckpoint(snap.Checkpoint, "snapshot-persisted:"+snap.Task.String())
+	if r.faultHit(faultinject.PointPersistAckWindow, snap.Task) {
+		// The task died with its snapshot durable but unacknowledged:
+		// the checkpoint must abort (coordinator pause on detection) and
+		// the persisted-but-uncommitted snapshot must never be restored.
+		return
+	}
 	r.coord.Ack(snap.Checkpoint, snap.Task)
+}
+
+// faultHit fires a crash point on behalf of a task from runtime code (the
+// persist→ack window runs on the task's main thread but is owned by the
+// job manager); true means the task was crashed and the step guarded by
+// the point must not execute.
+func (r *Runtime) faultHit(point string, id types.TaskID) bool {
+	fi := r.cfg.Faults
+	if fi == nil || !fi.Hit(point, id.String()) {
+		return false
+	}
+	r.mu.Lock()
+	t := r.tasks[id]
+	r.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	r.recordEvent(EventFaultInjected, id, point)
+	t.crash()
+	return true
 }
 
 // onBarrier marks the epoch span when a task sees the checkpoint's
@@ -464,6 +588,14 @@ func (r *Runtime) detector() {
 			return
 		case <-tick.C:
 		}
+		select {
+		case <-r.allDone:
+			// Every task reached end-of-stream: the job's output is
+			// complete, so late process deaths during wind-down need no
+			// recovery (and must not race teardown with one).
+			return
+		default:
+		}
 		now := time.Now().UnixNano()
 		r.mu.Lock()
 		if r.restarting {
@@ -475,13 +607,21 @@ func (r *Runtime) detector() {
 			// Tasks already declared failed (recovery queued) are
 			// skipped; tasks in guided replay are NOT — a standby that
 			// crashes mid-recovery must be detected and replaced too.
-			if r.finished[id] || r.failedSet[id] {
+			// Finished tasks are NOT exempt either: they keep
+			// heartbeating after end-of-stream, so a stale heartbeat
+			// there is a real post-finish crash. The dead process's
+			// in-flight log may be mid-replay to a recovering peer, so
+			// it is recovered like any running task — the replacement
+			// re-executes to end-of-stream and re-serves its log, and
+			// receivers dedup the re-sent suffix.
+			if r.failedSet[id] {
 				continue
 			}
 			age := time.Duration(now - t.heartbeatAt.Load())
 			if age > r.cfg.HeartbeatTimeout {
 				r.failedSet[id] = true
 				delete(r.recovering, id)
+				delete(r.finished, id)
 				newlyFailed = append(newlyFailed, id)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"clonos/internal/buffer"
 	"clonos/internal/causal"
 	"clonos/internal/checkpoint"
+	"clonos/internal/faultinject"
 	"clonos/internal/inflight"
 	"clonos/internal/netstack"
 	"clonos/internal/obs"
@@ -202,10 +203,18 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	} else {
 		logger = noopLogger{}
 	}
-	t.svcs = services.New(services.Config{
+	svcCfg := services.Config{
 		TimestampGranularityMs: cfg.TimestampGranularityMs,
 		World:                  cfg.World,
-	}, logger, t, func(when int64) {
+	}
+	if cfg.ServiceSeed != 0 {
+		// Derive a per-task deterministic seed stream: mixing the vertex
+		// and subtask into the job seed gives every task (and each of its
+		// incarnations) the same distinct stream on every run.
+		svcCfg.SeedSource = services.SeededSource(cfg.ServiceSeed ^
+			(int64(vertex.ID)<<32 | int64(subtask)+1))
+	}
+	t.svcs = services.New(svcCfg, logger, t, func(when int64) {
 		t.timerSvc.RegisterProc(timers.Timer{HandlerID: tsRefreshHandler, When: when})
 	})
 
@@ -289,6 +298,17 @@ func (t *Task) attachNetwork(accepting bool) {
 				})
 			}
 		}
+		if t.crashed.Load() {
+			// The task died before (or while) reconfiguring. A dead task
+			// must never leave open endpoints behind: crash() already broke
+			// the previous gate, so break this one too, or surviving
+			// upstreams would park replayed sends on queues nobody drains —
+			// and stay parked even after the next recovery replaces the
+			// endpoints again.
+			for i := 0; i < t.gate.NumChannels(); i++ {
+				t.gate.Endpoint(i).Break()
+			}
+		}
 	}
 }
 
@@ -352,6 +372,13 @@ func (t *Task) setRecovery(ex causal.Extracted) {
 
 // start launches the task's threads.
 func (t *Task) start() {
+	if t.crashed.Load() {
+		// The task died before launch (a fault injected mid-recovery):
+		// nothing may run, but done must still close so shutdown does
+		// not hang waiting for a main thread that never existed.
+		close(t.done)
+		return
+	}
 	t.registerGauges()
 	t.state.Store(int32(stateRunning))
 	t.heartbeatNow()
@@ -484,6 +511,20 @@ func (t *Task) fail(err error) {
 	t.crash()
 }
 
+// crashPoint fires a named fault-injection crash point: a no-op unless an
+// injector is armed and one of its kills matches (point, task). On a
+// match the task crashes right here and the caller must unwind without
+// executing the step the point guards.
+func (t *Task) crashPoint(point string) bool {
+	fi := t.env.cfg.Faults
+	if fi == nil || !fi.Hit(point, t.id.String()) {
+		return false
+	}
+	t.env.recordEvent(EventFaultInjected, t.id, point)
+	t.crash()
+	return true
+}
+
 func (t *Task) heartbeatNow() {
 	t.heartbeatAt.Store(time.Now().UnixNano())
 }
@@ -522,11 +563,17 @@ func (t *Task) run() {
 	}
 	if t.replay.hasNext() {
 		t.state.Store(int32(stateRecovering))
+		if t.crashPoint(faultinject.PointReplayStart) {
+			return
+		}
 		t.runReplay()
 		if t.crashed.Load() {
 			return
 		}
 		t.replay = nil
+		if t.crashPoint(faultinject.PointReplayDone) {
+			return
+		}
 		t.recSpan.Load().Mark("replay-done")
 		t.state.Store(int32(stateRunning))
 		t.env.onTaskLive(t.id)
@@ -567,6 +614,9 @@ func (t *Task) finishRecoverySpan() {
 func (t *Task) runLive() {
 	for !t.crashed.Load() {
 		t.heartbeatNow()
+		if t.crashPoint(faultinject.PointTaskLoop) {
+			return
+		}
 		select {
 		case ev := <-t.mailbox:
 			t.handleMail(ev)
@@ -601,6 +651,9 @@ func (t *Task) runLive() {
 func (t *Task) runReplay() {
 	for t.replay.hasNext() && !t.crashed.Load() {
 		t.heartbeatNow()
+		if t.crashPoint(faultinject.PointReplayStep) {
+			return
+		}
 		d := t.replay.peek()
 		switch d.Kind {
 		case causal.KindEpoch:
@@ -712,6 +765,10 @@ func (t *Task) handleElement(idx int, e types.Element) {
 		if !t.eosSeen[idx] {
 			t.eosSeen[idx] = true
 			t.eosLeft--
+			t.eosCompletesAlignment(idx)
+			if t.crashed.Load() {
+				return
+			}
 			t.raiseChanWm(idx, math.MaxInt64)
 			if t.eosLeft > 0 {
 				t.maybeAdvanceWatermark()
@@ -720,6 +777,34 @@ func (t *Task) handleElement(idx int, e types.Element) {
 			}
 		}
 	}
+}
+
+// eosCompletesAlignment treats end-of-stream as a channel's final
+// barrier. Alignment start copies eosSeen into barriersSeen for channels
+// that already finished, but an EOS can also land MID-alignment: the
+// upstream drained its input and exited between the coordinator's
+// trigger and the barrier reaching this channel, so the barrier the
+// alignment is waiting for will never come. Without this the task waits
+// forever with its aligned channels gated — a wedge the fault sweep hits
+// when a crash schedule delays a checkpoint into the end of a bounded
+// input (pinned in TestCrashScheduleRegressions).
+func (t *Task) eosCompletesAlignment(idx int) {
+	if !t.aligning || t.barriersSeen[idx] {
+		return
+	}
+	t.barriersSeen[idx] = true
+	t.barriersLeft--
+	if t.barriersLeft > 0 {
+		return
+	}
+	cp := t.alignCp
+	t.metrics.align.ObserveSince(t.alignStart)
+	t.env.onAlignmentComplete(cp, t.id)
+	if t.crashPoint(faultinject.PointAlignComplete) {
+		return
+	}
+	t.snapshot(cp)
+	t.releaseAlignment()
 }
 
 // raiseChanWm records a channel watermark advance, keeping the running
@@ -780,6 +865,9 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 		return // stale barrier from a replayed stream, already covered
 	}
 	t.env.onBarrier(cp, t.id)
+	if t.crashPoint(faultinject.PointAlignStart) {
+		return
+	}
 	if len(t.inIDs) == 1 {
 		t.snapshot(cp)
 		return
@@ -819,10 +907,14 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	if t.barriersLeft > 0 {
 		t.gate.Block(idx)
 		t.blockStart[idx] = time.Now()
+		t.crashPoint(faultinject.PointAlignBlocked)
 		return
 	}
 	t.metrics.align.ObserveSince(t.alignStart)
 	t.env.onAlignmentComplete(cp, t.id)
+	if t.crashPoint(faultinject.PointAlignComplete) {
+		return
+	}
 	t.snapshot(cp)
 	t.releaseAlignment()
 }
@@ -846,6 +938,9 @@ func (t *Task) releaseAlignment() {
 // snapshot takes the task's checkpoint: forward the barrier, roll epochs
 // on every log, persist state, and ack the coordinator.
 func (t *Task) snapshot(cp types.CheckpointID) {
+	if t.crashPoint(faultinject.PointSnapshotPreBarrier) {
+		return
+	}
 	syncStart := time.Now()
 	// Forward the barrier as the last element of epoch cp on every
 	// output channel, then roll the channel epochs.
@@ -860,6 +955,9 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	var mainBase uint64
 	if t.causal != nil {
 		mainBase = t.causal.StartEpochMainAt(cp + 1)
+	}
+	if t.crashPoint(faultinject.PointSnapshotPreState) {
+		return
 	}
 	var stateBytes []byte
 	var err error
@@ -913,6 +1011,9 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	t.metrics.sync.ObserveSince(syncStart)
 	t.metrics.snapshots.Inc()
 	t.metrics.snapshotBytes.Add(uint64(len(stateBytes) + len(timerBytes)))
+	if t.crashPoint(faultinject.PointSnapshotPrePersist) {
+		return
+	}
 	t.env.onSnapshot(snap)
 }
 
@@ -920,11 +1021,17 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 func (t *Task) handleMail(ev mailEvent) {
 	switch ev.kind {
 	case mailTimer:
+		if t.crashPoint(faultinject.PointTimerFiring) {
+			return
+		}
 		if t.causal != nil {
 			t.causal.AppendTimer(ev.timer.HandlerID, ev.timer.Key, ev.timer.When, t.offset)
 		}
 		t.fireTimer(ev.timer)
 	case mailRPC:
+		if t.crashPoint(faultinject.PointCheckpointRPC) {
+			return
+		}
 		if t.causal != nil {
 			t.causal.AppendRPC(ev.cp, t.offset)
 		}
@@ -948,6 +1055,9 @@ func (t *Task) fireTimer(tm timers.Timer) {
 func (t *Task) runSourceLive() {
 	for !t.crashed.Load() {
 		t.heartbeatNow()
+		if t.crashPoint(faultinject.PointTaskLoop) {
+			return
+		}
 		select {
 		case ev := <-t.mailbox:
 			t.handleMail(ev)
@@ -1000,6 +1110,9 @@ func (t *Task) emitNextSourceElement(wait bool) bool {
 			case <-time.After(time.Millisecond):
 			}
 		}
+	}
+	if t.crashPoint(faultinject.PointSourceEmit) {
+		return false
 	}
 	e := t.pendingBatch[0]
 	t.pendingBatch = t.pendingBatch[1:]

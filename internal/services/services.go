@@ -78,6 +78,23 @@ type Config struct {
 	SeedSource func() int64
 }
 
+// SeededSource returns a deterministic SeedSource: a splitmix64 stream
+// over the given seed. Two sources built from the same seed yield the
+// same seed sequence, making a job's nondeterminant stream reproducible
+// run-to-run — the property a replayed fault-injection schedule needs to
+// hit the same determinants the original run logged. (The default
+// wall-clock fallback draws a fresh, unrepeatable seed per epoch.)
+func SeededSource(seed int64) func() int64 {
+	state := uint64(seed)
+	return func() int64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int64(z ^ (z >> 31))
+	}
+}
+
 // New builds the service registry. log receives determinants; rep serves
 // them back during recovery; armRefresh (may be nil) registers the
 // timestamp-cache refresh timer with the task's timer service.
