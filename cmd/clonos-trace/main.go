@@ -266,8 +266,8 @@ func summarizeWatermarks(w io.Writer, samples []obs.TraceRecord, base int64, gap
 		fromTS, toTS int64
 		val          float64
 	}
-	cur := map[string]*flat{}    // open flat stretch per series
-	worst := map[string]flat{}   // longest stretch per series
+	cur := map[string]*flat{}  // open flat stretch per series
+	worst := map[string]flat{} // longest stretch per series
 	for _, s := range samples {
 		for key, v := range s.Vals {
 			if !strings.HasPrefix(key, "clonos_task_watermark_ms{") {

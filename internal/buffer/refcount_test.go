@@ -1,0 +1,117 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+// Double-release is an ownership bug, not a tolerable no-op: the second
+// Release would recycle a buffer another holder may have re-acquired.
+// The refcount panics so the bug surfaces at the faulty call site (the
+// bufown analyzer catches the intraprocedural cases statically; this
+// pins the dynamic backstop).
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool(1, 64)
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestReleaseAfterReleaseToPanics(t *testing.T) {
+	p := NewPool(1, 64)
+	b := p.Get()
+	b.ReleaseTo(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release after ReleaseTo did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// ReleaseTo on a closed pool must still drop the reference cleanly: the
+// recycle is refused (Put on a closed pool discards), the buffer goes to
+// the garbage collector, and no waiter wakes on a dead pool.
+func TestReleaseToClosedPool(t *testing.T) {
+	p := NewPool(1, 64)
+	b := p.Get()
+	p.Close()
+	b.ReleaseTo(p) // must not panic or deadlock
+	if got := p.Available(); got != 0 {
+		t.Fatalf("closed pool re-admitted a buffer: available=%d", got)
+	}
+	if p.Get() != nil {
+		t.Fatal("Get on closed pool returned a buffer")
+	}
+}
+
+func TestDonateToClosedPoolStillCountsTotal(t *testing.T) {
+	src := NewPool(1, 64)
+	dst := NewPool(0, 64)
+	b := src.Take()
+	dst.Close()
+	b.DonateTo(dst)
+	// The donation bookkeeping runs (total grows — the §6.1 exchange
+	// already forfeited on the other side) even though the free list is
+	// sealed; the buffer itself is dropped to the GC.
+	if got := dst.Total(); got != 1 {
+		t.Fatalf("closed pool total = %d, want 1", got)
+	}
+	if got := dst.Available(); got != 0 {
+		t.Fatalf("closed pool admitted a donated buffer: available=%d", got)
+	}
+}
+
+// A wire holder releasing concurrently with the structural owner's
+// DonateTo must recycle the buffer exactly once, whichever side drops
+// the last reference. Run under -race this also proves the dest/refs
+// ordering is sound.
+func TestDonateToRacingRelease(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		src := NewPool(1, 64)
+		dst := NewPool(0, 64)
+		b := src.Take()
+		b.Retain() // wire's reference
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); b.DonateTo(dst) }()
+		go func() { defer wg.Done(); b.Release() }()
+		wg.Wait()
+		if got := dst.Available(); got != 1 {
+			t.Fatalf("iteration %d: donated buffer not recycled exactly once: available=%d", i, got)
+		}
+		if got := dst.Total(); got != 1 {
+			t.Fatalf("iteration %d: donation total = %d, want 1", i, got)
+		}
+	}
+}
+
+// The deferred-recycle contract: while any reference is live the
+// destination is only armed, and the recycle happens at the final
+// Release — Data stays readable for the surviving holder in between.
+func TestDonateToDefersRecycleUntilLastRelease(t *testing.T) {
+	src := NewPool(1, 64)
+	dst := NewPool(0, 64)
+	b := src.Take()
+	b.Data = append(b.Data, "payload"...)
+	b.Retain() // second holder (the wire)
+	b.DonateTo(dst)
+	if got := dst.Available(); got != 0 {
+		t.Fatal("recycled while a reference was still live")
+	}
+	if string(b.Data) != "payload" {
+		t.Fatalf("payload clobbered before last release: %q", b.Data)
+	}
+	b.Release() // wire done: now it recycles
+	if got := dst.Available(); got != 1 {
+		t.Fatalf("not recycled after last release: available=%d", got)
+	}
+	if b.Len() != 0 {
+		t.Fatal("recycled buffer not reset")
+	}
+}

@@ -73,16 +73,26 @@ func TestStorePersistsToDisk(t *testing.T) {
 	}
 }
 
-// coordinatorHarness wires a coordinator to in-memory callbacks.
+// coordinatorHarness wires a coordinator to in-memory callbacks. Every
+// mutation signals changed so tests can wait event-driven instead of
+// sleep-polling.
 type coordinatorHarness struct {
 	mu        sync.Mutex
 	triggered []types.CheckpointID
 	completed []types.CheckpointID
 	expected  []types.TaskID
+	changed   chan struct{}
 }
 
 func newHarness(tasks ...types.TaskID) *coordinatorHarness {
-	return &coordinatorHarness{expected: tasks}
+	return &coordinatorHarness{expected: tasks, changed: make(chan struct{}, 1)}
+}
+
+func (h *coordinatorHarness) signal() {
+	select {
+	case h.changed <- struct{}{}:
+	default:
+	}
 }
 
 func (h *coordinatorHarness) coordinator(interval, timeout time.Duration) *Coordinator {
@@ -96,11 +106,13 @@ func (h *coordinatorHarness) coordinator(interval, timeout time.Duration) *Coord
 			h.mu.Lock()
 			h.triggered = append(h.triggered, cp)
 			h.mu.Unlock()
+			h.signal()
 		},
 		func(cp types.CheckpointID) {
 			h.mu.Lock()
 			h.completed = append(h.completed, cp)
 			h.mu.Unlock()
+			h.signal()
 		})
 }
 
@@ -119,14 +131,22 @@ func (h *coordinatorHarness) completions() []types.CheckpointID {
 	return append([]types.CheckpointID(nil), h.completed...)
 }
 
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+// waitFor blocks until cond holds, waking on harness mutations rather
+// than polling. The coordinator's acks arrive through the harness
+// callbacks, so every state change rings h.changed.
+func (h *coordinatorHarness) waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for !cond() {
-		if time.Now().After(deadline) {
+		select {
+		case <-h.changed:
+		case <-deadline.C:
+			if cond() {
+				return
+			}
 			t.Fatal("condition never met")
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -137,14 +157,14 @@ func TestCoordinatorCompletesOnAllAcks(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 
-	waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
+	h.waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
 	cp, _ := h.lastTriggered()
 	c.Ack(cp, a)
 	if len(h.completions()) != 0 {
 		t.Fatal("completed with one ack")
 	}
 	c.Ack(cp, b)
-	waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
+	h.waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
 	if c.LatestCompleted() != cp {
 		t.Fatalf("latest = %d, want %d", c.LatestCompleted(), cp)
 	}
@@ -157,7 +177,7 @@ func TestCoordinatorNoConcurrentCheckpoints(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	// Never ack: no further checkpoint may be triggered.
-	waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
+	h.waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
 	time.Sleep(100 * time.Millisecond)
 	h.mu.Lock()
 	n := len(h.triggered)
@@ -174,7 +194,7 @@ func TestCoordinatorTimeoutAbandonsCheckpoint(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	// Never ack the first; after the timeout a new one must trigger.
-	waitFor(t, 2*time.Second, func() bool {
+	h.waitFor(t, 2*time.Second, func() bool {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		return len(h.triggered) >= 2
@@ -190,7 +210,7 @@ func TestCoordinatorStaleAckIgnored(t *testing.T) {
 	c := h.coordinator(15*time.Millisecond, time.Second)
 	c.Start()
 	defer c.Stop()
-	waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
+	h.waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
 	cp, _ := h.lastTriggered()
 	c.Ack(cp+100, a) // unknown checkpoint
 	time.Sleep(50 * time.Millisecond)
@@ -198,7 +218,7 @@ func TestCoordinatorStaleAckIgnored(t *testing.T) {
 		t.Fatal("stale ack completed a checkpoint")
 	}
 	c.Ack(cp, a)
-	waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
+	h.waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
 }
 
 func TestCoordinatorPauseAbortsInFlight(t *testing.T) {
@@ -207,7 +227,7 @@ func TestCoordinatorPauseAbortsInFlight(t *testing.T) {
 	c := h.coordinator(15*time.Millisecond, 10*time.Second)
 	c.Start()
 	defer c.Stop()
-	waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
+	h.waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
 	cp, _ := h.lastTriggered()
 	// Pause (failure handling) aborts the in-flight checkpoint: a late
 	// ack for it must not complete anything, before or after Resume.
@@ -219,7 +239,7 @@ func TestCoordinatorPauseAbortsInFlight(t *testing.T) {
 	}
 	c.Resume()
 	// A fresh checkpoint triggers after Resume and completes normally.
-	waitFor(t, 2*time.Second, func() bool {
+	h.waitFor(t, 2*time.Second, func() bool {
 		lcp, ok := h.lastTriggered()
 		return ok && lcp > cp
 	})
@@ -229,7 +249,7 @@ func TestCoordinatorPauseAbortsInFlight(t *testing.T) {
 	}
 	lcp, _ := h.lastTriggered()
 	c.Ack(lcp, a)
-	waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
+	h.waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
 	if c.LatestCompleted() != lcp {
 		t.Fatalf("latest = %d, want %d", c.LatestCompleted(), lcp)
 	}
@@ -241,7 +261,7 @@ func TestCoordinatorReset(t *testing.T) {
 	c := h.coordinator(15*time.Millisecond, 10*time.Second)
 	c.Start()
 	defer c.Stop()
-	waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
+	h.waitFor(t, 2*time.Second, func() bool { _, ok := h.lastTriggered(); return ok })
 	cp, _ := h.lastTriggered()
 	c.Reset()
 	c.Ack(cp, a) // ack for a reset checkpoint: ignored
@@ -250,13 +270,13 @@ func TestCoordinatorReset(t *testing.T) {
 		t.Fatal("ack after reset completed a checkpoint")
 	}
 	// A new checkpoint triggers and completes normally.
-	waitFor(t, 2*time.Second, func() bool {
+	h.waitFor(t, 2*time.Second, func() bool {
 		lcp, ok := h.lastTriggered()
 		return ok && lcp > cp
 	})
 	lcp, _ := h.lastTriggered()
 	c.Ack(lcp, a)
-	waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
+	h.waitFor(t, 2*time.Second, func() bool { return len(h.completions()) == 1 })
 }
 
 func TestStoreIncrementalChain(t *testing.T) {

@@ -32,8 +32,8 @@ import (
 // location it names; Points() lists them all for sweep enumeration.
 const (
 	// Task main loop and mailbox.
-	PointTaskLoop      = "task/loop"          // top of the main-thread loop
-	PointTimerFiring   = "task/timer-firing"  // processing-time timer delivery, before the TIMER determinant is logged
+	PointTaskLoop      = "task/loop"           // top of the main-thread loop
+	PointTimerFiring   = "task/timer-firing"   // processing-time timer delivery, before the TIMER determinant is logged
 	PointCheckpointRPC = "task/checkpoint-rpc" // checkpoint-trigger RPC delivery, before the RPC determinant is logged
 	PointSourceEmit    = "source/emit"         // before emitting one source element
 
@@ -57,14 +57,14 @@ const (
 	// here is the recovering task, so these model a standby/replacement
 	// dying between named recovery phases — the §5 "failures during
 	// recovery" cases.
-	PointRecoveryPreActivate  = "recovery/pre-activate"            // before checkpoint restore
-	PointRecoveryActivated    = "recovery/standby-activated"       // restored, before endpoint rebind
-	PointRecoveryRebind       = "recovery/rebind"                  // after rebinding one downstream endpoint (use #skip for middles)
-	PointRecoveryDedupSampled = "recovery/dedup-sampled"           // all dedup floors sampled, before determinant extraction
-	PointRecoveryDeterminants = "recovery/determinants-retrieved"  // determinants merged, before network reconfiguration
-	PointRecoveryNetwork      = "recovery/network-reconfigured"    // fresh endpoints installed, before the task is registered
-	PointRecoveryPreStart     = "recovery/pre-start"               // registered, before threads launch
-	PointRecoveryServeReplay  = "recovery/pre-serve-replay"        // running, before deferred replay requests are served
+	PointRecoveryPreActivate  = "recovery/pre-activate"           // before checkpoint restore
+	PointRecoveryActivated    = "recovery/standby-activated"      // restored, before endpoint rebind
+	PointRecoveryRebind       = "recovery/rebind"                 // after rebinding one downstream endpoint (use #skip for middles)
+	PointRecoveryDedupSampled = "recovery/dedup-sampled"          // all dedup floors sampled, before determinant extraction
+	PointRecoveryDeterminants = "recovery/determinants-retrieved" // determinants merged, before network reconfiguration
+	PointRecoveryNetwork      = "recovery/network-reconfigured"   // fresh endpoints installed, before the task is registered
+	PointRecoveryPreStart     = "recovery/pre-start"              // registered, before threads launch
+	PointRecoveryServeReplay  = "recovery/pre-serve-replay"       // running, before deferred replay requests are served
 
 	// In-flight replay serving (outChannel.replayLoop): the victim is the
 	// task serving a downstream recovery, crashing mid-retransmission.
@@ -139,6 +139,19 @@ var pointSet = func() map[string]PointInfo {
 	}
 	return m
 }()
+
+// MirroredMarks pairs crash points with the obs tracer mark emitted at
+// the same protocol step, so chaos runs line up with recovery-span
+// traces: crashing at the point and seeing the mark are two views of one
+// protocol location. The crashpoint analyzer (clonos-vet) keeps the pair
+// from drifting — the mark string must stay derivable from the point
+// name, and must still be emitted somewhere in non-test code.
+var MirroredMarks = map[string]string{
+	PointRecoveryActivated:    "standby-activated",
+	PointRecoveryDeterminants: "determinants-retrieved",
+	PointRecoveryNetwork:      "network-reconfigured",
+	PointReplayDone:           "replay-done",
+}
 
 // Points returns the registered crash points in sweep order.
 func Points() []PointInfo { return append([]PointInfo(nil), points...) }

@@ -35,12 +35,12 @@ func TestScheduleRoundTrip(t *testing.T) {
 
 func TestParseRejects(t *testing.T) {
 	for _, bad := range []string{
-		"task/loop@v1[0]",              // missing kill= prefix
-		"kill=task/loop",               // missing victim
-		"kill=nonsense/point@v1[0]",    // unregistered point
-		"kill=task/loop@v1[0]#x",       // bad skip
-		"kill=task/loop@",              // empty victim
-		"kill=task/loop@v1[0]#-2",      // negative skip
+		"task/loop@v1[0]",           // missing kill= prefix
+		"kill=task/loop",            // missing victim
+		"kill=nonsense/point@v1[0]", // unregistered point
+		"kill=task/loop@v1[0]#x",    // bad skip
+		"kill=task/loop@",           // empty victim
+		"kill=task/loop@v1[0]#-2",   // negative skip
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q): want error, got nil", bad)

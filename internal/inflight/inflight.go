@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"clonos/internal/buffer"
 	"clonos/internal/obs"
@@ -117,6 +118,10 @@ type Log struct {
 	done     sync.WaitGroup
 	closed   bool
 
+	// spillChanged is closed and replaced each time an entry reaches
+	// disk, so observers can wait for spill progress without polling.
+	spillChanged chan struct{}
+
 	metrics *Metrics
 }
 
@@ -133,16 +138,17 @@ func NewLog(ch types.ChannelID, pool *buffer.Pool, cfg Config) (*Log, error) {
 		ownDir = true
 	}
 	l := &Log{
-		channel:    ch,
-		pool:       pool,
-		cfg:        cfg,
-		epochStart: make(map[types.EpochID]int),
-		dir:        dir,
-		ownDir:     ownDir,
-		files:      make(map[types.EpochID]*os.File),
-		fileOffs:   make(map[types.EpochID]int64),
-		spillReq:   make(chan struct{}, 1),
-		stop:       make(chan struct{}),
+		channel:      ch,
+		pool:         pool,
+		cfg:          cfg,
+		epochStart:   make(map[types.EpochID]int),
+		dir:          dir,
+		ownDir:       ownDir,
+		files:        make(map[types.EpochID]*os.File),
+		fileOffs:     make(map[types.EpochID]int64),
+		spillReq:     make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		spillChanged: make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	if cfg.Policy == PolicySpillEpoch || cfg.Policy == PolicySpillThreshold {
@@ -179,6 +185,10 @@ func (l *Log) StartEpoch(e types.EpochID) {
 // Append takes ownership of a dispatched buffer. The §6.1 exchange — the
 // caller pairs this with taking a replacement from the log pool and
 // donating it to the channel pool — is done by the dispatch layer.
+// Ownership of b transfers only on a nil return; on error (closed log)
+// the caller must still release its reference.
+//
+//clonos:owns-transfer on-success
 func (l *Log) Append(b *buffer.Buffer) error {
 	l.mu.Lock()
 	if l.closed {
@@ -269,6 +279,8 @@ func (l *Log) spillEntryLocked(e *Entry) error {
 	l.fileOffs[e.Epoch] = off + 12 + int64(e.Size)
 	e.fileOff = off + 12
 	e.spilled = true
+	close(l.spillChanged)
+	l.spillChanged = make(chan struct{})
 	l.memBytes -= e.Size
 	if l.metrics != nil {
 		l.metrics.Spilled.Inc()
@@ -372,6 +384,33 @@ func (l *Log) SpilledCount() int {
 		}
 	}
 	return n
+}
+
+// WaitSpilledCount blocks until at least n retained entries are on disk
+// or the timeout elapses, waking on spill completions instead of
+// polling. It reports whether the target was reached.
+func (l *Log) WaitSpilledCount(n int, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		l.mu.Lock()
+		count := 0
+		for _, e := range l.entries {
+			if e.spilled {
+				count++
+			}
+		}
+		changed := l.spillChanged
+		l.mu.Unlock()
+		if count >= n {
+			return true
+		}
+		select {
+		case <-changed:
+		case <-deadline.C:
+			return false
+		}
+	}
 }
 
 // ReadEntry returns the metadata and payload of the retained entry with

@@ -111,12 +111,8 @@ func TestSpillEpochPolicy(t *testing.T) {
 	}
 	l.StartEpoch(2)
 	appendBuf(t, l, pool, 3, 2, []byte("c"))
-	deadline := time.Now().Add(2 * time.Second)
-	for l.SpilledCount() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("epoch 1 not spilled; spilled=%d", l.SpilledCount())
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !l.WaitSpilledCount(2, 2*time.Second) {
+		t.Fatalf("epoch 1 not spilled; spilled=%d", l.SpilledCount())
 	}
 	// Epoch 2 (current) stays in memory.
 	if _, data, ok, err := l.ReadEntry(1); err != nil || !ok || string(data) != "a" {
@@ -135,12 +131,8 @@ func TestSpillThresholdPolicy(t *testing.T) {
 	}
 	appendBuf(t, l, pool, 2, 1, []byte("b"))
 	appendBuf(t, l, pool, 3, 1, []byte("c")) // ratio 1/4 < 0.5
-	deadline := time.Now().Add(2 * time.Second)
-	for l.SpilledCount() != 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("threshold spill did not run; spilled=%d", l.SpilledCount())
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !l.WaitSpilledCount(3, 2*time.Second) {
+		t.Fatalf("threshold spill did not run; spilled=%d", l.SpilledCount())
 	}
 	if pool.Available() != 4 {
 		t.Fatalf("pool available = %d, want 4 after spilling", pool.Available())
@@ -171,12 +163,8 @@ func TestReplayAcrossMemoryAndDisk(t *testing.T) {
 	appendBuf(t, l, pool, 2, 1, []byte("e1b"))
 	l.StartEpoch(2)
 	appendBuf(t, l, pool, 3, 2, []byte("e2a"))
-	deadline := time.Now().Add(2 * time.Second)
-	for l.SpilledCount() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("spill did not complete")
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !l.WaitSpilledCount(2, 2*time.Second) {
+		t.Fatal("spill did not complete")
 	}
 	want := []string{"e1a", "e1b", "e2a"}
 	first, ok := l.FirstSeqOfEpoch(1)

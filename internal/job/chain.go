@@ -169,7 +169,10 @@ func (ctx *opContext) RegisterEventTimer(key uint64, when int64) {
 	ctx.task.timerSvc.RegisterEvent(timers.Timer{HandlerID: int32(ctx.index), Key: key, When: when})
 }
 
-// Watermark implements operator.Context.
+// Watermark implements operator.Context. Operator callbacks run on the
+// task main thread, so the direct curWm read is safe.
+//
+//clonos:mainthread
 func (ctx *opContext) Watermark() int64 { return ctx.task.curWm }
 
 // TaskID implements operator.Context.

@@ -139,12 +139,8 @@ func TestExactlyOnceOutputTruncation(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for r.LatestCompletedCheckpoint() < 4 {
-		if time.Now().After(deadline) {
-			t.Fatalf("checkpoints stalled: %v", r.Errors())
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !r.WaitForCheckpoint(4, 10*time.Second) {
+		t.Fatalf("checkpoints stalled: %v", r.Errors())
 	}
 	// Retained chunks must only cover epochs after the last completed
 	// checkpoint (plus the in-flight one).

@@ -89,12 +89,8 @@ func TestIncrementalCheckpointsDeltaSmaller(t *testing.T) {
 		gen.Start()
 		defer gen.Stop()
 
-		deadline := time.Now().Add(20 * time.Second)
-		for r.LatestCompletedCheckpoint() < 8 {
-			if time.Now().After(deadline) {
-				t.Fatalf("checkpoints stalled: %v", r.Errors())
-			}
-			time.Sleep(20 * time.Millisecond)
+		if !r.WaitForCheckpoint(8, 20*time.Second) {
+			t.Fatalf("checkpoints stalled: %v", r.Errors())
 		}
 		full, delta := r.snaps.SnapshotTraffic()
 		if incremental && delta == 0 {

@@ -119,12 +119,8 @@ func TestCheckpointsComplete(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for r.LatestCompletedCheckpoint() < 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d checkpoints completed; errors: %v", r.LatestCompletedCheckpoint(), r.Errors())
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !r.WaitForCheckpoint(3, 10*time.Second) {
+		t.Fatalf("only %d checkpoints completed; errors: %v", r.LatestCompletedCheckpoint(), r.Errors())
 	}
 }
 

@@ -1,0 +1,13 @@
+package job
+
+import (
+	"testing"
+
+	"clonos/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: every runtime a test
+// starts owns task main threads, heartbeaters, flushers, timer threads,
+// and spillers — a leak here means Shutdown (or recovery teardown) left
+// one behind.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

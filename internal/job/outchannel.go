@@ -95,7 +95,10 @@ func (oc *outChannel) wakeReplay() {
 // dispatch receives a filled buffer from the writer (writer lock held):
 // stamp seq/epoch, log the BUFFERSIZE determinant, attach the causal
 // delta, append to the in-flight log (with the §6.1 buffer-pool
-// exchange), and transmit unless pending or deduplicated.
+// exchange), and transmit unless pending or deduplicated. dispatch owns
+// b's structural reference and must settle it on every path.
+//
+//clonos:owns-transfer
 func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 	oc.mu.Lock()
 	seq := oc.nextSeq
@@ -138,13 +141,22 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 	// backpressure behaviour §7.5 measures.
 	replacement := t.logPool.Take()
 	if replacement == nil {
+		// Log pool closed (shutdown): the message drops its payload
+		// reference, and the structural reference — which would have gone
+		// to the in-flight log — returns to the channel pool instead of
+		// leaking the pool slot.
 		msg.Release()
+		b.ReleaseTo(oc.outPool)
 		return netstack.ErrWriterClosed
 	}
 	oc.outPool.Forfeit()
 	oc.outPool.Donate(replacement)
 	if err := oc.iflog.Append(b); err != nil {
+		// Closed log kept the caller's reference: settle it here, same as
+		// above — without this the buffer (and its pool slot) leaks on
+		// every dispatch raced by shutdown.
 		msg.Release()
+		b.ReleaseTo(oc.outPool)
 		return err
 	}
 	// The send decision comes *after* the log append so the replay
@@ -157,7 +169,11 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 // pending, the seq was already covered by a replay, or it is
 // deduplicated after recovery. A broken receiver flips the channel to
 // pending: the task keeps producing into the in-flight log while
-// downstream is dead (or loses the data, at-most-once).
+// downstream is dead (or loses the data, at-most-once). maybeTransmit
+// always takes ownership of m: it releases it, or hands it to the
+// receiving endpoint.
+//
+//clonos:owns-transfer
 func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 	oc.mu.Lock()
 	send := !oc.pending && m.Seq > oc.sentUpTo && m.Seq > oc.dedupUpTo
@@ -193,6 +209,8 @@ func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 // The wall time of each push — including any credit-limit stall inside
 // the receiving endpoint — feeds the send-stall histogram, making
 // backpressure on this channel visible per sending task.
+//
+//clonos:owns-transfer on-success
 func (oc *outChannel) send(m *netstack.Message) error {
 	start := time.Now()
 	err := oc.task.env.net.Send(m)

@@ -91,6 +91,13 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 
 	if old != nil {
 		old.crash() // ensure threads are gone even if detection raced
+		// The dead incarnation's out-channels are volatile state that
+		// nothing reads again — replay is served from the replacement's
+		// in-flight log — so close them here; each one owns a spiller
+		// thread that otherwise outlives every recovery.
+		for _, oc := range old.allOut {
+			oc.close()
+		}
 	}
 	// Fault-injection windows: each crashPoint below may kill the
 	// replacement between two named protocol phases. The protocol keeps

@@ -424,10 +424,15 @@ func TestRepeatedFailuresSameTask(t *testing.T) {
 	cfg := quickConfig(ModeClonos)
 	sums, _ := runDeepFailure(t, cfg, n, 5, func(r *Runtime) {
 		for round := 0; round < 3; round++ {
+			next := r.LatestCompletedCheckpoint() + 1
 			if err := r.InjectFailure(types.TaskID{Vertex: 2, Subtask: 0}); err != nil {
 				t.Fatal(err)
 			}
-			time.Sleep(700 * time.Millisecond)
+			// A checkpoint completing after the injection proves the job
+			// recovered and made progress; only then inject the next one.
+			if !r.WaitForCheckpoint(next, 15*time.Second) {
+				t.Fatalf("no checkpoint after failure round %d: %v", round, r.Errors())
+			}
 		}
 	})
 	checkSums(t, sums, expectedDeepSums(n, 5), "repeated failures")

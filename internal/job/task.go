@@ -78,17 +78,19 @@ type Task struct {
 	state   atomic.Int32
 	done    chan struct{}
 
-	// Main-thread execution state (no locking: main loop only).
-	epoch        types.EpochID
-	offset       uint64
-	curWm        int64
-	chanWms      []int64
+	// Main-thread execution state (no locking: main loop only). The
+	// line-annotated fields publish atomic shadows below for off-thread
+	// readers; the mainthread analyzer enforces the split.
+	epoch   types.EpochID
+	offset  uint64  //clonos:mainthread
+	curWm   int64   //clonos:mainthread
+	chanWms []int64 //clonos:mainthread
 	// wmMin is the running minimum over chanWms, maintained incrementally
 	// so each watermark element costs O(1) instead of a full channel scan
 	// (rescans happen only when the minimum channel itself advances).
-	wmMin int64
+	wmMin        int64
 	aligning     bool
-	alignCp      types.CheckpointID
+	alignCp      types.CheckpointID //clonos:mainthread
 	barriersSeen []bool
 	barriersLeft int
 	eosSeen      []bool
@@ -100,7 +102,7 @@ type Task struct {
 	recordsIn    atomic.Uint64
 	recordsOut   atomic.Uint64
 	// alignStart is when the pending alignment's first barrier arrived.
-	alignStart time.Time
+	alignStart time.Time //clonos:mainthread
 	// blockStart records when each input channel was blocked for the
 	// pending alignment (zero = not blocked). Main thread only.
 	blockStart []time.Time
@@ -114,8 +116,8 @@ type Task struct {
 	alignCpShadow atomic.Int64
 
 	heartbeatAt atomic.Int64
-	lastErr      atomic.Value
-	flushStop    chan struct{}
+	lastErr     atomic.Value
+	flushStop   chan struct{}
 	// fullSnapshotNext forces the next snapshot to be full (first one of
 	// an incarnation); later ones may be incremental (§6.4).
 	fullSnapshotNext bool
@@ -160,7 +162,10 @@ func (rc *replayCursor) window(n int) []causal.Determinant {
 }
 
 // newTask builds a task instance (running or standby) without touching
-// the network; attachNetwork and start complete activation.
+// the network; attachNetwork and start complete activation. Runs before
+// the main thread exists, so it is single-threaded by construction.
+//
+//clonos:mainthread
 func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	cfg := env.cfg
 	t := &Task{
@@ -212,7 +217,7 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 		// and subtask into the job seed gives every task (and each of its
 		// incarnations) the same distinct stream on every run.
 		svcCfg.SeedSource = services.SeededSource(cfg.ServiceSeed ^
-			(int64(vertex.ID)<<32 | int64(subtask)+1))
+			(int64(vertex.ID)<<32 | int64(subtask) + 1))
 	}
 	t.svcs = services.New(svcCfg, logger, t, func(when int64) {
 		t.timerSvc.RegisterProc(timers.Timer{HandlerID: tsRefreshHandler, When: when})
@@ -313,7 +318,9 @@ func (t *Task) attachNetwork(accepting bool) {
 }
 
 // restore loads a checkpoint into the task (standby activation or global
-// rollback restart).
+// rollback restart). Runs before the incarnation's main thread starts.
+//
+//clonos:mainthread
 func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 	if err := t.store.Restore(snap.State); err != nil {
 		return err
@@ -412,7 +419,9 @@ func (t *Task) heartbeater() {
 func (t *Task) Replaying() bool { return t.replay.hasNext() }
 
 // Next implements services.Replayer: services consume TS/RNG/SERVICE
-// determinants inline during guided replay.
+// determinants inline during guided replay (on the main thread).
+//
+//clonos:mainthread
 func (t *Task) Next(kind causal.Kind) (causal.Determinant, error) {
 	if !t.replay.hasNext() {
 		return causal.Determinant{}, fmt.Errorf("task %v: determinant log exhausted", t.id)
@@ -610,11 +619,40 @@ func (t *Task) finishRecoverySpan() {
 	t.env.observeRecovery(rec)
 }
 
+// loopTick is the shared top-of-iteration step of both task loops: it
+// refreshes the watchdog heartbeat and arms the task/loop crash point.
+// Keeping it factored gives PointTaskLoop a single non-test reference
+// (the crashpoint analyzer enforces exactly one), so #occurrence
+// schedules count iterations uniformly across live and source loops.
+// Reports true when the injector consumed the point by crashing the task.
+//
+//clonos:mainthread
+func (t *Task) loopTick() bool {
+	t.heartbeatNow()
+	return t.crashPoint(faultinject.PointTaskLoop)
+}
+
+// completeAlignment runs once the final barrier of an alignment is in
+// (or EOS stood in for it): observe the alignment latency, notify the
+// runtime, arm the align/complete crash point, then snapshot and reopen
+// the gate. Shared by handleBarrier and eosCompletesAlignment so
+// PointAlignComplete names exactly one protocol location.
+//
+//clonos:mainthread
+func (t *Task) completeAlignment(cp types.CheckpointID) {
+	t.metrics.align.ObserveSince(t.alignStart)
+	t.env.onAlignmentComplete(cp, t.id)
+	if t.crashPoint(faultinject.PointAlignComplete) {
+		return
+	}
+	t.snapshot(cp)
+	t.releaseAlignment()
+}
+
 // runLive is the normal-operation loop of a non-source task.
 func (t *Task) runLive() {
 	for !t.crashed.Load() {
-		t.heartbeatNow()
-		if t.crashPoint(faultinject.PointTaskLoop) {
+		if t.loopTick() {
 			return
 		}
 		select {
@@ -648,6 +686,8 @@ func (t *Task) runLive() {
 // (§5.2): ORDER determinants drive buffer consumption, TIMER/RPC
 // determinants re-fire asynchronous events at identical offsets, and
 // services replay TS/RNG/SERVICE results inline.
+//
+//clonos:mainthread
 func (t *Task) runReplay() {
 	for t.replay.hasNext() && !t.crashed.Load() {
 		t.heartbeatNow()
@@ -712,6 +752,8 @@ func (t *Task) runReplay() {
 }
 
 // handleBuffer processes one whole input buffer (the ORDER unit).
+//
+//clonos:mainthread
 func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 	t.metrics.buffersIn.Inc()
 	defer t.metrics.process.ObserveSince(time.Now())
@@ -748,6 +790,7 @@ func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 	}
 }
 
+//clonos:mainthread
 func (t *Task) handleElement(idx int, e types.Element) {
 	switch e.Kind {
 	case types.KindRecord:
@@ -788,6 +831,8 @@ func (t *Task) handleElement(idx int, e types.Element) {
 // forever with its aligned channels gated — a wedge the fault sweep hits
 // when a crash schedule delays a checkpoint into the end of a bounded
 // input (pinned in TestCrashScheduleRegressions).
+//
+//clonos:mainthread
 func (t *Task) eosCompletesAlignment(idx int) {
 	if !t.aligning || t.barriersSeen[idx] {
 		return
@@ -797,19 +842,14 @@ func (t *Task) eosCompletesAlignment(idx int) {
 	if t.barriersLeft > 0 {
 		return
 	}
-	cp := t.alignCp
-	t.metrics.align.ObserveSince(t.alignStart)
-	t.env.onAlignmentComplete(cp, t.id)
-	if t.crashPoint(faultinject.PointAlignComplete) {
-		return
-	}
-	t.snapshot(cp)
-	t.releaseAlignment()
+	t.completeAlignment(t.alignCp)
 }
 
 // raiseChanWm records a channel watermark advance, keeping the running
 // minimum current. Only when the raised channel sat at the minimum can
 // the minimum itself change, so the full rescan is amortized away.
+//
+//clonos:mainthread
 func (t *Task) raiseChanWm(idx int, wm int64) {
 	old := t.chanWms[idx]
 	t.chanWms[idx] = wm
@@ -820,6 +860,8 @@ func (t *Task) raiseChanWm(idx int, wm int64) {
 }
 
 // recomputeWmMin rescans chanWms; MaxInt64 when the task has no inputs.
+//
+//clonos:mainthread
 func (t *Task) recomputeWmMin() {
 	min := int64(math.MaxInt64)
 	for _, wm := range t.chanWms {
@@ -830,6 +872,7 @@ func (t *Task) recomputeWmMin() {
 	t.wmMin = min
 }
 
+//clonos:mainthread
 func (t *Task) maybeAdvanceWatermark() {
 	if t.wmMin > t.curWm && t.wmMin != math.MaxInt64 {
 		t.advanceWatermark(t.wmMin)
@@ -838,6 +881,8 @@ func (t *Task) maybeAdvanceWatermark() {
 
 // advanceWatermark fires due event timers deterministically, notifies the
 // chain, and forwards the watermark downstream.
+//
+//clonos:mainthread
 func (t *Task) advanceWatermark(wm int64) {
 	t.curWm = wm
 	t.wmShadow.Store(wm)
@@ -860,6 +905,8 @@ func (t *Task) advanceWatermark(wm int64) {
 // handleBarrier performs aligned checkpointing: the first barrier of a
 // checkpoint blocks its channel; when barriers arrived on all channels
 // the task snapshots and unblocks.
+//
+//clonos:mainthread
 func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	if cp < t.epoch {
 		return // stale barrier from a replayed stream, already covered
@@ -910,13 +957,7 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 		t.crashPoint(faultinject.PointAlignBlocked)
 		return
 	}
-	t.metrics.align.ObserveSince(t.alignStart)
-	t.env.onAlignmentComplete(cp, t.id)
-	if t.crashPoint(faultinject.PointAlignComplete) {
-		return
-	}
-	t.snapshot(cp)
-	t.releaseAlignment()
+	t.completeAlignment(cp)
 }
 
 // releaseAlignment ends a pending alignment (completed or superseded):
@@ -937,6 +978,8 @@ func (t *Task) releaseAlignment() {
 
 // snapshot takes the task's checkpoint: forward the barrier, roll epochs
 // on every log, persist state, and ack the coordinator.
+//
+//clonos:mainthread
 func (t *Task) snapshot(cp types.CheckpointID) {
 	if t.crashPoint(faultinject.PointSnapshotPreBarrier) {
 		return
@@ -1018,6 +1061,8 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 }
 
 // handleMail processes one asynchronous event on the main thread.
+//
+//clonos:mainthread
 func (t *Task) handleMail(ev mailEvent) {
 	switch ev.kind {
 	case mailTimer:
@@ -1054,8 +1099,7 @@ func (t *Task) fireTimer(tm timers.Timer) {
 // between elements.
 func (t *Task) runSourceLive() {
 	for !t.crashed.Load() {
-		t.heartbeatNow()
-		if t.crashPoint(faultinject.PointTaskLoop) {
+		if t.loopTick() {
 			return
 		}
 		select {
@@ -1088,6 +1132,8 @@ func (t *Task) runSourceLive() {
 // batch when needed. It reports false when no element is available right
 // now. During replay (wait=true) it spins briefly for data that must
 // already exist in the replayable source.
+//
+//clonos:mainthread
 func (t *Task) emitNextSourceElement(wait bool) bool {
 	for len(t.pendingBatch) == 0 {
 		if t.sourceDone {
@@ -1133,6 +1179,8 @@ func (t *Task) emitNextSourceElement(wait bool) bool {
 
 // finishTask completes a finite job: flush windows, close the chain, and
 // propagate end-of-stream.
+//
+//clonos:mainthread
 func (t *Task) finishTask() {
 	// Fire pending operator processing-time timers so bounded inputs
 	// flush their last processing-time windows. The pending set and the

@@ -262,15 +262,27 @@ type Generator struct {
 	rate  int // records/second; <= 0 means as fast as possible
 	next  func(i int64) (Record, bool)
 
-	stop chan struct{}
-	done sync.WaitGroup
+	stop     chan struct{}
+	finished chan struct{}
+	done     sync.WaitGroup
 }
 
 // NewGenerator builds a generator producing next(i) for i = 0,1,2,...
 // until next reports false, paced at rate records/second.
 func NewGenerator(topic *Topic, rate int, next func(i int64) (Record, bool)) *Generator {
-	return &Generator{topic: topic, rate: rate, next: next, stop: make(chan struct{})}
+	return &Generator{
+		topic:    topic,
+		rate:     rate,
+		next:     next,
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
 }
+
+// Done is closed when the producer goroutine exits — either the record
+// source was exhausted (and the topic closed) or Stop was called. It
+// lets callers wait for end-of-input without polling the topic.
+func (g *Generator) Done() <-chan struct{} { return g.finished }
 
 // Start launches the producer goroutine.
 func (g *Generator) Start() {
@@ -290,6 +302,7 @@ func (g *Generator) Stop() {
 
 func (g *Generator) run() {
 	defer g.done.Done()
+	defer close(g.finished)
 	const batch = 64
 	var i int64
 	start := time.Now()

@@ -133,14 +133,15 @@ func TestGeneratorProducesAllRecords(t *testing.T) {
 		return Record{Key: uint64(i), Value: i}, i < 500
 	})
 	g.Start()
-	deadline := time.Now().Add(5 * time.Second)
-	for top.TotalLen() < 500 {
-		if time.Now().After(deadline) {
-			t.Fatalf("generator produced %d records", top.TotalLen())
-		}
-		time.Sleep(2 * time.Millisecond)
+	select {
+	case <-g.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("generator produced %d records", top.TotalLen())
 	}
 	g.Stop()
+	if got := top.TotalLen(); got != 500 {
+		t.Fatalf("generator produced %d records, want 500", got)
+	}
 	for _, p := range top.Partitions {
 		if !p.Closed() {
 			t.Fatal("generator did not close topic at end of input")

@@ -1,0 +1,45 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanWhenNoLeaks(t *testing.T) {
+	if leaked := Check(time.Second); len(leaked) != 0 {
+		t.Fatalf("clean process reported leaks:\n%v", leaked)
+	}
+}
+
+func TestCheckFindsLeakedGoroutine(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // deliberately outlives the Check below
+	leaked := Check(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestCheckFindsLeakedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report missing the leaked goroutine:\n%v", leaked)
+	}
+}
+
+func TestCheckWaitsForWinddown(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine exits within the wait budget: no leak.
+	if leaked := Check(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("winding-down goroutine reported as leak:\n%v", leaked)
+	}
+	<-done
+}

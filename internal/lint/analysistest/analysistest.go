@@ -1,0 +1,274 @@
+// Package analysistest runs an internal/lint analyzer over small fixture
+// packages and compares its diagnostics against `// want "regex"` comments
+// in the fixture sources — the same golden-file convention as
+// golang.org/x/tools/go/analysis/analysistest, re-implemented on the
+// standard library so it works without a module proxy.
+//
+// Fixtures live under <analyzer>/testdata/src/<import/path>/*.go. Import
+// paths resolve inside testdata/src first (so fixtures can stub
+// clonos/internal/buffer et al. under their real import paths, which the
+// analyzers match on); anything else falls back to compiling the standard
+// library from source. Files named *_test.go are marked as test files for
+// the pass but are typechecked together with the package.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Run analyzes the fixture packages at the given import paths (their
+// testdata-local dependencies are analyzed first, so annotation facts
+// flow) and reports any mismatch against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &fixtureLoader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*fixturePkg{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	var order []*fixturePkg
+	seen := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		p, err := l.load(path)
+		if err != nil {
+			return err
+		}
+		for _, dep := range p.deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		order = append(order, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	facts := map[types.Object]any{}
+	var passes []*analysis.Pass
+	for _, p := range order {
+		pass := analysis.NewPass(a, l.fset, p.files, p.types, p.info, p.testFiles, facts,
+			func(d analysis.Diagnostic) {
+				pos := l.fset.Position(d.Pos)
+				k := key{pos.Filename, pos.Line}
+				got[k] = append(got[k], d.Message)
+			})
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: Run(%s): %v", a.Name, p.path, err)
+		}
+		pass.Result = res
+		passes = append(passes, pass)
+	}
+	if a.Finish != nil {
+		if err := a.Finish(passes); err != nil {
+			t.Fatalf("%s: Finish: %v", a.Name, err)
+		}
+	}
+
+	// Collect want expectations from every analyzed file.
+	want := map[key][]*regexp.Regexp{}
+	for _, p := range order {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := l.fset.Position(c.Pos())
+					for _, re := range parseWant(t, pos, c.Text) {
+						k := key{pos.Filename, pos.Line}
+						want[k] = append(want[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	var keys []key
+	for k := range got {
+		keys = append(keys, k)
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		msgs, res := got[k], want[k]
+		for len(msgs) > 0 || len(res) > 0 {
+			switch {
+			case len(res) == 0:
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msgs[0])
+				msgs = msgs[1:]
+			case len(msgs) == 0:
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, res[0])
+				res = res[1:]
+			default:
+				if !res[0].MatchString(msgs[0]) {
+					t.Errorf("%s:%d: diagnostic %q does not match want %q", k.file, k.line, msgs[0], res[0])
+				}
+				msgs, res = msgs[1:], res[1:]
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+var strRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWant(t *testing.T, pos token.Position, comment string) []*regexp.Regexp {
+	m := wantRE.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []*regexp.Regexp
+	for _, q := range strRE.FindAllString(m[1], -1) {
+		s, err := unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+		}
+		out = append(out, re)
+	}
+	return out
+}
+
+func unquote(q string) (string, error) {
+	if q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	var b strings.Builder
+	inner := q[1 : len(q)-1]
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == '\\' && i+1 < len(inner) {
+			i++
+		}
+		b.WriteByte(inner[i])
+	}
+	return b.String(), nil
+}
+
+type fixturePkg struct {
+	path      string
+	files     []*ast.File
+	testFiles map[*ast.File]bool
+	types     *types.Package
+	info      *types.Info
+	deps      []string
+}
+
+type fixtureLoader struct {
+	src   string
+	fset  *token.FileSet
+	pkgs  map[string]*fixturePkg
+	std   types.Importer
+	stack []string
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("analysistest: fixture import cycle at %q", path)
+		}
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: fixture package %q: %w", path, err)
+	}
+	var files []*ast.File
+	testFiles := map[*ast.File]bool{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles[f] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: fixture package %q has no Go files", path)
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: fixtureImporter{l}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typecheck %q: %w", path, err)
+	}
+	p := &fixturePkg{path: path, files: files, testFiles: testFiles, types: tpkg, info: info}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip, _ := unquote(imp.Path.Value)
+			if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(ip))); err == nil {
+				p.deps = append(p.deps, ip)
+			}
+		}
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(fi.l.src, filepath.FromSlash(path))); err == nil {
+		p, err := fi.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return fi.l.std.Import(path)
+}

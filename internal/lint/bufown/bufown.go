@@ -1,0 +1,976 @@
+// Package bufown implements the refcounted-buffer ownership analyzer.
+//
+// Every *buffer.Buffer handed out by a pool (Get/Take/TryGet/TryTake) and
+// every *netstack.Message from NewMessage carries exactly one reference
+// owned by the receiving code. That reference must reach exactly one
+// consuming call — Release, ReleaseTo, DonateTo — on every control-flow
+// path, or be handed to another owner. The analyzer tracks those values
+// intraprocedurally and reports:
+//
+//   - leaks: an owned value that reaches a function exit (or the end of a
+//     loop iteration that armed it) without being consumed or handed off;
+//   - double releases: a second consuming call on an already-released
+//     value (the runtime panics only once the count goes negative, which
+//     a concurrent holder can mask);
+//   - use after release: any use of a value after its owning reference
+//     was dropped.
+//
+// Ownership handoffs across function boundaries are declared with the
+// `//clonos:owns-transfer` annotation on the callee's doc comment:
+//
+//	//clonos:owns-transfer            — the call always takes ownership of
+//	                                    its Buffer/Message pointer
+//	                                    parameters; the body must consume
+//	                                    them on every path.
+//	//clonos:owns-transfer on-success — ownership transfers only when the
+//	                                    call returns a nil error (the
+//	                                    Endpoint.Push contract); the body
+//	                                    must consume them on every
+//	                                    non-error path, and callers keep
+//	                                    responsibility on the error path.
+//
+// An annotated function with a single Buffer/Message result is treated as
+// an arming call at its call sites (it returns an owned reference).
+//
+// Anything the analyzer cannot follow — storing into a field, slice or
+// map, capturing in a closure, returning, passing to an annotated callee
+// — ends tracking for that value ("escape"): the analysis is deliberately
+// lenient so that every report is actionable. A report that is a true
+// false positive can be suppressed with `//clonos:allow bufown` on the
+// flagged line, but prefer restructuring or annotating the handoff.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the bufown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc: "track ownership of refcounted buffer.Buffer / netstack.Message values: " +
+		"every armed reference must be consumed exactly once on every path",
+	Run: run,
+}
+
+const (
+	bufferPath  = "clonos/internal/buffer"
+	netstkPath  = "clonos/internal/netstack"
+	ownsMarker  = "clonos:owns-transfer"
+	onSuccessMk = "clonos:owns-transfer on-success"
+)
+
+var armFuncs = map[string]bool{
+	"(*" + bufferPath + ".Pool).Get":     true,
+	"(*" + bufferPath + ".Pool).TryGet":  true,
+	"(*" + bufferPath + ".Pool).Take":    true,
+	"(*" + bufferPath + ".Pool).TryTake": true,
+	netstkPath + ".NewMessage":           true,
+}
+
+var consumeFuncs = map[string]bool{
+	"(*" + bufferPath + ".Buffer).Release":   true,
+	"(*" + bufferPath + ".Buffer).ReleaseTo": true,
+	"(*" + bufferPath + ".Buffer).DonateTo":  true,
+	"(*" + netstkPath + ".Message).Release":  true,
+}
+
+const retainFunc = "(*" + bufferPath + ".Buffer).Retain"
+
+// argConsumeFuncs consume their Buffer argument: the pool takes the
+// caller's reference (dropping it to the GC if the pool is closed).
+var argConsumeFuncs = map[string]bool{
+	"(*" + bufferPath + ".Pool).Put":    true,
+	"(*" + bufferPath + ".Pool).Donate": true,
+}
+
+// ownFact is the exported annotation of one function declaration.
+type ownFact struct {
+	ownsParams bool // tracked pointer params transfer in
+	onSuccess  bool // ...only when the call returns a nil error
+	ownsResult bool // single tracked result transfers out (arming call)
+}
+
+// trackedKind names the tracked type of a value, or "" if untracked.
+func trackedKind(t types.Type) string {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	switch {
+	case n.Obj().Pkg().Path() == bufferPath && n.Obj().Name() == "Buffer":
+		return "buffer"
+	case n.Obj().Pkg().Path() == netstkPath && n.Obj().Name() == "Message":
+		return "message"
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1: export annotation facts for this package's declarations so
+	// call sites (here and in later passes) resolve handoffs.
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.CommentHas(fd.Doc, ownsMarker) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fact := ownFact{ownsParams: true, onSuccess: analysis.CommentHas(fd.Doc, onSuccessMk)}
+			sig := obj.Type().(*types.Signature)
+			if sig.Results().Len() == 1 && trackedKind(sig.Results().At(0).Type()) != "" {
+				fact.ownsResult = true
+			}
+			pass.Facts[obj] = fact
+		}
+	}
+
+	// Phase 2: analyze every non-test function body.
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &funcAnalysis{pass: pass, reported: map[token.Pos]bool{}}
+			var seed []seedParam
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				if fact, ok := pass.Facts[obj].(ownFact); ok && fact.ownsParams {
+					a.onSuccess = fact.onSuccess
+					if sig, ok := obj.Type().(*types.Signature); ok {
+						a.returnsError = sigReturnsError(sig)
+					}
+					for _, field := range fd.Type.Params.List {
+						for _, name := range field.Names {
+							po := pass.TypesInfo.Defs[name]
+							if po != nil && trackedKind(po.Type()) != "" {
+								seed = append(seed, seedParam{obj: po, pos: name.Pos()})
+							}
+						}
+					}
+				}
+			}
+			a.analyze(fd.Body, seed)
+		}
+	}
+	return nil, nil
+}
+
+func sigReturnsError(sig *types.Signature) bool {
+	n := sig.Results().Len()
+	if n == 0 {
+		return false
+	}
+	last := sig.Results().At(n - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+type seedParam struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// varState is the abstract ownership state of one tracked variable.
+type varState struct {
+	kind       string // "buffer" or "message"
+	count      int    // owned references
+	released   bool
+	releasedAt token.Pos
+	armPos     token.Pos
+	param      bool // seeded from an owns-transfer parameter
+}
+
+// state maps tracked objects to their ownership state; nil means the
+// current path is dead (after return/panic/break).
+type state map[types.Object]*varState
+
+func (s state) clone() state {
+	if s == nil {
+		return nil
+	}
+	out := make(state, len(s))
+	for k, v := range s {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// merge joins two branch states. Tracked variables whose ownership
+// differs between branches (or that exist on one side only) stop being
+// tracked: leaks inside a branch are caught at that branch's own exits,
+// and poisoning the join avoids false positives afterwards.
+func merge(a, b state) state {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(state, len(a))
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		if va.count == vb.count && va.released == vb.released {
+			c := *va
+			out[k] = &c
+		}
+		// differing ownership: drop (poison) the variable
+	}
+	return out
+}
+
+type loopFrame struct {
+	// armedBefore snapshots which objects were tracked at loop entry, so
+	// exits inside the body can leak-check only what the body armed.
+	armedBefore map[types.Object]bool
+	breakStates []state
+	isLoop      bool // false for switch/select frames (break only)
+}
+
+type funcAnalysis struct {
+	pass         *analysis.Pass
+	onSuccess    bool
+	returnsError bool
+	reported     map[token.Pos]bool // leak dedupe by arm position
+	frames       []*loopFrame
+	bailed       bool
+}
+
+func (a *funcAnalysis) analyze(body *ast.BlockStmt, seed []seedParam) {
+	// goto makes the structural walk unsound; bail out quietly.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BranchStmt); ok {
+			if n.(*ast.BranchStmt).Tok == token.GOTO {
+				a.bailed = true
+			}
+		}
+		return true
+	})
+	if a.bailed {
+		return
+	}
+	st := state{}
+	for _, sp := range seed {
+		st[sp.obj] = &varState{kind: trackedKind(sp.obj.Type()), count: 1, armPos: sp.pos, param: true}
+	}
+	out := a.block(body, st)
+	a.checkExit(out, body.End(), "end of function", false)
+}
+
+func (a *funcAnalysis) report(pos token.Pos, format string, args ...any) {
+	if a.pass.Allowed(pos) {
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+// checkExit reports owned values that reach an exit. errorExit marks a
+// `return <non-nil error>` path, on which on-success parameters remain
+// the caller's responsibility.
+func (a *funcAnalysis) checkExit(st state, pos token.Pos, what string, errorExit bool) {
+	if st == nil {
+		return
+	}
+	for _, v := range st {
+		if v.count <= 0 || v.released {
+			continue
+		}
+		if v.param && a.onSuccess && errorExit {
+			continue
+		}
+		if a.reported[v.armPos] {
+			continue
+		}
+		a.reported[v.armPos] = true
+		line := a.pass.Fset.Position(pos).Line
+		a.report(v.armPos, "%s armed here is not released on a path to %s (line %d)", v.kind, what, line)
+	}
+}
+
+func (a *funcAnalysis) block(b *ast.BlockStmt, st state) state {
+	for _, s := range b.List {
+		st = a.stmt(s, st)
+	}
+	return st
+}
+
+func (a *funcAnalysis) stmt(s ast.Stmt, st state) state {
+	if st == nil {
+		return nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return a.block(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if len(vs.Values) == len(vs.Names) {
+							rhs = vs.Values[i]
+						}
+						st = a.assignOne(name, rhs, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.AssignStmt:
+		return a.assign(s, st)
+	case *ast.ExprStmt:
+		return a.exprStmt(s.X, st)
+	case *ast.IncDecStmt:
+		a.useExpr(s.X, st)
+		return st
+	case *ast.SendStmt:
+		a.useExpr(s.Chan, st)
+		a.escapeIdent(s.Value, st)
+		a.useExpr(s.Value, st)
+		return st
+	case *ast.DeferStmt:
+		return a.deferOrGo(s.Call, st)
+	case *ast.GoStmt:
+		return a.deferOrGo(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.escapeIdent(r, st)
+			st = a.evalExpr(r, st)
+		}
+		a.checkExit(st, s.Pos(), "return", a.isErrorReturn(s))
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st)
+		}
+		st = a.evalExpr(s.Cond, st)
+		thenSt, elseSt := a.refine(s.Cond, st)
+		outThen := a.stmt(s.Body, thenSt)
+		outElse := elseSt
+		if s.Else != nil {
+			outElse = a.stmt(s.Else, elseSt)
+		}
+		return merge(outThen, outElse)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = a.evalExpr(s.Cond, st)
+		}
+		return a.loop(st, func(st state) state {
+			out := a.block(s.Body, st)
+			if s.Post != nil && out != nil {
+				out = a.stmt(s.Post, out)
+			}
+			return out
+		}, s.Cond == nil)
+	case *ast.RangeStmt:
+		st = a.evalExpr(s.X, st)
+		return a.loop(st, func(st state) state {
+			return a.block(s.Body, st)
+		}, false)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = a.evalExpr(s.Tag, st)
+		}
+		return a.caseBranches(s.Body, st, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st)
+		}
+		return a.caseBranches(s.Body, st, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return a.caseBranches(s.Body, st, true)
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if fr := a.innermostBreakable(); fr != nil {
+				fr.breakStates = append(fr.breakStates, st)
+			}
+			return nil
+		case token.CONTINUE:
+			if fr := a.innermostLoop(); fr != nil {
+				a.checkIterationLeaks(st, fr, s.Pos())
+			}
+			return nil
+		}
+		return st
+	default:
+		return st
+	}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// caseBranches analyzes switch/select bodies: every clause branches from
+// the entry state; exhaustive bodies (with a default) merge only clause
+// exits, others also merge the fall-past state.
+func (a *funcAnalysis) caseBranches(body *ast.BlockStmt, st state, exhaustive bool) state {
+	fr := &loopFrame{isLoop: false}
+	a.frames = append(a.frames, fr)
+	var out state
+	if !exhaustive {
+		out = st.clone()
+	}
+	for _, c := range body.List {
+		branch := st.clone()
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				branch = a.evalExpr(e, branch)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				branch = a.stmt(c.Comm, branch)
+			}
+			stmts = c.Body
+		}
+		for _, s := range stmts {
+			branch = a.stmt(s, branch)
+		}
+		out = merge(out, branch)
+	}
+	a.frames = a.frames[:len(a.frames)-1]
+	for _, bs := range fr.breakStates {
+		out = merge(out, bs)
+	}
+	return out
+}
+
+// loop analyzes a loop body once. Values owned at loop entry that the
+// body touches are poisoned first (their per-iteration balance cannot be
+// tracked structurally); values armed inside the body are leak-checked at
+// every iteration end. infinite marks `for {}` loops, whose only normal
+// exits are breaks.
+func (a *funcAnalysis) loop(st state, body func(state) state, infinite bool) state {
+	if st != nil {
+		// poison outer tracked vars (loop may run 0..N times)
+		for obj, v := range st {
+			_ = obj
+			v.count = 0
+			v.released = false
+		}
+	}
+	fr := &loopFrame{isLoop: true, armedBefore: map[types.Object]bool{}}
+	for obj := range st {
+		fr.armedBefore[obj] = true
+	}
+	a.frames = append(a.frames, fr)
+	out := body(st.clone())
+	a.frames = a.frames[:len(a.frames)-1]
+	if out != nil {
+		a.checkIterationLeaks(out, fr, token.NoPos)
+	}
+	var exit state
+	if !infinite {
+		exit = st
+	}
+	for _, bs := range fr.breakStates {
+		// body-armed vars still owned at a break leak with the iteration
+		a.checkIterationLeaks(bs, fr, token.NoPos)
+		exit = merge(exit, pruneBodyVars(bs, fr))
+	}
+	if infinite && exit == nil && len(fr.breakStates) == 0 {
+		return nil // for{} with no break: unreachable after
+	}
+	if exit == nil {
+		exit = st
+	}
+	return exit
+}
+
+func pruneBodyVars(st state, fr *loopFrame) state {
+	if st == nil {
+		return nil
+	}
+	out := state{}
+	for obj, v := range st {
+		if fr.armedBefore[obj] {
+			c := *v
+			out[obj] = &c
+		}
+	}
+	return out
+}
+
+func (a *funcAnalysis) checkIterationLeaks(st state, fr *loopFrame, pos token.Pos) {
+	if st == nil {
+		return
+	}
+	for obj, v := range st {
+		if fr.armedBefore[obj] || v.count <= 0 || v.released || a.reported[v.armPos] {
+			continue
+		}
+		a.reported[v.armPos] = true
+		a.report(v.armPos, "%s armed here is not released by the end of the loop iteration", v.kind)
+	}
+	_ = pos
+}
+
+func (a *funcAnalysis) innermostBreakable() *loopFrame {
+	if len(a.frames) == 0 {
+		return nil
+	}
+	return a.frames[len(a.frames)-1]
+}
+
+func (a *funcAnalysis) innermostLoop() *loopFrame {
+	for i := len(a.frames) - 1; i >= 0; i-- {
+		if a.frames[i].isLoop {
+			return a.frames[i]
+		}
+	}
+	return nil
+}
+
+// isErrorReturn reports whether a return statement exits on the error
+// path: the function's last result is an error and the returned value is
+// not the nil literal. Bare returns are treated as error exits
+// (lenient).
+func (a *funcAnalysis) isErrorReturn(s *ast.ReturnStmt) bool {
+	if !a.returnsError {
+		return false
+	}
+	if len(s.Results) == 0 {
+		return true
+	}
+	last := s.Results[len(s.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// refine narrows branch states on `x == nil` / `x != nil` conditions so
+// the nil branch stops tracking x (pools return nil when closed).
+func (a *funcAnalysis) refine(cond ast.Expr, st state) (thenSt, elseSt state) {
+	thenSt, elseSt = st.clone(), st.clone()
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var id *ast.Ident
+	if x, okx := be.X.(*ast.Ident); okx && isNil(be.Y) {
+		id = x
+	} else if y, oky := be.Y.(*ast.Ident); oky && isNil(be.X) {
+		id = y
+	}
+	if id == nil {
+		return
+	}
+	obj := a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	nilSide := thenSt
+	if be.Op == token.NEQ {
+		nilSide = elseSt
+	} else if be.Op != token.EQL {
+		return
+	}
+	delete(nilSide, obj)
+	return
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// assign handles assignment statements.
+func (a *funcAnalysis) assign(s *ast.AssignStmt, st state) state {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		return a.assignOne(s.Lhs[0], s.Rhs[0], st)
+	}
+	// Tuple assignment: evaluate RHS (uses/escapes), untrack LHS idents.
+	for _, r := range s.Rhs {
+		a.escapeIdent(r, st)
+		st = a.evalExpr(r, st)
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil {
+				delete(st, obj)
+			}
+		} else {
+			a.useExpr(l, st)
+		}
+	}
+	return st
+}
+
+func (a *funcAnalysis) assignOne(lhs, rhs ast.Expr, st state) state {
+	if rhs == nil {
+		return st
+	}
+	armed, kind := a.armedCall(rhs, st)
+	if armed {
+		st = a.evalCallArgs(rhs.(*ast.CallExpr), st)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			obj := a.objOf(id)
+			if obj != nil {
+				if old, ok := st[obj]; ok && old.count > 0 && !old.released && !a.reported[old.armPos] {
+					a.reported[old.armPos] = true
+					a.report(old.armPos, "%s armed here is overwritten while still owned (line %d)",
+						old.kind, a.pass.Fset.Position(rhs.Pos()).Line)
+				}
+				st[obj] = &varState{kind: kind, count: 1, armPos: rhs.Pos()}
+				return st
+			}
+		}
+		// armed value stored somewhere we do not track: treat as escaped
+		a.useExpr(lhs, st)
+		return st
+	}
+	// RHS is not arming: aliasing a tracked ident (x = y) or storing it
+	// into a structure both end tracking.
+	a.escapeIdent(rhs, st)
+	st = a.evalExpr(rhs, st)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := a.objOf(id); obj != nil {
+			if old, ok := st[obj]; ok && old.count > 0 && !old.released && !a.reported[old.armPos] {
+				a.reported[old.armPos] = true
+				a.report(old.armPos, "%s armed here is overwritten while still owned (line %d)",
+					old.kind, a.pass.Fset.Position(rhs.Pos()).Line)
+			}
+			delete(st, obj)
+		}
+	} else {
+		a.useExpr(lhs, st)
+	}
+	return st
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (a *funcAnalysis) objOf(id *ast.Ident) types.Object {
+	if o := a.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return a.pass.TypesInfo.Uses[id]
+}
+
+// armedCall reports whether e is a call returning a freshly owned value.
+func (a *funcAnalysis) armedCall(e ast.Expr, st state) (bool, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false, ""
+	}
+	fn := a.callee(call)
+	if fn == nil {
+		return false, ""
+	}
+	full := fn.FullName()
+	if armFuncs[full] {
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() == 1 {
+			return true, trackedKind(sig.Results().At(0).Type())
+		}
+		return false, ""
+	}
+	if fact, ok := a.pass.Facts[types.Object(fn)].(ownFact); ok && fact.ownsResult {
+		sig := fn.Type().(*types.Signature)
+		return true, trackedKind(sig.Results().At(0).Type())
+	}
+	return false, ""
+}
+
+func (a *funcAnalysis) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := a.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// exprStmt handles a statement-level expression: a discarded arming call
+// leaks immediately; otherwise evaluate for uses and ownership effects.
+func (a *funcAnalysis) exprStmt(e ast.Expr, st state) state {
+	if armed, kind := a.armedCall(e, st); armed {
+		call := ast.Unparen(e).(*ast.CallExpr)
+		st = a.evalCallArgs(call, st)
+		a.report(e.Pos(), "owned %s returned here is discarded (never released)", kind)
+		return st
+	}
+	return a.evalExpr(e, st)
+}
+
+// deferOrGo handles deferred and spawned calls: a deferred consume of a
+// tracked value settles its ownership at exit (escape); anything else the
+// closure or call touches escapes.
+func (a *funcAnalysis) deferOrGo(call *ast.CallExpr, st state) state {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil {
+				if v, ok := st[obj]; ok {
+					if fn := a.callee(call); fn != nil && consumeFuncs[fn.FullName()] {
+						a.useCheck(id, v)
+						delete(st, obj) // consumed at exit
+						for _, arg := range call.Args {
+							st = a.evalExpr(arg, st)
+						}
+						return st
+					}
+				}
+			}
+		}
+	}
+	// Conservative: every tracked value mentioned escapes.
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// evalExpr walks an expression, checking uses and applying ownership
+// effects of calls; returns the updated state.
+func (a *funcAnalysis) evalExpr(e ast.Expr, st state) state {
+	if e == nil || st == nil {
+		return st
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return a.evalCall(e, st)
+	case *ast.ParenExpr:
+		return a.evalExpr(e.X, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			a.escapeIdent(e.X, st)
+		}
+		return a.evalExpr(e.X, st)
+	case *ast.BinaryExpr:
+		st = a.evalExpr(e.X, st)
+		return a.evalExpr(e.Y, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			a.escapeIdent(el, st)
+			st = a.evalExpr(el, st)
+		}
+		return st
+	case *ast.FuncLit:
+		// Captured tracked values escape; the literal's own body is
+		// analyzed independently.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+					delete(st, obj)
+				}
+			}
+			return true
+		})
+		sub := &funcAnalysis{pass: a.pass, reported: map[token.Pos]bool{}}
+		sub.analyze(e.Body, nil)
+		return st
+	case *ast.Ident:
+		a.useExpr(e, st)
+		return st
+	case *ast.SelectorExpr:
+		a.useExpr(e.X, st)
+		return st
+	case *ast.IndexExpr:
+		st = a.evalExpr(e.X, st)
+		return a.evalExpr(e.Index, st)
+	case *ast.SliceExpr:
+		st = a.evalExpr(e.X, st)
+		st = a.evalExpr(e.Low, st)
+		st = a.evalExpr(e.High, st)
+		return a.evalExpr(e.Max, st)
+	case *ast.StarExpr:
+		return a.evalExpr(e.X, st)
+	case *ast.TypeAssertExpr:
+		return a.evalExpr(e.X, st)
+	default:
+		return st
+	}
+}
+
+// evalCall applies a call's ownership semantics: consume/retain methods
+// on tracked receivers, escapes into annotated callees, plain uses
+// otherwise.
+func (a *funcAnalysis) evalCall(call *ast.CallExpr, st state) state {
+	// Builtins: append stores its arguments (escape); the rest are uses.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := a.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			for _, arg := range call.Args {
+				if b.Name() == "append" {
+					a.useExpr(arg, st)
+					a.escapeIdent(arg, st)
+				} else {
+					st = a.evalExpr(arg, st)
+				}
+			}
+			return st
+		}
+	}
+	fn := a.callee(call)
+	// Method call on a tracked receiver ident.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn != nil {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil {
+				if v, ok := st[obj]; ok {
+					full := fn.FullName()
+					switch {
+					case consumeFuncs[full]:
+						a.consume(id, v, call)
+						return a.evalCallArgs(call, st)
+					case full == retainFunc:
+						a.useCheck(id, v)
+						v.count++
+						return a.evalCallArgs(call, st)
+					default:
+						a.useCheck(id, v)
+					}
+				}
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		st = a.evalExpr(sel.X, st)
+	}
+	// Arguments: pool hand-ins consume, annotated callees take ownership,
+	// anything else is a plain use.
+	var fact ownFact
+	consumeArgs := false
+	if fn != nil {
+		fact, _ = a.pass.Facts[types.Object(fn)].(ownFact)
+		consumeArgs = argConsumeFuncs[fn.FullName()]
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil {
+				if v, tracked := st[obj]; tracked {
+					switch {
+					case consumeArgs && trackedKind(obj.Type()) != "":
+						a.consume(id, v, call)
+					case fact.ownsParams && trackedKind(obj.Type()) != "":
+						a.useCheck(id, v)
+						delete(st, obj) // ownership transferred (or conditionally; stop tracking)
+					default:
+						a.useCheck(id, v)
+					}
+					continue
+				}
+			}
+		}
+		st = a.evalExpr(arg, st)
+	}
+	return st
+}
+
+func (a *funcAnalysis) evalCallArgs(call *ast.CallExpr, st state) state {
+	for _, arg := range call.Args {
+		st = a.evalExpr(arg, st)
+	}
+	return st
+}
+
+func (a *funcAnalysis) consume(id *ast.Ident, v *varState, call *ast.CallExpr) {
+	if v.released {
+		relLine := a.pass.Fset.Position(v.releasedAt).Line
+		a.report(call.Pos(), "double release of %s %s (already released at line %d)", v.kind, id.Name, relLine)
+		return
+	}
+	v.count--
+	if v.count <= 0 {
+		v.released = true
+		v.releasedAt = call.Pos()
+	}
+}
+
+// useCheck flags any use of a released value.
+func (a *funcAnalysis) useCheck(id *ast.Ident, v *varState) {
+	if v.released {
+		relLine := a.pass.Fset.Position(v.releasedAt).Line
+		a.report(id.Pos(), "use of %s %s after release (released at line %d)", v.kind, id.Name, relLine)
+		// throttle the cascade: report each released value once per path
+		v.released = false
+		v.count = 0
+	}
+}
+
+// useExpr checks an expression that merely mentions tracked values.
+func (a *funcAnalysis) useExpr(e ast.Expr, st state) {
+	if st == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+			if v, tracked := st[obj]; tracked {
+				a.useCheck(id, v)
+			}
+		}
+		return true
+	})
+}
+
+// escapeIdent ends tracking for a directly mentioned tracked ident (it is
+// being stored, sent, returned or aliased).
+func (a *funcAnalysis) escapeIdent(e ast.Expr, st state) {
+	if st == nil {
+		return
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := a.objOf(id); obj != nil {
+			delete(st, obj)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "a")
+}

@@ -1,0 +1,157 @@
+// Package a holds bufown golden cases: functions prefixed bad* carry
+// diagnostics, ok* functions must stay silent.
+package a
+
+import (
+	"errors"
+
+	"clonos/internal/buffer"
+	"clonos/internal/netstack"
+)
+
+var errOops = errors.New("oops")
+var stash *buffer.Buffer
+
+// --- positive cases -------------------------------------------------------
+
+func badLeakOnError(p *buffer.Pool, fail bool) error {
+	b := p.Get() // want `buffer armed here is not released on a path to return \(line \d+\)`
+	if fail {
+		return errOops
+	}
+	b.Release()
+	return nil
+}
+
+func badDoubleRelease(p *buffer.Pool) {
+	b := p.Take()
+	b.Release()
+	b.Release() // want `double release of buffer b \(already released at line \d+\)`
+}
+
+func badUseAfterRelease(p *buffer.Pool) int {
+	b := p.Get()
+	if b == nil {
+		return 0
+	}
+	b.Release()
+	return len(b.Data) // want `use of buffer b after release \(released at line \d+\)`
+}
+
+func badDiscard(p *buffer.Pool) {
+	p.Get() // want `owned buffer returned here is discarded \(never released\)`
+}
+
+func badLoopLeak(p *buffer.Pool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get() // want `buffer armed here is not released by the end of the loop iteration`
+		if b == nil {
+			continue
+		}
+		b.Seq = uint64(i)
+	}
+}
+
+func badOverwrite(p *buffer.Pool) {
+	b := p.Get() // want `buffer armed here is overwritten while still owned \(line \d+\)`
+	b = p.Get()
+	b.Release()
+}
+
+func badMessageLeak(stop bool) {
+	m := netstack.NewMessage() // want `message armed here is not released on a path to return \(line \d+\)`
+	if stop {
+		return
+	}
+	m.Release()
+}
+
+// badOnSuccessBody violates the on-success contract: the nil-error path
+// must consume m, only error paths may leave it to the caller.
+//
+//clonos:owns-transfer on-success
+func badOnSuccessBody(m *netstack.Message, closed bool) error { // want `message armed here is not released on a path to return \(line \d+\)`
+	if closed {
+		return errOops
+	}
+	return nil
+}
+
+func badUseAfterPut(p *buffer.Pool) int {
+	b := p.Take()
+	p.Put(b)
+	return len(b.Data) // want `use of buffer b after release \(released at line \d+\)`
+}
+
+// --- negative cases -------------------------------------------------------
+
+func okPoolReturn(p *buffer.Pool) {
+	b := p.Take()
+	b.Seq = 3
+	p.Donate(b)
+}
+
+func okNilRefined(p *buffer.Pool) {
+	b := p.Get()
+	if b == nil {
+		return
+	}
+	b.Seq = 1
+	b.Release()
+}
+
+// sink takes ownership unconditionally.
+//
+//clonos:owns-transfer
+func sink(b *buffer.Buffer) {
+	b.Seq = 2
+	b.Release()
+}
+
+func okHandoff(p *buffer.Pool) {
+	b := p.Get()
+	if b == nil {
+		return
+	}
+	sink(b)
+}
+
+func okRetainBalance(p *buffer.Pool) {
+	b := p.Take()
+	b.Retain()
+	b.Release()
+	b.Release()
+}
+
+func okDeferRelease(p *buffer.Pool) int {
+	b := p.Take()
+	defer b.Release()
+	return len(b.Data)
+}
+
+func okBindNeutral(p *buffer.Pool) {
+	b := p.Get()
+	if b == nil {
+		return
+	}
+	m := netstack.NewMessage()
+	m.Bind(b)
+	b.Release()
+	m.Release()
+}
+
+func okCrossPackageOnSuccess(closed bool) error {
+	m := netstack.NewMessage()
+	if err := netstack.Send(m, closed); err != nil {
+		m.Release()
+		return err
+	}
+	return nil
+}
+
+func okSuppressed(p *buffer.Pool) {
+	b := p.Get() //clonos:allow bufown — stashed for a later phase
+	stash = stashAlias(b)
+}
+
+func stashAlias(b *buffer.Buffer) *buffer.Buffer { return b }

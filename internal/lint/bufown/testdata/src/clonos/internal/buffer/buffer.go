@@ -1,0 +1,23 @@
+// Stub of clonos/internal/buffer for bufown fixtures: same import path
+// and ownership-relevant API surface, no behavior.
+package buffer
+
+type Buffer struct {
+	Data []byte
+	Seq  uint64
+}
+
+func (b *Buffer) Retain()           {}
+func (b *Buffer) Release()          {}
+func (b *Buffer) ReleaseTo(p *Pool) {}
+func (b *Buffer) DonateTo(p *Pool)  {}
+func (b *Buffer) Refs() int         { return 0 }
+
+type Pool struct{}
+
+func (p *Pool) Get() *Buffer     { return new(Buffer) }
+func (p *Pool) TryGet() *Buffer  { return new(Buffer) }
+func (p *Pool) Take() *Buffer    { return new(Buffer) }
+func (p *Pool) TryTake() *Buffer { return new(Buffer) }
+func (p *Pool) Put(b *Buffer)    {}
+func (p *Pool) Donate(b *Buffer) {}

@@ -1,0 +1,303 @@
+// Package crashpoint keeps the fault-injection surface honest. The
+// deterministic chaos machinery in internal/faultinject only proves what
+// it can reach: a Point constant that no production code path passes to
+// crashPoint() silently drops out of every sweep, a point instrumented in
+// two places makes #occurrence schedules ambiguous, and a recovery point
+// whose paired obs tracer mark drifts breaks the dashboards that line up
+// chaos runs with traces. None of these are compile errors, so this
+// analyzer enforces them:
+//
+//  1. every faultinject.Point* constant is referenced from non-test code
+//     outside the faultinject package exactly once — the one protocol
+//     location the point names;
+//  2. every Point* constant appears in the faultinject `points` registry,
+//     so sweeps enumerate it;
+//  3. every entry of faultinject.MirroredMarks pairs a point with the obs
+//     span mark emitted at the same protocol step: the mark string must
+//     equal the point name's last "/"-segment or the whole name with "/"
+//     replaced by "-", and must actually be emitted by a `.Mark("…")`
+//     call in non-test code.
+//
+// Enforcement is whole-program (the analyzer's Finish hook) and only
+// engages when the faultinject package itself is among the analyzed
+// packages, so partial runs stay quiet.
+package crashpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the crashpoint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "crashpoint",
+	Doc: "every faultinject.Point is registered, referenced exactly once " +
+		"from non-test code, and consistent with its mirrored obs mark",
+	Run:    run,
+	Finish: finish,
+}
+
+const faultinjectPath = "clonos/internal/faultinject"
+
+type pointDecl struct {
+	name  string // constant identifier, e.g. PointTaskLoop
+	value string // point string, e.g. "task/loop"
+	pos   token.Pos
+}
+
+type markPair struct {
+	mark string
+	pos  token.Pos
+}
+
+type result struct {
+	pass *analysis.Pass
+	// refs: uses of faultinject Point* constants in this package's
+	// non-test files (empty for the faultinject package itself).
+	refs map[types.Object][]token.Pos
+	// marks: string literals passed to .Mark(...) calls in non-test code.
+	marks map[string][]token.Pos
+	// Set only for the faultinject package:
+	decls      map[types.Object]pointDecl
+	registered map[types.Object]bool
+	mirrored   map[types.Object]markPair
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := &result{
+		pass:  pass,
+		refs:  map[types.Object][]token.Pos{},
+		marks: map[string][]token.Pos{},
+	}
+	isFI := pass.Pkg.Path() == faultinjectPath
+	if isFI {
+		res.decls = map[types.Object]pointDecl{}
+		res.registered = map[types.Object]bool{}
+		res.mirrored = map[types.Object]markPair{}
+		collectFaultinject(pass, res)
+	}
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if isFI {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[n]
+				if isPointConst(obj) {
+					res.refs[obj] = append(res.refs[obj], n.Pos())
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Mark" || len(n.Args) < 1 {
+					return true
+				}
+				if lit, ok := n.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if s, err := litString(lit); err == nil {
+						res.marks[s] = append(res.marks[s], lit.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return res, nil
+}
+
+func isPointConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Path() == faultinjectPath &&
+		strings.HasPrefix(c.Name(), "Point") && c.Name() != "PointInfo" &&
+		!strings.HasPrefix(c.Name(), "PointKind")
+}
+
+func litString(lit *ast.BasicLit) (string, error) {
+	v := lit.Value
+	if len(v) < 2 {
+		return "", fmt.Errorf("bad string literal")
+	}
+	if v[0] == '`' {
+		return v[1 : len(v)-1], nil
+	}
+	var b strings.Builder
+	inner := v[1 : len(v)-1]
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == '\\' && i+1 < len(inner) {
+			i++
+		}
+		b.WriteByte(inner[i])
+	}
+	return b.String(), nil
+}
+
+// collectFaultinject gathers the point declarations, the `points`
+// registry membership, and the MirroredMarks pairs from the faultinject
+// package's non-test files.
+func collectFaultinject(pass *analysis.Pass, res *result) {
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if gd.Tok == token.CONST {
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil || !isPointConst(obj) {
+							continue
+						}
+						c := obj.(*types.Const)
+						res.decls[obj] = pointDecl{
+							name:  c.Name(),
+							value: strings.Trim(c.Val().ExactString(), `"`),
+							pos:   name.Pos(),
+						}
+					}
+					continue
+				}
+				// var declarations: points registry and MirroredMarks
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					switch name.Name {
+					case "points":
+						for _, elt := range cl.Elts {
+							row, ok := elt.(*ast.CompositeLit)
+							if !ok || len(row.Elts) == 0 {
+								continue
+							}
+							if id, ok := row.Elts[0].(*ast.Ident); ok {
+								if obj := pass.TypesInfo.Uses[id]; obj != nil {
+									res.registered[obj] = true
+								}
+							}
+						}
+					case "MirroredMarks":
+						for _, elt := range cl.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							id, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							obj := pass.TypesInfo.Uses[id]
+							lit, okLit := kv.Value.(*ast.BasicLit)
+							if obj == nil || !okLit || lit.Kind != token.STRING {
+								continue
+							}
+							if s, err := litString(lit); err == nil {
+								res.mirrored[obj] = markPair{mark: s, pos: kv.Pos()}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func finish(passes []*analysis.Pass) error {
+	var fi *result
+	var results []*result
+	for _, p := range passes {
+		r, ok := p.Result.(*result)
+		if !ok {
+			continue
+		}
+		results = append(results, r)
+		if r.decls != nil {
+			fi = r
+		}
+	}
+	if fi == nil {
+		return nil // faultinject not among the analyzed packages
+	}
+	report := func(r *result, pos token.Pos, format string, args ...any) {
+		if !r.pass.Allowed(pos) {
+			r.pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Aggregate references and marks across the whole program.
+	type ref struct {
+		r   *result
+		pos token.Pos
+	}
+	refs := map[types.Object][]ref{}
+	marks := map[string]bool{}
+	for _, r := range results {
+		for obj, poss := range r.refs {
+			for _, pos := range poss {
+				refs[obj] = append(refs[obj], ref{r, pos})
+			}
+		}
+		for s := range r.marks {
+			marks[s] = true
+		}
+	}
+
+	for obj, d := range fi.decls {
+		if !fi.registered[obj] {
+			report(fi, d.pos, "crash point %s (%q) is missing from the points registry", d.name, d.value)
+		}
+		rs := refs[obj]
+		switch {
+		case len(rs) == 0:
+			report(fi, d.pos, "crash point %s (%q) is never exercised by non-test code", d.name, d.value)
+		case len(rs) > 1:
+			first := fi.pass.Fset.Position(rs[0].pos)
+			for _, extra := range rs[1:] {
+				report(extra.r, extra.pos,
+					"crash point %s is referenced more than once (first at %s); each point names exactly one protocol location",
+					d.name, first)
+			}
+		}
+	}
+
+	for obj, mp := range fi.mirrored {
+		d, ok := fi.decls[obj]
+		if !ok {
+			continue
+		}
+		suffix := d.value
+		if i := strings.LastIndexByte(d.value, '/'); i >= 0 {
+			suffix = d.value[i+1:]
+		}
+		dashed := strings.ReplaceAll(d.value, "/", "-")
+		if mp.mark != suffix && mp.mark != dashed {
+			report(fi, mp.pos,
+				"mirrored mark %q does not match crash point %s (%q): want %q or %q",
+				mp.mark, d.name, d.value, suffix, dashed)
+			continue
+		}
+		if !marks[mp.mark] {
+			report(fi, mp.pos,
+				"mirrored mark %q for crash point %s is never emitted via .Mark(...) in non-test code",
+				mp.mark, d.name)
+		}
+	}
+	return nil
+}

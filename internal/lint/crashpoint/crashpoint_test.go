@@ -1,0 +1,12 @@
+package crashpoint_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/crashpoint"
+)
+
+func TestCrashpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", crashpoint.Analyzer, "d")
+}

@@ -1,0 +1,30 @@
+// Stub of clonos/internal/faultinject for crashpoint fixtures.
+package faultinject
+
+const (
+	PointGood   = "task/good"
+	PointDouble = "align/double"
+	PointNever  = "task/never"    // want `crash point PointNever \("task/never"\) is never exercised by non-test code`
+	PointRogue  = "task/rogue"    // want `crash point PointRogue \("task/rogue"\) is missing from the points registry`
+	PointLoud   = "replay/loud"
+)
+
+type PointInfo struct {
+	Name string
+	Kind int
+}
+
+var points = []PointInfo{
+	{PointGood, 0},
+	{PointDouble, 0},
+	{PointNever, 0},
+	{PointLoud, 0},
+}
+
+// MirroredMarks pairs crash points with the obs tracer mark emitted at
+// the same protocol step.
+var MirroredMarks = map[string]string{
+	PointGood:   "good",
+	PointDouble: "mismatch", // want `mirrored mark "mismatch" does not match crash point PointDouble \("align/double"\): want "double" or "align-double"`
+	PointLoud:   "replay-loud", // want `mirrored mark "replay-loud" for crash point PointLoud is never emitted via \.Mark`
+}

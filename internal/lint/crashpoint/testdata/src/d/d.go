@@ -1,0 +1,28 @@
+// Package d exercises the crashpoint fixture's points.
+package d
+
+import "clonos/internal/faultinject"
+
+type span struct{}
+
+func (span) Mark(string) {}
+
+var hits []string
+
+func crashPoint(p string) { hits = append(hits, p) }
+
+func step() {
+	crashPoint(faultinject.PointGood)
+	crashPoint(faultinject.PointRogue)
+	crashPoint(faultinject.PointLoud)
+	var sp span
+	sp.Mark("good")
+}
+
+func align() {
+	crashPoint(faultinject.PointDouble)
+}
+
+func alignAgain() {
+	crashPoint(faultinject.PointDouble) // want `crash point PointDouble is referenced more than once`
+}

@@ -1,0 +1,8 @@
+package d
+
+import "clonos/internal/faultinject"
+
+// Test-file references never count toward the exactly-once rule.
+func sweepAll() []string {
+	return []string{faultinject.PointGood, faultinject.PointDouble, faultinject.PointNever}
+}

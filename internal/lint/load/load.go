@@ -1,0 +1,323 @@
+// Package load typechecks this module's packages for the internal/lint
+// analyzers without golang.org/x/tools: package discovery shells out to
+// `go list`, module-local packages are typechecked from source into one
+// shared universe (so types.Object identities hold across packages —
+// required for annotation facts to flow from a declaring package to its
+// callers), and out-of-module imports (the standard library) are resolved
+// from the build cache's compiler export data, which `go list -export`
+// materializes.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	TestFiles  map[*ast.File]bool
+	Types      *types.Package
+	Info       *types.Info
+	// XTest marks an external test package (package foo_test).
+	XTest bool
+}
+
+type listEntry struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	ForTest      string
+	Standard     bool
+	Incomplete   bool
+	DepsErrors   []*struct{ Err string }
+	Error        *struct{ Err string }
+	TestImports  []string
+	XTestImports []string
+}
+
+// Config controls loading.
+type Config struct {
+	// Dir is the directory go list runs in (the module root or below).
+	Dir string
+	// Tests includes in-package _test.go files in each package and loads
+	// external test packages as separate entries.
+	Tests bool
+}
+
+// Load typechecks the packages matching patterns (plus, transparently,
+// every module-local dependency, so cross-package object identity holds)
+// and returns the matched packages in dependency order.
+func Load(cfg Config, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := &loader{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		entries: map[string]*listEntry{},
+		pkgs:    map[string]*Package{},
+	}
+	if err := l.prepare(patterns); err != nil {
+		return nil, nil, err
+	}
+	var out []*Package
+	for _, path := range l.targets {
+		p, err := l.check(path, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, p)
+		if cfg.Tests {
+			if xt, err := l.checkXTest(path); err != nil {
+				return nil, nil, err
+			} else if xt != nil {
+				out = append(out, xt)
+			}
+		}
+	}
+	return l.fset, out, nil
+}
+
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	exports map[string]string     // import path -> export data file
+	entries map[string]*listEntry // module-local packages
+	targets []string              // matched patterns, list order (≈ topo)
+	pkgs    map[string]*Package   // memoized module-local typechecks
+	stack   []string              // cycle detection
+	imp     types.Importer        // export-data importer for non-module paths
+}
+
+func (l *loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+func decodeList(data []byte) ([]*listEntry, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []*listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, &e)
+	}
+	return out, nil
+}
+
+// prepare runs go list twice: once with -deps -test -export to collect
+// compiler export data for everything reachable (building as needed), and
+// once plain over the patterns to learn the target packages' file lists.
+func (l *loader) prepare(patterns []string) error {
+	fields := "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,ForTest,Standard,TestImports,XTestImports"
+	depArgs := append([]string{"list", "-e", "-deps", "-export", fields}, patterns...)
+	if l.cfg.Tests {
+		depArgs = append([]string{"list", "-e", "-deps", "-test", "-export", fields}, patterns...)
+	}
+	depOut, err := l.goList(depArgs...)
+	if err != nil {
+		return err
+	}
+	deps, err := decodeList(depOut)
+	if err != nil {
+		return err
+	}
+	for _, e := range deps {
+		if strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		path := e.ImportPath
+		// Test-variant entries ("p [q.test]") share ForTest; strip to the
+		// plain path and let the first (plain) entry win.
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i]
+		}
+		if e.Export != "" {
+			if _, ok := l.exports[path]; !ok {
+				l.exports[path] = e.Export
+			}
+		}
+	}
+	// Enumerate all module-local packages so module-internal imports of
+	// the targets also typecheck from source into the shared universe.
+	allOut, err := l.goList("list", fields, "./...")
+	if err != nil {
+		return err
+	}
+	all, err := decodeList(allOut)
+	if err != nil {
+		return err
+	}
+	for _, e := range all {
+		l.entries[e.ImportPath] = e
+	}
+	tgtOut, err := l.goList(append([]string{"list", fields}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	tgts, err := decodeList(tgtOut)
+	if err != nil {
+		return err
+	}
+	for _, e := range tgts {
+		if _, ok := l.entries[e.ImportPath]; !ok {
+			l.entries[e.ImportPath] = e
+		}
+		l.targets = append(l.targets, e.ImportPath)
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return nil
+}
+
+func (l *loader) parse(dir string, names []string) ([]*ast.File, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check typechecks a module-local package (memoized). In-package test
+// files are included when cfg.Tests is set: the augmented package is the
+// canonical one, which is safe as long as test imports stay acyclic.
+func (l *loader) check(path string, from []string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("load: import cycle through test files: %s -> %s",
+				strings.Join(l.stack, " -> "), path)
+		}
+	}
+	e, ok := l.entries[path]
+	if !ok {
+		return nil, fmt.Errorf("load: %q is not a module-local package", path)
+	}
+	names := append([]string(nil), e.GoFiles...)
+	testNames := map[string]bool{}
+	if l.cfg.Tests {
+		for _, n := range e.TestGoFiles {
+			names = append(names, n)
+			testNames[n] = true
+		}
+	}
+	files, err := l.parse(e.Dir, names)
+	if err != nil {
+		return nil, err
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+	info := newInfo()
+	conf := types.Config{Importer: importerFunc(func(ip string) (*types.Package, error) {
+		return l.importPath(ip)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	p := &Package{ImportPath: path, Dir: e.Dir, Files: files, Types: tpkg, Info: info,
+		TestFiles: map[*ast.File]bool{}}
+	for _, f := range files {
+		name := filepath.Base(l.fset.Position(f.FileStart).Filename)
+		if testNames[name] {
+			p.TestFiles[f] = true
+		}
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// checkXTest typechecks a package's external test package (package
+// foo_test), or returns nil when it has none.
+func (l *loader) checkXTest(path string) (*Package, error) {
+	e := l.entries[path]
+	if e == nil || len(e.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := l.parse(e.Dir, e.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importerFunc(func(ip string) (*types.Package, error) {
+		return l.importPath(ip)
+	})}
+	tpkg, err := conf.Check(path+"_test", l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s_test: %w", path, err)
+	}
+	p := &Package{ImportPath: path + "_test", Dir: e.Dir, Files: files, Types: tpkg,
+		Info: info, XTest: true, TestFiles: map[*ast.File]bool{}}
+	for _, f := range files {
+		p.TestFiles[f] = true
+	}
+	return p, nil
+}
+
+func (l *loader) importPath(path string) (*types.Package, error) {
+	if _, ok := l.entries[path]; ok {
+		p, err := l.check(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.imp.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,123 @@
+// Package mainthread enforces the task-goroutine confinement discipline
+// from PR 2: struct fields annotated `//clonos:mainthread` hold state that
+// only the task's own goroutine may touch; every other goroutine (the
+// stall watchdog, metrics scrapers, recovery coordinators) must read
+// through the atomic shadows published for that purpose.
+//
+// The annotation grammar is explicit on both sides:
+//
+//   - a field is confined by putting `//clonos:mainthread` in its doc or
+//     line comment inside the struct declaration;
+//   - a function is declared to run on the task main thread (or strictly
+//     before the task starts, which is equivalently single-threaded) by
+//     putting `//clonos:mainthread` in its doc comment.
+//
+// Annotated fields may only be accessed inside annotated functions.
+// There is no propagation: a helper called from an annotated function
+// must itself be annotated, and a closure NEVER inherits its enclosing
+// function's annotation — closures are how state escapes to other
+// goroutines (go statements, timers, callbacks), so each access inside
+// one is flagged unless the literal's statement is suppressed with
+// `//clonos:allow mainthread`.
+package mainthread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the mainthread analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mainthread",
+	Doc: "fields annotated //clonos:mainthread may only be accessed from " +
+		"//clonos:mainthread functions; other goroutines use atomic shadows",
+	Run: run,
+}
+
+const marker = "clonos:mainthread"
+
+// fieldFact marks an annotated struct field.
+type fieldFact struct{}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1: collect annotated fields (doc comment or trailing line
+	// comment on the field) into the shared fact map.
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !analysis.CommentHas(field.Doc, marker) && !analysis.CommentHas(field.Comment, marker) {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							pass.Facts[obj] = fieldFact{}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: check every access against the accessing context.
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			onMain := analysis.CommentHas(fd.Doc, marker)
+			checkBody(pass, fd.Body, onMain, fd.Name.Name)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody flags annotated-field accesses when the context is not the
+// main thread. Function literals are always re-entered as off-thread
+// contexts: the annotation names a function declaration, not the
+// goroutine its closures end up on.
+func checkBody(pass *analysis.Pass, body ast.Node, onMain bool, where string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body, false, where+" (closure)")
+			return false
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			if obj == nil {
+				return true
+			}
+			if _, ok := pass.Facts[types.Object(obj)].(fieldFact); !ok {
+				return true
+			}
+			if onMain || pass.Allowed(n.Sel.Pos()) {
+				return true
+			}
+			pass.Reportf(n.Sel.Pos(),
+				"field %s is main-thread state, but %s is not //clonos:mainthread; read it through its atomic shadow",
+				n.Sel.Name, where)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package mainthread_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/mainthread"
+)
+
+func TestMainthread(t *testing.T) {
+	analysistest.Run(t, "testdata", mainthread.Analyzer, "b")
+}

@@ -1,0 +1,55 @@
+// Package b holds mainthread golden cases.
+package b
+
+import "sync/atomic"
+
+type task struct {
+	// epoch is the task's current checkpoint epoch.
+	epoch uint64 //clonos:mainthread
+	// offset is the replay cursor.
+	//clonos:mainthread
+	offset int64
+	// epochShadow is the off-thread view of epoch.
+	epochShadow atomic.Uint64
+	name        string
+}
+
+// run is the task main loop.
+//
+//clonos:mainthread
+func (t *task) run() {
+	t.epoch++ // ok: annotated function
+	t.offset = 7
+	t.epochShadow.Store(t.epoch)
+}
+
+// watchdog runs on its own goroutine.
+func (t *task) watchdog() uint64 {
+	return t.epoch // want `field epoch is main-thread state, but watchdog is not //clonos:mainthread`
+}
+
+func (t *task) observe() int64 {
+	t.name = "x" // ok: unannotated field
+	return t.offset // want `field offset is main-thread state, but observe is not //clonos:mainthread`
+}
+
+// spawn is on the main thread, but its closure runs elsewhere — closures
+// never inherit the annotation.
+//
+//clonos:mainthread
+func (t *task) spawn(done chan struct{}) {
+	go func() {
+		_ = t.epoch // want `field epoch is main-thread state, but spawn \(closure\) is not //clonos:mainthread`
+		close(done)
+	}()
+}
+
+// shadowReader stays off-thread but uses the shadow: fine.
+func (t *task) shadowReader() uint64 {
+	return t.epochShadow.Load()
+}
+
+// snapshotDump is a deliberate, reviewed exception.
+func (t *task) snapshotDump() uint64 {
+	return t.epoch //clonos:allow mainthread — called only with the task parked
+}

@@ -1,0 +1,152 @@
+// Package nosleepwait enforces two timing disciplines:
+//
+//  1. Tests must not poll with time.Sleep. PR 4 added event-driven waits
+//     (WaitForCheckpoint, WaitForEvent, tracer subscriptions) precisely so
+//     tests observe protocol progress instead of guessing at it; a
+//     sleep-poll loop is both slow and flaky under -race scheduling. The
+//     analyzer flags time.Sleep calls inside "poll loops" in _test.go
+//     files: small for-loops whose body does nothing but sleep and
+//     re-check a condition. A plain one-shot sleep (e.g. letting a
+//     background goroutine start) is not flagged — only the loop shape.
+//
+//  2. Protocol packages must be deterministic. The causal-recovery
+//     guarantee rests on replayed execution reproducing the original
+//     byte-for-byte, so the packages on that path (causal, inflight,
+//     codec, statestore, types) may not read wall-clock time or
+//     process-local randomness directly; nondeterminism must enter
+//     through the services layer, where it is logged as a determinant.
+//     The analyzer bans time.Now / time.Since and any math/rand use in
+//     those packages' non-test files.
+//
+// Suppress a deliberate exception with `//clonos:allow nosleepwait` on
+// the flagged line.
+package nosleepwait
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the nosleepwait analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nosleepwait",
+	Doc: "no time.Sleep poll loops in tests (use event-driven waits); no " +
+		"bare wall-clock or math/rand in deterministic protocol packages",
+	Run: run,
+}
+
+// protocolPkgs lists the packages on the replayed execution path, which
+// must stay free of direct nondeterminism. internal/services is the
+// sanctioned entry point for time and randomness; internal/checkpoint's
+// coordinator interval timing and internal/timers are wall-clock by
+// design (they feed determinants, not replayed state).
+var protocolPkgs = map[string]bool{
+	"clonos/internal/causal":     true,
+	"clonos/internal/inflight":   true,
+	"clonos/internal/codec":      true,
+	"clonos/internal/statestore": true,
+	"clonos/internal/types":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	protocol := protocolPkgs[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			checkPollLoops(pass, f)
+			continue
+		}
+		if protocol {
+			checkDeterminism(pass, f)
+		}
+	}
+	return nil, nil
+}
+
+// checkPollLoops flags time.Sleep calls that form a busy-wait: a for
+// statement whose body does nothing but sleep and re-check a condition
+// (every statement is either the sleep or an if; the loop exits via its
+// condition or a break/return inside an if). A loop that does real work
+// between sleeps — a paced producer, a rate limiter — is not a poll.
+func checkPollLoops(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		var sleeps []*ast.CallExpr
+		hasExit := loop.Cond != nil
+		for _, s := range loop.Body.List {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !isCallTo(pass, call, "time", "Sleep") {
+					return true // non-sleep work: not a poll loop
+				}
+				sleeps = append(sleeps, call)
+			case *ast.IfStmt:
+				ast.Inspect(s, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.BranchStmt, *ast.ReturnStmt:
+						hasExit = true
+					}
+					return true
+				})
+			default:
+				return true // assignments, selects, etc.: not a pure poll
+			}
+		}
+		if len(sleeps) == 0 || !hasExit {
+			return true
+		}
+		for _, call := range sleeps {
+			if pass.Allowed(call.Pos()) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"time.Sleep poll loop in test: wait on an event instead (WaitForCheckpoint, WaitForEvent, or a channel)")
+		}
+		return true
+	})
+}
+
+// checkDeterminism bans direct wall-clock and randomness in protocol
+// package non-test files.
+func checkDeterminism(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		var what string
+		switch obj.Pkg().Path() {
+		case "time":
+			if obj.Name() == "Now" || obj.Name() == "Since" {
+				what = "time." + obj.Name()
+			}
+		case "math/rand", "math/rand/v2":
+			what = "rand." + obj.Name()
+		}
+		if what == "" || pass.Allowed(id.Pos()) {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"%s in deterministic protocol package %s: nondeterminism must flow through internal/services determinants",
+			what, pass.Pkg.Path())
+		return true
+	})
+}
+
+func isCallTo(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name
+}

@@ -1,0 +1,12 @@
+package nosleepwait_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/nosleepwait"
+)
+
+func TestNoSleepWait(t *testing.T) {
+	analysistest.Run(t, "testdata", nosleepwait.Analyzer, "c", "clonos/internal/causal")
+}

@@ -1,0 +1,9 @@
+// Package c is a non-protocol package: wall-clock use here is fine.
+package c
+
+import "time"
+
+var ready bool
+
+// StartedAt is outside the protocol set, so time.Now is allowed.
+func StartedAt() time.Time { return time.Now() }

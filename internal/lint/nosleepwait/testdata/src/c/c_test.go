@@ -1,0 +1,62 @@
+package c
+
+import (
+	"time"
+)
+
+var events chan struct{}
+
+func pollUntilReady() {
+	for !ready {
+		time.Sleep(10 * time.Millisecond) // want `time\.Sleep poll loop in test`
+	}
+}
+
+func pollWithBreak() {
+	for {
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond) // want `time\.Sleep poll loop in test`
+	}
+}
+
+func pollCountdown() bool {
+	for i := 0; i < 100; i++ {
+		if ready {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond) // want `time\.Sleep poll loop in test`
+	}
+	return false
+}
+
+// okOneShot lets a background goroutine get scheduled once; not a poll.
+func okOneShot() {
+	time.Sleep(50 * time.Millisecond)
+	<-events
+}
+
+// okWorkLoop sleeps to pace real per-iteration work; body is too big to
+// be a pure poll.
+func okWorkLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+		total *= 2
+		recordTick(total)
+		notifyTick(total)
+		time.Sleep(time.Millisecond)
+	}
+	return total
+}
+
+// okSuppressed documents a deliberate scheduling-jitter probe.
+func okSuppressed() {
+	for !ready {
+		time.Sleep(time.Millisecond) //clonos:allow nosleepwait — jitter probe
+	}
+}
+
+func recordTick(int) {}
+func notifyTick(int) {}

@@ -1,0 +1,34 @@
+// Stub of the deterministic causal package for nosleepwait fixtures.
+package causal
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Determinant struct {
+	Seq   uint64
+	Stamp int64
+}
+
+func badStamp(d *Determinant) {
+	d.Stamp = time.Now().UnixNano() // want `time\.Now in deterministic protocol package clonos/internal/causal`
+}
+
+func badJitter() time.Duration {
+	return time.Duration(rand.Int63n(1000)) // want `rand\.Int63n in deterministic protocol package clonos/internal/causal`
+}
+
+func badAge(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since in deterministic protocol package clonos/internal/causal`
+}
+
+// okDuration only names time types/constants, never reads the clock.
+func okDuration() time.Duration { return 5 * time.Millisecond }
+
+// okSeeded takes its stamp from the caller (the services layer).
+func okSeeded(d *Determinant, stamp int64) { d.Stamp = stamp }
+
+func okAllowed() int64 {
+	return time.Now().UnixNano() //clonos:allow nosleepwait — diagnostic log only
+}

@@ -47,9 +47,9 @@ func TestPercentileNearestRank(t *testing.T) {
 		p    float64
 		want int64
 	}{
-		{"p50-of-100", hundred, 0.50, 51},  // rank 49.5 rounds half away from zero → 50
-		{"p95-of-100", hundred, 0.95, 95},  // rank 94.05 → 94
-		{"p99-of-100", hundred, 0.99, 99},  // rank 98.01 → 98
+		{"p50-of-100", hundred, 0.50, 51}, // rank 49.5 rounds half away from zero → 50
+		{"p95-of-100", hundred, 0.95, 95}, // rank 94.05 → 94
+		{"p99-of-100", hundred, 0.99, 99}, // rank 98.01 → 98
 		{"p100-of-100", hundred, 1.0, 100},
 		{"p50-of-5", five, 0.50, 30},
 		{"p95-of-5", five, 0.95, 50}, // rank 3.8 rounds up (was 40 with truncation)

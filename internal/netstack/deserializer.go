@@ -47,6 +47,8 @@ func NewDeserializer(c codec.Codec) *Deserializer {
 // deserializer takes ownership and releases the message once its bytes
 // are consumed (or on Reset/Close). Pushing into a closed deserializer
 // releases the message immediately.
+//
+//clonos:owns-transfer
 func (d *Deserializer) Push(m *Message) {
 	d.mu.Lock()
 	if d.closed || len(m.Data) == 0 {

@@ -117,6 +117,11 @@ func (ep *Endpoint) ID() types.ChannelID { return ep.id }
 // FIFO sequencing: after the first accepted message, each seq must be the
 // successor of the previous. Out-of-sequence delivery indicates a protocol
 // bug and returns an error.
+//
+// Ownership: on a nil return the endpoint owns m (and its payload
+// reference); on error the sender keeps ownership and must release it.
+//
+//clonos:owns-transfer on-success
 func (ep *Endpoint) Push(m *Message) error {
 	ep.mu.Lock()
 	if len(ep.queue) >= ep.credit && !ep.unbounded && !ep.broken && !ep.closed {

@@ -1,0 +1,12 @@
+package netstack
+
+import (
+	"testing"
+
+	"clonos/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: gates and endpoints
+// park senders on credit waits, so a leak means a Break/Close path left
+// a sender or receiver blocked forever.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

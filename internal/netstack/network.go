@@ -36,7 +36,10 @@ func (n *Network) Endpoint(id types.ChannelID) *Endpoint {
 }
 
 // Send pushes a message to the live endpoint of its channel. Sending on an
-// unknown channel reports ErrChannelBroken (the receiver is gone).
+// unknown channel reports ErrChannelBroken (the receiver is gone). As with
+// Endpoint.Push, the receiver owns m only when Send returns nil.
+//
+//clonos:owns-transfer on-success
 func (n *Network) Send(m *Message) error {
 	ep := n.Endpoint(m.Channel)
 	if ep == nil {

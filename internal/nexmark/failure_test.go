@@ -54,12 +54,8 @@ func runQueryMaybeFail(t *testing.T, name string, n int64, failTask *types.TaskI
 	defer gen.Stop()
 
 	if failTask != nil {
-		deadline := time.Now().Add(8 * time.Second)
-		for r.LatestCompletedCheckpoint() < 1 {
-			if time.Now().After(deadline) {
-				t.Fatalf("no checkpoint: %v", r.Errors())
-			}
-			time.Sleep(10 * time.Millisecond)
+		if !r.WaitForCheckpoint(1, 8*time.Second) {
+			t.Fatalf("no checkpoint: %v", r.Errors())
 		}
 		if err := r.InjectFailure(*failTask); err != nil {
 			t.Fatal(err)
@@ -161,12 +157,8 @@ func TestQ13ExternalCallsExactlyOnceUnderFailure(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 8*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	if err := r.InjectFailure(types.TaskID{Vertex: 1, Subtask: 0}); err != nil {
 		t.Fatal(err)

@@ -73,12 +73,8 @@ func TestPipelineSurvivesMidStageFailure(t *testing.T) {
 	gen.Start()
 	defer gen.Stop()
 
-	deadline := time.Now().Add(8 * time.Second)
-	for r.LatestCompletedCheckpoint() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no checkpoint: %v", r.Errors())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !r.WaitForCheckpoint(1, 8*time.Second) {
+		t.Fatalf("no checkpoint: %v", r.Errors())
 	}
 	if err := r.InjectFailure(types.TaskID{Vertex: 2, Subtask: 1}); err != nil {
 		t.Fatal(err)

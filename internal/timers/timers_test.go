@@ -98,7 +98,14 @@ func TestProcTimersSuppressedWhenNotLive(t *testing.T) {
 	var now atomic.Int64
 	now.Store(2000)
 	var count atomic.Int32
-	s := NewService(func() int64 { return now.Load() }, func(Timer) { count.Add(1) })
+	firedCh := make(chan struct{}, 4)
+	s := NewService(func() int64 { return now.Load() }, func(Timer) {
+		count.Add(1)
+		select {
+		case firedCh <- struct{}{}:
+		default:
+		}
+	})
 	s.Start()
 	defer s.Stop()
 	// Not live: overdue timers must not fire.
@@ -108,12 +115,13 @@ func TestProcTimersSuppressedWhenNotLive(t *testing.T) {
 		t.Fatal("timer fired while not live")
 	}
 	s.SetLive(true)
-	deadline := time.Now().Add(2 * time.Second)
-	for count.Load() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("timer never fired after SetLive")
-		}
-		time.Sleep(5 * time.Millisecond)
+	select {
+	case <-firedCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired after SetLive")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("timer fired %d times, want 1", got)
 	}
 }
 
