@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet lint race bench bench-smoke bench-json
+.PHONY: build check vet lint race bench bench-smoke bench-json bench-matrix matrix-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,25 @@ bench-smoke:
 # the residual copy fractions of the zero-copy pipeline.
 bench-json:
 	$(GO) run ./cmd/clonos-hotpath -out BENCH_hotpath.json
+
+# bench-matrix refreshes the committed recovery-under-load baseline:
+# the full load x state-size x failure-type grid with recovery time and
+# output-latency p50/p99 per cell (see EXPERIMENTS.md "Recovery matrix").
+bench-matrix:
+	$(GO) run ./cmd/clonos-bench -experiment matrix -matrix-out BENCH_recovery_matrix.json
+
+# matrix-smoke is the CI gate: the tiny 2x2x2 grid, schema-validated and
+# regression-checked against the committed baseline. Up to 2 of the 8
+# compared cells may flip settled->unsettled (shared runners are noisy);
+# more than that fails, as does the grid's MEDIAN recovery or detection
+# time moving past 3x + 1s — per-cell ratios flap at sub-second
+# baselines, medians only move when every cell slows down.
+matrix-smoke:
+	$(GO) run ./cmd/clonos-bench -matrix-validate BENCH_recovery_matrix.json
+	$(GO) run ./cmd/clonos-bench -experiment matrix -matrix-grid smoke \
+		-matrix-out matrix_smoke.json \
+		-matrix-baseline BENCH_recovery_matrix.json \
+		-matrix-max-regress 3 -matrix-max-unsettled 2
 
 # fault-sweep is the bounded deterministic chaos gate: one schedule per
 # registered crash point (including the second-failure-during-recovery

@@ -13,7 +13,20 @@
 //	clonos-bench -experiment table1      # Table 1
 //	clonos-bench -experiment mem         # §7.5 spill-policy study
 //	clonos-bench -experiment guarantees  # §5.4 guarantee ablation
+//	clonos-bench -experiment dsd         # determinant-sharing-depth sweep
+//	clonos-bench -experiment matrix      # recovery-under-load matrix
 //	clonos-bench -experiment all
+//
+// The recovery matrix sweeps load fraction x keyed-state size x failure
+// type and reports recovery time plus output-latency p50/p99 per cell:
+//
+//	clonos-bench -experiment matrix -matrix-out BENCH_recovery_matrix.json
+//	clonos-bench -experiment matrix -matrix-grid smoke \
+//	  -matrix-baseline BENCH_recovery_matrix.json -matrix-max-regress 3
+//	  runs the tiny CI grid and fails on cell flips or median
+//	  recovery/detection regressions.
+//	clonos-bench -matrix-validate BENCH_recovery_matrix.json
+//	  checks an existing report's schema without running anything.
 //
 // Observability:
 //
@@ -41,7 +54,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | fig6a | fig6b | fig6c | fig6d | table1 | mem | guarantees | dsd | all")
+	experiment := flag.String("experiment", "all", "fig5 | fig6a | fig6b | fig6c | fig6d | table1 | mem | guarantees | dsd | matrix | all")
 	parallelism := flag.Int("parallelism", 2, "per-operator parallelism")
 	rate := flag.Int("rate", 0, "generator rate override (events/s)")
 	duration := flag.Duration("duration", 0, "per-run duration override")
@@ -51,7 +64,27 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write machine-readable experiment results to this file on exit")
 	recordPath := flag.String("record", "", "write a JSONL flight recording (tracer spans/events + registry samples) to this file")
 	recordSample := flag.Duration("record-sample", 250*time.Millisecond, "registry sampling interval for -record")
+	matrixGrid := flag.String("matrix-grid", "full", "matrix grid size: full (2 loads x 2 states x 4 failures) | smoke (CI 2x2x2)")
+	matrixOut := flag.String("matrix-out", "", "write the matrix sweep as a standalone baseline report to this file")
+	matrixBaseline := flag.String("matrix-baseline", "", "compare the matrix sweep against this committed baseline and fail on recovery regressions")
+	matrixMaxRegress := flag.Float64("matrix-max-regress", 3.0, "allowed median recovery/detection slowdown factor vs -matrix-baseline")
+	matrixMaxUnsettled := flag.Int("matrix-max-unsettled", 1, "tolerated settled->unsettled cell flips vs -matrix-baseline (noisy-runner allowance)")
+	matrixValidate := flag.String("matrix-validate", "", "validate an existing matrix report's schema and exit (no experiments run)")
+	matrixRepeats := flag.Int("matrix-repeats", 0, "repeats per matrix cell override (median is reported)")
 	flag.Parse()
+
+	if *matrixValidate != "" {
+		report, err := harness.LoadMatrixReport(*matrixValidate)
+		if err == nil {
+			err = harness.ValidateMatrixReport(report, 1)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matrix validate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d cells)\n", *matrixValidate, len(report.Cells))
+		return
+	}
 
 	var recorder *obs.Recorder
 	if *recordPath != "" {
@@ -236,6 +269,58 @@ func main() {
 				report.Add("dsd", rows)
 			}
 			return err
+		},
+		"matrix": func() error {
+			var opt harness.MatrixOptions
+			switch *matrixGrid {
+			case "full":
+				opt = harness.DefaultMatrixOptions()
+			case "smoke":
+				opt = harness.SmokeMatrixOptions()
+			default:
+				return fmt.Errorf("unknown -matrix-grid %q (want full or smoke)", *matrixGrid)
+			}
+			if *rate > 0 {
+				opt.BaseRate = *rate
+			}
+			if *duration > 0 {
+				opt.Duration = *duration
+			}
+			if *matrixRepeats > 0 {
+				opt.Repeats = *matrixRepeats
+			}
+			res, err := harness.RunMatrix(w, opt)
+			if err != nil {
+				return err
+			}
+			if err := harness.ValidateMatrixReport(res, len(res.Cells)); err != nil {
+				return fmt.Errorf("matrix self-check: %w", err)
+			}
+			report.Add("matrix", res)
+			if *matrixOut != "" {
+				options := map[string]any{
+					"grid":     *matrixGrid,
+					"duration": opt.Duration.String(),
+					"repeats":  opt.Repeats,
+				}
+				if err := harness.WriteMatrixReport(*matrixOut, res, options); err != nil {
+					return err
+				}
+			}
+			if *matrixBaseline != "" {
+				base, err := harness.LoadMatrixReport(*matrixBaseline)
+				if err != nil {
+					return err
+				}
+				if regs := harness.CompareMatrixBaseline(base, res, *matrixMaxRegress, *matrixMaxUnsettled); len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "matrix regression: %s\n", r)
+					}
+					return fmt.Errorf("%d matrix recovery regression(s) vs %s", len(regs), *matrixBaseline)
+				}
+				fmt.Fprintf(w, "matrix baseline check vs %s: ok\n", *matrixBaseline)
+			}
+			return nil
 		},
 	}
 

@@ -7,7 +7,10 @@
 //	clonos-trace trace.jsonl
 //	  prints a human summary: checkpoint-epoch durations and the slowest
 //	  epochs with per-phase breakdowns, alignment outliers, recovery
-//	  spans, stall events, and watermark stagnation between samples.
+//	  spans, a causal-plane report (determinant/delta/in-flight/replay/
+//	  dedup/latency-p99 families, with per-recovery deltas — the view to
+//	  inspect a matrix run's flight recording with), stall events, and
+//	  watermark stagnation between samples.
 //	clonos-trace -top 10 trace.jsonl
 //	  widens the outlier lists.
 //	clonos-trace -chrome trace.json trace.jsonl
@@ -125,8 +128,151 @@ func summarize(w io.Writer, recs []obs.TraceRecord, top int, stallGap time.Durat
 
 	summarizeCheckpoints(w, checkpoints, base, top)
 	summarizeRecoveries(w, recoveries, restarts, base)
+	summarizeCausalPlane(w, samples, recoveries, base)
 	summarizeStalls(w, stalls, base)
 	summarizeWatermarks(w, samples, base, stallGap)
+}
+
+// causalFamilies are the causal-plane metric families the report
+// summarizes: the recorded-sample view of what the determinant log, the
+// in-flight log, replay, dedup, and the live latency gauge were doing.
+var causalFamilies = []struct {
+	name  string
+	gauge bool // gauges report last/peak; counters report the final total
+}{
+	{"clonos_causal_determinants_total", false},
+	{"clonos_causal_delta_entries_total", false},
+	{"clonos_causal_delta_bytes_total", false},
+	{"clonos_causal_log_entries", true},
+	{"clonos_causal_main_log_floor", true},
+	{"clonos_inflight_entries", true},
+	{"clonos_inflight_spilled_bytes_total", false},
+	{"clonos_inflight_truncation_floor", true},
+	{"clonos_dedup_discarded_total", false},
+	{"clonos_replay_served_total", false},
+	{"clonos_replay_retries_total", false},
+	{"clonos_standby_sync_lag", true},
+	{"clonos_latency_p99_seconds", true},
+}
+
+// familySum adds every series of one metric family in a sample (a family
+// key is either the bare name or name{labels}).
+func familySum(vals map[string]float64, family string) (float64, bool) {
+	var sum float64
+	found := false
+	for key, v := range vals {
+		if key == family || strings.HasPrefix(key, family+"{") {
+			sum += v
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// summarizeCausalPlane reports the causal-plane families over the whole
+// recording and correlates them with each recovery span: how many
+// determinants the replay served, how much the dedup filter discarded,
+// and where the live latency p99 sat once the task caught up. This is
+// the report mode a matrix run is inspected with.
+func summarizeCausalPlane(w io.Writer, samples, recoveries []obs.TraceRecord, base int64) {
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].TS < samples[j].TS })
+
+	fmt.Fprintf(w, "\ncausal plane (sampled %d times):\n", len(samples))
+	for _, fam := range causalFamilies {
+		var last, peak float64
+		found := false
+		for _, s := range samples {
+			v, ok := familySum(s.Vals, fam.name)
+			if !ok {
+				continue
+			}
+			found = true
+			last = v
+			if v > peak {
+				peak = v
+			}
+		}
+		if !found {
+			continue
+		}
+		if fam.gauge {
+			fmt.Fprintf(w, "  %-38s last=%-12s peak=%s\n", fam.name, fmtVal(last), fmtVal(peak))
+		} else {
+			fmt.Fprintf(w, "  %-38s total=%s\n", fam.name, fmtVal(last))
+		}
+	}
+
+	if len(recoveries) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  per-recovery deltas (sample closest before failure -> after catch-up):\n")
+	for _, r := range recoveries {
+		before := sampleAtOrBefore(samples, r.TS)
+		after := sampleAtOrAfter(samples, r.End)
+		if before == nil || after == nil {
+			fmt.Fprintf(w, "    task %-6s t=%7s  (no samples bracket the span)\n", r.Attrs["task"], rel(r.TS, base))
+			continue
+		}
+		delta := func(family string) float64 {
+			b, _ := familySum(before.Vals, family)
+			a, _ := familySum(after.Vals, family)
+			return a - b
+		}
+		// Replay progress peaks mid-span; scan the span window for it.
+		var replayPos, replayTotal float64
+		for _, s := range samples {
+			if s.TS < r.TS || s.TS > r.End {
+				continue
+			}
+			if v, ok := familySum(s.Vals, "clonos_replay_position"); ok && v > replayPos {
+				replayPos = v
+			}
+			if v, ok := familySum(s.Vals, "clonos_replay_total"); ok && v > replayTotal {
+				replayTotal = v
+			}
+		}
+		p99, _ := familySum(after.Vals, "clonos_latency_p99_seconds")
+		fmt.Fprintf(w, "    task %-6s t=%7s  replay=%s/%s served=%s retries=%s dedup-discarded=%s determinants+%s p99-after=%.0fms\n",
+			r.Attrs["task"], rel(r.TS, base),
+			fmtVal(replayPos), fmtVal(replayTotal),
+			fmtVal(delta("clonos_replay_served_total")), fmtVal(delta("clonos_replay_retries_total")),
+			fmtVal(delta("clonos_dedup_discarded_total")), fmtVal(delta("clonos_causal_determinants_total")),
+			p99*1000)
+	}
+}
+
+// sampleAtOrBefore returns the latest sample at or before ts (nil when
+// the recording starts later); samples must be sorted by TS.
+func sampleAtOrBefore(samples []obs.TraceRecord, ts int64) *obs.TraceRecord {
+	var out *obs.TraceRecord
+	for i := range samples {
+		if samples[i].TS > ts {
+			break
+		}
+		out = &samples[i]
+	}
+	return out
+}
+
+// sampleAtOrAfter returns the earliest sample at or after ts.
+func sampleAtOrAfter(samples []obs.TraceRecord, ts int64) *obs.TraceRecord {
+	for i := range samples {
+		if samples[i].TS >= ts {
+			return &samples[i]
+		}
+	}
+	return nil
+}
+
+// fmtVal renders a metric value compactly (counters are integral).
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // epochStats is the derived timing of one checkpoint-epoch span.

@@ -141,6 +141,7 @@ func (BytesCodec) Decode(b []byte) (any, error) {
 //	watermark: ts varint
 //	barrier:   checkpoint uvarint
 //	eos:       (nothing)
+//	latency:   ts varint
 func EncodeElement(dst []byte, e types.Element, c Codec) ([]byte, error) {
 	// Reserve the 4-byte length prefix and fill it in at the end.
 	start := len(dst)
@@ -161,6 +162,8 @@ func EncodeElement(dst []byte, e types.Element, c Codec) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(e.Checkpoint))
 	case types.KindEndOfStream:
 		// no body
+	case types.KindLatencyMarker:
+		dst = binary.AppendVarint(dst, e.Timestamp)
 	default:
 		return dst[:start], fmt.Errorf("codec: cannot encode element kind %v", e.Kind)
 	}
@@ -207,6 +210,12 @@ func DecodeElement(b []byte, c Codec) (types.Element, error) {
 		return types.Barrier(types.CheckpointID(id)), nil
 	case types.KindEndOfStream:
 		return types.EndOfStream(), nil
+	case types.KindLatencyMarker:
+		ts, n := binary.Varint(body)
+		if n <= 0 {
+			return types.Element{}, ErrShortBuffer
+		}
+		return types.LatencyMarker(ts), nil
 	default:
 		return types.Element{}, fmt.Errorf("codec: unknown element kind %d", b[0])
 	}

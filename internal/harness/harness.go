@@ -227,11 +227,17 @@ type recoverySummary struct {
 }
 
 func summarizeRecovery(res RunResult, failIdx int) recoverySummary {
-	var out recoverySummary
 	if failIdx >= len(res.FailTimes) {
-		return out
+		return recoverySummary{}
 	}
-	failAt := res.FailTimes[failIdx]
+	return summarizeRecoveryAt(res, res.FailTimes[failIdx])
+}
+
+// summarizeRecoveryAt summarizes recovery relative to an explicit failure
+// instant — used when the failure was not harness-injected (crash-point
+// kills record EventFaultInjected instead of populating FailTimes).
+func summarizeRecoveryAt(res RunResult, failAt time.Time) recoverySummary {
+	var out recoverySummary
 	for _, ev := range res.Events {
 		if ev.Time.Before(failAt) {
 			continue

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"clonos/internal/metrics"
+)
+
+// WriteMatrixReport writes a matrix sweep as a standalone BenchReport —
+// the format of the committed BENCH_recovery_matrix.json baseline.
+func WriteMatrixReport(path string, report *MatrixReport, options map[string]any) error {
+	br := NewBenchReport()
+	for k, v := range options {
+		br.Options[k] = v
+	}
+	br.Add("matrix", report)
+	return br.WriteFile(path)
+}
+
+// LoadMatrixReport reads a matrix report back out of a BenchReport file
+// (either a standalone matrix file or a full -bench-json result that
+// includes the matrix experiment).
+func LoadMatrixReport(path string) (*MatrixReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wrapper struct {
+		Experiments map[string]json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &wrapper); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	raw, ok := wrapper.Experiments["matrix"]
+	if !ok {
+		return nil, fmt.Errorf("%s: no \"matrix\" experiment in report", path)
+	}
+	var report MatrixReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return nil, fmt.Errorf("%s: matrix payload: %w", path, err)
+	}
+	return &report, nil
+}
+
+// ValidateMatrixReport checks the schema-level invariants CI relies on:
+// at least minCells cells, each with its grid coordinates and latency
+// percentiles populated, and a recovery time whenever the cell settled.
+func ValidateMatrixReport(r *MatrixReport, minCells int) error {
+	if r == nil {
+		return fmt.Errorf("matrix report is empty")
+	}
+	if len(r.Cells) < minCells {
+		return fmt.Errorf("matrix report has %d cells, want >= %d", len(r.Cells), minCells)
+	}
+	seen := map[string]bool{}
+	for i, c := range r.Cells {
+		at := fmt.Sprintf("cell %d (load=%.2f state=%d failure=%q)", i, c.Load, c.StateBytesPerKey, c.Failure)
+		if c.Load <= 0 || c.StateBytesPerKey <= 0 || c.Failure == "" {
+			return fmt.Errorf("%s: missing grid coordinates", at)
+		}
+		key := matrixCellKey(c)
+		if seen[key] {
+			return fmt.Errorf("%s: duplicate grid coordinates", at)
+		}
+		seen[key] = true
+		if c.LatencyP50Ms < 0 || c.LatencyP99Ms < c.LatencyP50Ms {
+			return fmt.Errorf("%s: inconsistent latency percentiles p50=%dms p99=%dms", at, c.LatencyP50Ms, c.LatencyP99Ms)
+		}
+		if c.RecoveryOK && c.RecoveryMs <= 0 {
+			return fmt.Errorf("%s: settled cell with non-positive recovery time", at)
+		}
+		if c.SinkRecords <= 0 {
+			return fmt.Errorf("%s: no sink output", at)
+		}
+	}
+	return nil
+}
+
+func matrixCellKey(c MatrixCell) string {
+	return fmt.Sprintf("%.4f/%d/%s", c.Load, c.StateBytesPerKey, c.Failure)
+}
+
+// CompareMatrixBaseline flags recovery regressions of cur against base.
+// Per-cell recovery times on single-process runners are bimodal — the
+// §7.4 settle point is either detection-bound (sub-second) or thrown
+// seconds late by one tail outlier — so per-cell ratio gates flap. The
+// gate therefore checks three robust signals over the grid cells present
+// in both runs:
+//
+//  1. settled->unsettled flips: cells settled in the baseline must stay
+//     settled, with up to maxUnsettled tolerated (noisy-runner
+//     allowance); beyond it every flip is reported. This is the primary
+//     wedge/slowdown signal — a settled recovery is bounded by the run
+//     duration, so a genuinely slower recovery shows up as cells no
+//     longer settling, not as large settled values.
+//  2. the MEDIAN recovery time across cells settled in both runs must
+//     not exceed maxRegress times the baseline median plus a 1 s
+//     absolute slack — one noisy cell cannot move the median, a
+//     systemic slowdown moves every cell and does.
+//  3. the median detection time likewise — detection is heartbeat-bound
+//     and low-variance, so a detector regression is a clean signal.
+//
+// The returned strings describe each regression; empty means the gate
+// passes. Cells only present on one side are ignored — the grids may
+// legitimately differ (smoke vs full).
+func CompareMatrixBaseline(base, cur *MatrixReport, maxRegress float64, maxUnsettled int) []string {
+	const slackMs = 1000.0
+	baseByKey := map[string]MatrixCell{}
+	for _, c := range base.Cells {
+		baseByKey[matrixCellKey(c)] = c
+	}
+	var regressions, flips []string
+	var baseRec, curRec, baseDet, curDet []float64
+	for _, c := range cur.Cells {
+		b, ok := baseByKey[matrixCellKey(c)]
+		if !ok {
+			continue
+		}
+		if b.DetectionMs > 0 && c.DetectionMs > 0 {
+			baseDet = append(baseDet, b.DetectionMs)
+			curDet = append(curDet, c.DetectionMs)
+		}
+		if !b.RecoveryOK {
+			continue
+		}
+		if !c.RecoveryOK {
+			flips = append(flips, fmt.Sprintf("load=%.2f state=%dB failure=%s: recovery never settled (baseline %.0fms)",
+				c.Load, c.StateBytesPerKey, c.Failure, b.RecoveryMs))
+			continue
+		}
+		baseRec = append(baseRec, b.RecoveryMs)
+		curRec = append(curRec, c.RecoveryMs)
+	}
+	if len(flips) > maxUnsettled {
+		regressions = append(regressions, flips...)
+	}
+	medianPast := func(what string, base, cur []float64) {
+		if len(cur) == 0 {
+			return
+		}
+		bm, cm := metrics.PercentileF(base, 0.5), metrics.PercentileF(cur, 0.5)
+		if cm > bm*maxRegress+slackMs {
+			regressions = append(regressions, fmt.Sprintf(
+				"median %s %.0fms over %d common cells exceeds %.1fx baseline median %.0fms (+%.0fms slack)",
+				what, cm, len(cur), maxRegress, bm, slackMs))
+		}
+	}
+	medianPast("recovery", baseRec, curRec)
+	medianPast("detection", baseDet, curDet)
+	return regressions
+}

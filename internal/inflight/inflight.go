@@ -366,6 +366,16 @@ func (l *Log) Count() int {
 	return len(l.entries)
 }
 
+// Base reports the truncation floor: how many entries checkpoint-complete
+// truncation has dropped over the log's lifetime. A floor that stops
+// advancing while Count grows is the live signature of a stuck
+// checkpoint pinning the in-flight log.
+func (l *Log) Base() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
 // MemBytes reports the bytes of buffered (unspilled) payload.
 func (l *Log) MemBytes() int {
 	l.mu.Lock()

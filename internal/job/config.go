@@ -100,6 +100,12 @@ type Config struct {
 
 	// MailboxSize bounds the async event queue per task.
 	MailboxSize int
+	// LatencyMarkerEvery makes every source emit a latency marker after
+	// that many source records (0 disables). Markers flow to the sinks
+	// like watermarks and feed the live end-to-end latency histogram.
+	// The cadence is count-based and the stamp is causally logged, so
+	// guided replay re-emits byte-identical markers.
+	LatencyMarkerEvery int
 	// Obs is the metrics registry the runtime reports into; nil creates
 	// a private one (retrievable via Runtime.Obs).
 	Obs *obs.Registry
@@ -159,6 +165,7 @@ func DefaultConfig() Config {
 		InFlight:               inflight.Config{Policy: inflight.PolicySpillThreshold, Threshold: 0.25},
 		TimestampGranularityMs: 1,
 		MailboxSize:            1024,
+		LatencyMarkerEvery:     64,
 		StallDeadline:          5 * time.Second,
 	}
 }

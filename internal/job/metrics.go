@@ -4,6 +4,7 @@ import (
 	"math"
 	"strconv"
 
+	"clonos/internal/causal"
 	"clonos/internal/inflight"
 	"clonos/internal/netstack"
 	"clonos/internal/obs"
@@ -31,6 +32,17 @@ type taskMetrics struct {
 	// serialized size (state + timers).
 	snapshots     *obs.Counter
 	snapshotBytes *obs.Counter
+	// dedupDiscarded counts dispatched buffers suppressed by sender-side
+	// deduplication after this task's own recovery (§5.2).
+	dedupDiscarded *obs.Counter
+	// replayServed / replayRetries count in-flight log entries the replay
+	// service retransmitted to recovering downstream peers, and pushes it
+	// had to retry because the receiver was not accepting yet.
+	replayServed  *obs.Counter
+	replayRetries *obs.Counter
+	// latency is the end-to-end latency histogram fed by arriving latency
+	// markers; registered for sink tasks only (nil elsewhere).
+	latency *obs.Histogram
 
 	ep      *netstack.EndpointMetrics
 	iflight *inflight.Metrics
@@ -57,6 +69,12 @@ func newTaskMetrics(reg *obs.Registry, vertexName string, subtask int32) *taskMe
 		snapshots: reg.Counter("clonos_checkpoint_snapshots_total", "Task snapshots completed.", lbl),
 		snapshotBytes: reg.Counter("clonos_checkpoint_snapshot_bytes_total",
 			"Serialized snapshot bytes (state + timers) produced by the task.", lbl),
+		dedupDiscarded: reg.Counter("clonos_dedup_discarded_total",
+			"Dispatched buffers suppressed by sender-side deduplication after recovery.", lbl),
+		replayServed: reg.Counter("clonos_replay_served_total",
+			"In-flight log entries retransmitted to recovering downstream peers.", lbl),
+		replayRetries: reg.Counter("clonos_replay_retries_total",
+			"Replay-service pushes retried because the receiver was not accepting.", lbl),
 		ep: &netstack.EndpointMetrics{
 			Accepted:  reg.Counter("clonos_netstack_accepted_total", "Messages accepted into the task's input queues.", lbl),
 			Blocked:   reg.Counter("clonos_netstack_send_blocked_total", "Sender pushes that stalled on the credit limit.", lbl),
@@ -89,10 +107,25 @@ func poolStallHistogram(reg *obs.Registry, vertexName string, subtask int32, poo
 }
 
 // causalMetrics returns the determinant counters for one task.
-func causalMetrics(reg *obs.Registry, vertexName string, subtask int32) (appended, extractions *obs.Counter) {
+func causalMetrics(reg *obs.Registry, vertexName string, subtask int32) causal.ManagerMetrics {
 	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask))}
-	return reg.Counter("clonos_causal_determinants_total", "Determinants appended to the task's own causal logs.", lbl),
-		reg.Counter("clonos_causal_extractions_total", "Replica extractions served to recovering upstream peers.", lbl)
+	return causal.ManagerMetrics{
+		Appended:    reg.Counter("clonos_causal_determinants_total", "Determinants appended to the task's own causal logs.", lbl),
+		Extractions: reg.Counter("clonos_causal_extractions_total", "Replica extractions served to recovering upstream peers.", lbl),
+		DeltaEntries: reg.Counter("clonos_causal_delta_entries_total",
+			"Determinants shared in piggybacked deltas (own and forwarded).", lbl),
+		DeltaBytes: reg.Counter("clonos_causal_delta_bytes_total",
+			"Encoded bytes of piggybacked determinant deltas.", lbl),
+	}
+}
+
+// latencyHistogram returns the sink-side end-to-end latency histogram fed
+// by arriving latency markers. Log-spaced buckets keep recovery-scale
+// latencies (minutes) out of the overflow bucket.
+func latencyHistogram(reg *obs.Registry, vertexName string, subtask int32) *obs.Histogram {
+	lbl := obs.Labels{"vertex": vertexName, "subtask": strconv.Itoa(int(subtask))}
+	return reg.Histogram("clonos_latency_e2e_seconds",
+		"Source-to-sink end-to-end latency of latency markers.", obs.LatencyBuckets, lbl)
 }
 
 // registerGauges installs the task's callback gauges. Called from
@@ -201,10 +234,31 @@ func (t *Task) registerGauges() {
 			}
 			return float64(n)
 		})
+		reg.GaugeFunc("clonos_inflight_truncation_floor", "Entries dropped by checkpoint truncation across the task's in-flight logs (lifetime floor).", lbl, func() float64 {
+			n := 0
+			for _, oc := range outs {
+				if oc.iflog != nil {
+					n += oc.iflog.Base()
+				}
+			}
+			return float64(n)
+		})
 	}
 	if cm := t.causal; cm != nil {
 		reg.GaugeFunc("clonos_causal_log_entries", "Determinants retained across own logs and the replica store.", lbl,
 			func() float64 { return float64(cm.SizeEntries()) })
+		reg.GaugeFunc("clonos_causal_main_log_floor", "Absolute index of the oldest retained main-log determinant (checkpoint truncation floor).", lbl,
+			func() float64 { return float64(cm.Main().Base()) })
+	}
+	// Guided-replay progress: determinants consumed vs. recovered for the
+	// current incarnation. position == total once replay finished.
+	reg.GaugeFunc("clonos_replay_position", "Determinants consumed by causally guided replay (current incarnation).", lbl,
+		func() float64 { return float64(t.replayPosShadow.Load()) })
+	reg.GaugeFunc("clonos_replay_total", "Determinants recovered for causally guided replay (current incarnation).", lbl,
+		func() float64 { return float64(t.replayTotalShadow.Load()) })
+	if h := t.metrics.latency; h != nil {
+		reg.GaugeFunc("clonos_latency_p99_seconds", "Live p99 of marker end-to-end latency (bucket upper bound; see Histogram.Quantile).", lbl,
+			func() float64 { return h.Quantile(0.99) })
 	}
 }
 

@@ -177,6 +177,9 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 	oc.mu.Lock()
 	send := !oc.pending && m.Seq > oc.sentUpTo && m.Seq > oc.dedupUpTo
+	if !oc.pending && m.Seq > oc.sentUpTo && m.Seq <= oc.dedupUpTo {
+		oc.task.metrics.dedupDiscarded.Inc()
+	}
 	if send {
 		oc.sentUpTo = m.Seq
 		if oc.resetPending {
@@ -366,6 +369,7 @@ func (oc *outChannel) replayLoop() {
 		}
 		if sendErr != nil {
 			oc.mu.Unlock()
+			oc.task.metrics.replayRetries.Inc()
 			// Receiver not (yet, or no longer) accepting. Park until the
 			// receiving side changes — a replay redirect, its endpoint
 			// opening, or this task aborting — rather than spinning: if
@@ -384,6 +388,7 @@ func (oc *outChannel) replayLoop() {
 			oc.sentUpTo = entry.Seq
 		}
 		oc.mu.Unlock()
+		oc.task.metrics.replayServed.Inc()
 	}
 }
 

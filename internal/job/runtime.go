@@ -2,8 +2,10 @@ package job
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clonos/internal/checkpoint"
@@ -69,9 +71,13 @@ type Runtime struct {
 	tasks       map[types.TaskID]*Task
 	standbys    map[types.TaskID]*Task
 	standbySnap map[types.TaskID]*checkpoint.TaskSnapshot
-	finished    map[types.TaskID]bool
-	failedSet   map[types.TaskID]bool
-	recovering  map[types.TaskID]bool
+	// standbyLag holds per-standby sync-lag values (checkpoints behind
+	// the latest completed one), updated under mu but stored atomically so
+	// the standby-lag gauges never take mu from inside the registry lock.
+	standbyLag map[types.TaskID]*atomic.Int64
+	finished   map[types.TaskID]bool
+	failedSet  map[types.TaskID]bool
+	recovering map[types.TaskID]bool
 	// pendingReplay holds replay requests addressed to tasks that are
 	// themselves awaiting recovery (consecutive failures).
 	pendingReplay map[types.TaskID][]replayRequest
@@ -135,6 +141,7 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 		tasks:         make(map[types.TaskID]*Task),
 		standbys:      make(map[types.TaskID]*Task),
 		standbySnap:   make(map[types.TaskID]*checkpoint.TaskSnapshot),
+		standbyLag:    make(map[types.TaskID]*atomic.Int64),
 		finished:      make(map[types.TaskID]bool),
 		failedSet:     make(map[types.TaskID]bool),
 		recovering:    make(map[types.TaskID]bool),
@@ -244,6 +251,7 @@ func (r *Runtime) Start() error {
 	if r.cfg.Mode == ModeClonos && r.cfg.Standby {
 		for id := range r.tasks {
 			r.standbys[id] = newTask(r, r.graph.Vertices[id.Vertex], id.Subtask)
+			r.standbyLag[id] = &atomic.Int64{}
 		}
 	}
 	r.assignNodes()
@@ -252,6 +260,14 @@ func (r *Runtime) Start() error {
 		tasks = append(tasks, t)
 	}
 	r.mu.Unlock()
+	// Register outside r.mu: the callbacks read atomics only, and the
+	// registry lock must never nest inside the runtime lock.
+	for id, lag := range r.standbyLag {
+		lbl := obs.Labels{"vertex": r.graph.Vertices[id.Vertex].Name, "subtask": strconv.Itoa(int(id.Subtask))}
+		v := lag
+		r.obs.GaugeFunc("clonos_standby_sync_lag", "Checkpoints the standby's preloaded snapshot trails the latest completed checkpoint.", lbl,
+			func() float64 { return float64(v.Load()) })
+	}
 	for _, t := range tasks {
 		t.start()
 	}
@@ -479,6 +495,13 @@ func (r *Runtime) onCheckpointComplete(cp types.CheckpointID) {
 	for id := range r.standbys {
 		if snap, ok := r.snaps.Get(cp, id); ok {
 			r.standbySnap[id] = snap
+		}
+		if lag := r.standbyLag[id]; lag != nil {
+			var have types.CheckpointID
+			if snap := r.standbySnap[id]; snap != nil {
+				have = snap.Checkpoint
+			}
+			lag.Store(int64(cp) - int64(have))
 		}
 	}
 	r.mu.Unlock()

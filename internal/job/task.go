@@ -99,8 +99,13 @@ type Task struct {
 	replay       *replayCursor
 	pendingBatch []types.Element
 	sourceDone   bool
-	recordsIn    atomic.Uint64
-	recordsOut   atomic.Uint64
+	// sinceMarker counts source records since the last latency marker.
+	// Reset to 0 at every epoch roll so the count-based marker cadence is
+	// deterministic per epoch and guided replay re-emits markers at the
+	// identical stream positions.
+	sinceMarker int //clonos:mainthread
+	recordsIn   atomic.Uint64
+	recordsOut  atomic.Uint64
 	// alignStart is when the pending alignment's first barrier arrived.
 	alignStart time.Time //clonos:mainthread
 	// blockStart records when each input channel was blocked for the
@@ -114,6 +119,10 @@ type Task struct {
 	offsetShadow  atomic.Uint64
 	alignStartNs  atomic.Int64 // 0 = no alignment pending
 	alignCpShadow atomic.Int64
+	// replayPosShadow/replayTotalShadow publish guided-replay progress
+	// (determinants consumed vs. recovered) for the progress gauges.
+	replayPosShadow   atomic.Int64
+	replayTotalShadow atomic.Int64
 
 	heartbeatAt atomic.Int64
 	lastErr     atomic.Value
@@ -198,8 +207,10 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 		t.logPool.InstrumentStall(poolStallHistogram(env.obs, vertex.Name, subtask, "inflight-log"))
 	}
 	if t.causal != nil {
-		appended, extractions := causalMetrics(env.obs, vertex.Name, subtask)
-		t.causal.Instrument(causal.ManagerMetrics{Appended: appended, Extractions: extractions})
+		t.causal.Instrument(causalMetrics(env.obs, vertex.Name, subtask))
+	}
+	if len(vertex.OutEdges) == 0 {
+		t.metrics.latency = latencyHistogram(env.obs, vertex.Name, subtask)
 	}
 
 	var logger services.Logger
@@ -368,6 +379,8 @@ func (t *Task) setRecovery(ex causal.Extracted) {
 	if len(ex.Main) > 0 {
 		t.replay = &replayCursor{dets: ex.Main}
 	}
+	t.replayTotalShadow.Store(int64(len(ex.Main)))
+	t.replayPosShadow.Store(0)
 	for _, oc := range t.allOut {
 		for _, d := range ex.Channels[oc.id] {
 			if d.Kind == causal.KindBufferSize {
@@ -579,6 +592,7 @@ func (t *Task) run() {
 		if t.crashed.Load() {
 			return
 		}
+		t.replayPosShadow.Store(int64(t.replay.pos))
 		t.replay = nil
 		if t.crashPoint(faultinject.PointReplayDone) {
 			return
@@ -691,6 +705,7 @@ func (t *Task) runLive() {
 func (t *Task) runReplay() {
 	for t.replay.hasNext() && !t.crashed.Load() {
 		t.heartbeatNow()
+		t.replayPosShadow.Store(int64(t.replay.pos))
 		if t.crashPoint(faultinject.PointReplayStep) {
 			return
 		}
@@ -744,6 +759,17 @@ func (t *Task) runReplay() {
 				t.causal.AppendRPC(d.Epoch, d.Offset)
 			}
 			t.snapshot(d.Epoch)
+		case causal.KindTimestamp:
+			if t.vertex.Source == nil {
+				t.fail(fmt.Errorf("task %v: bare timestamp determinant on non-source at replay head", t.id))
+				return
+			}
+			// A latency-marker stamp: re-emitting source elements reaches
+			// the count-based marker cadence, which consumes this
+			// determinant inline via Next(KindTimestamp).
+			if !t.emitNextSourceElement(true) {
+				return
+			}
 		default:
 			t.fail(fmt.Errorf("task %v: unexpected determinant %v at replay head", t.id, d))
 			return
@@ -804,6 +830,8 @@ func (t *Task) handleElement(idx int, e types.Element) {
 		}
 	case types.KindBarrier:
 		t.handleBarrier(idx, e.Checkpoint)
+	case types.KindLatencyMarker:
+		t.handleLatencyMarker(e)
 	case types.KindEndOfStream:
 		if !t.eosSeen[idx] {
 			t.eosSeen[idx] = true
@@ -843,6 +871,58 @@ func (t *Task) eosCompletesAlignment(idx int) {
 		return
 	}
 	t.completeAlignment(t.alignCp)
+}
+
+// handleLatencyMarker forwards a source-stamped latency probe downstream
+// like a watermark; at sinks (no output channels) it observes arrival
+// minus stamp as the live end-to-end latency. Markers are not records:
+// they bypass the chain and the record counters.
+//
+//clonos:mainthread
+func (t *Task) handleLatencyMarker(e types.Element) {
+	if len(t.allOut) == 0 {
+		lat := float64(time.Now().UnixMilli()-e.Timestamp) / 1e3
+		if lat < 0 {
+			lat = 0
+		}
+		t.metrics.latency.Observe(lat)
+		return
+	}
+	t.broadcastElement(e)
+}
+
+// maybeEmitLatencyMarker emits a latency probe every LatencyMarkerEvery
+// source records. The cadence is count-based — deterministic under guided
+// replay — and the wall-clock stamp is logged as a TIMESTAMP determinant,
+// so a recovered incarnation re-emits byte-identical markers and the
+// output byte stream (with its BUFFERSIZE determinants) stays aligned.
+//
+//clonos:mainthread
+func (t *Task) maybeEmitLatencyMarker() {
+	every := t.env.cfg.LatencyMarkerEvery
+	if every <= 0 || t.crashed.Load() {
+		return
+	}
+	t.sinceMarker++
+	if t.sinceMarker < every {
+		return
+	}
+	t.sinceMarker = 0
+	var ms int64
+	if t.causal != nil && t.Replaying() {
+		d, err := t.Next(causal.KindTimestamp)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		ms = d.Value
+	} else {
+		ms = time.Now().UnixMilli()
+		if t.causal != nil {
+			t.causal.AppendTimestamp(ms)
+		}
+	}
+	t.broadcastElement(types.LatencyMarker(ms))
 }
 
 // raiseChanWm records a channel watermark advance, keeping the running
@@ -1050,6 +1130,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	t.epoch = cp + 1
 	t.offset = 0
 	t.offsetShadow.Store(0)
+	t.sinceMarker = 0
 	t.svcs.StartEpoch()
 	t.metrics.sync.ObserveSince(syncStart)
 	t.metrics.snapshots.Inc()
@@ -1169,6 +1250,7 @@ func (t *Task) emitNextSourceElement(wait bool) bool {
 		t.recordsIn.Add(1)
 		t.metrics.recordsIn.Inc()
 		t.chn.processInput(0, e)
+		t.maybeEmitLatencyMarker()
 	case types.KindWatermark:
 		if e.Timestamp > t.curWm {
 			t.advanceWatermark(e.Timestamp)

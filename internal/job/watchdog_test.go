@@ -216,6 +216,53 @@ func TestWatchdogEpochStall(t *testing.T) {
 	}
 }
 
+// TestWatchdogBackpressureNoFalseStall drives several checkpoint epochs
+// of heavy alignment — a channel legitimately gated every epoch while
+// the other input keeps delivering — and verifies the watchdog stays
+// quiet: channels blocked for alignment under sustained backpressure are
+// not a stall as long as alignment completes and input progresses within
+// the deadline. The detectors must still fire once progress genuinely
+// wedges, so the quiet period is not the watchdog being blind.
+func TestWatchdogBackpressureNoFalseStall(t *testing.T) {
+	cfg := quickConfig(ModeClonos)
+	cfg.StallDeadline = 50 * time.Millisecond
+	r, tk := sinkTask(t, cfg)
+	tk.state.Store(int32(stateRunning))
+	r.tasks[tk.id] = tk
+
+	ws := newWatchdogState(time.Now())
+	r.scanStalls(ws, time.Now()) // baseline observation
+	for cp := types.CheckpointID(1); cp <= 5; cp++ {
+		tk.handleBarrier(0, cp) // channel 0 gates for alignment
+		if got := tk.gate.BlockedChannels(); got != 1 {
+			t.Fatalf("cp %d: blocked channels = %d, want 1", cp, got)
+		}
+		// The unblocked channel keeps making progress under load.
+		tk.offsetShadow.Store(uint64(cp * 10))
+		tk.wmShadow.Store(int64(cp) * 100)
+		// Scan mid-alignment, inside the deadline: not a stall.
+		if got := r.scanStalls(ws, time.Now().Add(30*time.Millisecond)); got != 0 {
+			t.Fatalf("cp %d: stalled = %d while legitimately gated for alignment, want 0", cp, got)
+		}
+		tk.handleBarrier(1, cp) // alignment completes within the deadline
+	}
+	for _, kind := range []EventKind{EventTaskStall, EventAlignmentStall, EventEpochStall} {
+		if got := countEvents(r, kind); got != 0 {
+			t.Errorf("%s events = %d under sustained backpressure, want 0", kind, got)
+		}
+	}
+
+	// Sanity: a genuinely wedged alignment (no completing barrier, no
+	// input progress) past the deadline must still be detected.
+	tk.handleBarrier(0, 6)
+	if got := r.scanStalls(ws, time.Now().Add(cfg.StallDeadline+time.Second)); got == 0 {
+		t.Error("stalled = 0 for a wedged alignment past the deadline, want > 0")
+	}
+	if got := countEvents(r, EventAlignmentStall); got != 1 {
+		t.Errorf("alignment-stall events = %d after the genuine wedge, want 1", got)
+	}
+}
+
 // captureSink records everything a tracer forwards to its sink.
 type captureSink struct {
 	events []obs.Event

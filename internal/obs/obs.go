@@ -188,6 +188,47 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile returns the q-quantile (0..1) of the observed distribution,
+// approximated from the bucket counts. It uses the same nearest-rank
+// definition as metrics.Percentile — the rank is round(q*(n-1)) over the
+// n observations — and reports the upper bound of the bucket holding
+// that rank, so a value in an exponential-bucket family is overestimated
+// by at most one bucket factor (e.g. 2x for factor-2 buckets) and never
+// underestimated past the bucket's lower bound. Values landing in the
+// +Inf overflow bucket report the largest finite bound. Returns 0 when
+// nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Round(q * float64(n-1)))
+	if rank > n-1 {
+		rank = n - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			// Overflow bucket: the best finite answer is the last bound.
+			if len(h.bounds) > 0 {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return 0
+		}
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 // ExpBuckets returns n exponentially growing bucket bounds starting at
 // start with the given factor.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -203,6 +244,12 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // DefDurationBuckets spans 50µs..~26s, suitable for the engine's
 // buffer-handling through recovery-phase time scales.
 var DefDurationBuckets = ExpBuckets(50e-6, 2, 20)
+
+// LatencyBuckets spans 100µs..~7min in factor-2 steps: wide enough that
+// end-to-end latency does not clip into the overflow bucket even while a
+// recovery stalls output for minutes, and fine enough that the bounded
+// quantile error (see Histogram.Quantile) stays within one octave.
+var LatencyBuckets = ExpBuckets(1e-4, 2, 22)
 
 // metric family types.
 const (

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"clonos/internal/metrics"
+)
+
+// TestQuantileMatchesMetricsPercentile reconciles the two quantile
+// definitions in the repo: Histogram.Quantile uses the same nearest-rank
+// rule as metrics.Percentile, so when every observation is exactly a
+// bucket bound the two must agree exactly — no off-by-one between the
+// harness's latency tables and the live p99 gauge.
+func TestQuantileMatchesMetricsPercentile(t *testing.T) {
+	const n = 200
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := newHistogram(bounds)
+	var vals []int64
+	// A deterministic shuffle (stride coprime with n) of 1..n: order must
+	// not matter to either definition.
+	for i := 0; i < n; i++ {
+		v := int64((i*73)%n + 1)
+		vals = append(vals, v)
+		h.Observe(float64(v))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		want := float64(metrics.Percentile(vals, q))
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, metrics.Percentile = %v: definitions diverged", q, got, want)
+		}
+	}
+}
+
+// TestQuantileBoundedError verifies the documented error bound on the
+// exponential latency buckets: the histogram quantile may overestimate
+// the exact nearest-rank percentile by at most one bucket factor (2x for
+// LatencyBuckets) and never returns less than the exact value.
+func TestQuantileBoundedError(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	var vals []float64
+	// Deterministic pseudo-random latencies spread over 1ms..60s, well
+	// inside the bucket range and above the smallest bound.
+	x := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		frac := float64(x>>11) / float64(1<<53)
+		v := 0.001 * math.Pow(60000, frac) // log-uniform in [1ms, 60s]
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := metrics.PercentileF(vals, q)
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %v underestimates exact %v", q, got, exact)
+		}
+		if got > exact*2 {
+			t.Errorf("Quantile(%v) = %v exceeds exact %v by more than the bucket factor 2", q, got, exact)
+		}
+	}
+	if h.Quantile(0.99) == 0 {
+		t.Error("Quantile(0.99) = 0 on a populated histogram")
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedWriter blocks every Write until the gate is released, simulating a
+// wedged disk behind the flight recorder.
+type gatedWriter struct {
+	gate chan struct{}
+	mu   sync.Mutex
+	buf  bytes.Buffer
+}
+
+func (w *gatedWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *gatedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRecorderFullQueueNeverBlocks wedges the recorder's writer, fills
+// the bounded queue from concurrent publishers, and verifies the
+// no-block contract: every Push returns while the writer is stuck, the
+// overflow is counted, and written + dropped accounts for every record
+// pushed — nothing is lost silently and nothing is double-counted.
+func TestRecorderFullQueueNeverBlocks(t *testing.T) {
+	w := &gatedWriter{gate: make(chan struct{})}
+	// A tiny queue and an hour-long flush interval: once the drain
+	// goroutine blocks inside Write, everything else must overflow.
+	rec := NewRecorder(w, RecorderConfig{QueueSize: 16, FlushInterval: time.Hour})
+
+	// Records are padded past the drain goroutine's 64 KiB buffered
+	// writer so it blocks on the gated Write after a bounded number of
+	// records instead of buffering the whole test load.
+	pad := strings.Repeat("x", 4096)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				rec.Push(TraceRecord{
+					Type: RecordEvent,
+					Name: fmt.Sprintf("ev-%d-%d", i, j),
+					Attrs: map[string]string{
+						"pad": pad,
+					},
+				})
+			}
+		}(i)
+	}
+	// This Wait is the no-block assertion: with the writer wedged and the
+	// queue full, a blocking Push would deadlock the test (caught by the
+	// test timeout) instead of returning.
+	wg.Wait()
+
+	dropped := rec.Dropped()
+	if dropped == 0 {
+		t.Fatalf("dropped = 0 after %d pushes against a wedged 16-slot queue, want overflow", writers*perWriter)
+	}
+
+	// Release the writer: Close drains the surviving queue and flushes.
+	close(w.gate)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, err := ReadTraceJSONL(io.Reader(strings.NewReader(w.String())))
+	if err != nil {
+		t.Fatalf("reading recording back: %v", err)
+	}
+	written := uint64(len(recs))
+	if written+dropped != writers*perWriter {
+		t.Fatalf("written (%d) + dropped (%d) = %d, want %d: the drop count must match actual drops exactly",
+			written, dropped, written+dropped, writers*perWriter)
+	}
+	if written == 0 {
+		t.Error("written = 0, want the queued records to survive the stall")
+	}
+
+	// Pushing after Close must stay non-blocking and keep counting.
+	rec.Push(TraceRecord{Type: RecordEvent, Name: "late"})
+	if got := rec.Dropped(); got != dropped+1 {
+		t.Errorf("dropped after post-close push = %d, want %d", got, dropped+1)
+	}
+}

@@ -60,8 +60,16 @@ func Build(topic *kafkasim.Topic, sink *kafkasim.SinkTopic, cfg Config) *job.Gra
 		stage := g.AddVertex(name, cfg.Parallelism, nil, workOperator(name, cfg))
 		// Hash shuffle between every stage, as in the paper's synthetic
 		// setup (no operator fusion: every stage pays network and
-		// determinant-sharing costs).
-		g.Connect(prev, stage, job.PartitionHash, func(v any) uint64 { return uint64(v.(int64)) }, codec.Int64Codec{})
+		// determinant-sharing costs). The partition function becomes the
+		// downstream element key, so it must fold the record value back
+		// into the configured key space — keying by the raw value would
+		// give every record its own key and grow each stage's "per-key"
+		// state by StateBytesPerKey on every record, without bound.
+		keys := cfg.Keys
+		if keys == 0 {
+			keys = 1
+		}
+		g.Connect(prev, stage, job.PartitionHash, func(v any) uint64 { return uint64(v.(int64)) % keys }, codec.Int64Codec{})
 		prev = stage
 	}
 	sinkV := g.AddVertex("sink", 1, nil, operator.NewKafkaSink("sink", sink))

@@ -53,6 +53,11 @@ const (
 	KindBarrier
 	// KindEndOfStream signals that the producer has no further output.
 	KindEndOfStream
+	// KindLatencyMarker is a source-stamped latency probe. It flows
+	// through operators like a watermark (broadcast downstream, never
+	// keyed) and is observed at sinks, where arrival time minus Timestamp
+	// is the live end-to-end latency.
+	KindLatencyMarker
 )
 
 func (k Kind) String() string {
@@ -65,6 +70,8 @@ func (k Kind) String() string {
 		return "barrier"
 	case KindEndOfStream:
 		return "end-of-stream"
+	case KindLatencyMarker:
+		return "latency-marker"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -106,6 +113,12 @@ func EndOfStream() Element {
 	return Element{Kind: KindEndOfStream}
 }
 
+// LatencyMarker builds a latency probe stamped with the source's wall
+// clock (Unix milliseconds).
+func LatencyMarker(ts int64) Element {
+	return Element{Kind: KindLatencyMarker, Timestamp: ts}
+}
+
 // IsRecord reports whether the element is a data record.
 func (e Element) IsRecord() bool { return e.Kind == KindRecord }
 
@@ -117,6 +130,8 @@ func (e Element) String() string {
 		return fmt.Sprintf("watermark(%d)", e.Timestamp)
 	case KindBarrier:
 		return fmt.Sprintf("barrier(%d)", e.Checkpoint)
+	case KindLatencyMarker:
+		return fmt.Sprintf("latency-marker(%d)", e.Timestamp)
 	default:
 		return e.Kind.String()
 	}
