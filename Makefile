@@ -74,7 +74,11 @@ matrix-smoke:
 # fault-sweep is the bounded deterministic chaos gate: one schedule per
 # registered crash point (including the second-failure-during-recovery
 # windows), a seeded fuzz batch, and the pinned regression schedules.
-# Failing subtests log a one-line replayable schedule string.
+# Every schedule runs with the audit plane armed and asserts zero
+# violations (false-positive pin); the TestAudit* divergence-injection
+# runs prove the detectors actually fire on seeded corruption. Failing
+# subtests log a one-line replayable schedule string and park their
+# flight-recorder trace under $$TMPDIR/clonos-fault-artifacts.
 fault-sweep:
 	$(GO) test -count=1 ./internal/faultinject
-	$(GO) test -run 'TestFaultSweep|TestFaultFuzz|TestCrashScheduleRegressions' -count=1 -p 1 -timeout 10m ./internal/job
+	$(GO) test -run 'TestFaultSweep|TestFaultFuzz|TestCrashScheduleRegressions|TestAudit' -count=1 -p 1 -timeout 10m ./internal/job

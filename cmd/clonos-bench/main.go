@@ -18,7 +18,11 @@
 //	clonos-bench -experiment all
 //
 // The recovery matrix sweeps load fraction x keyed-state size x failure
-// type and reports recovery time plus output-latency p50/p99 per cell:
+// type and reports recovery time plus output-latency p50/p99 per cell.
+// Every cell runs with the audit plane armed (report schema 2): the
+// per-cell audit_violations count must be zero for the report to
+// validate, so each sweep doubles as a causal-consistency check under
+// load. Legacy schema-0 baselines validate without the audit check.
 //
 //	clonos-bench -experiment matrix -matrix-out BENCH_recovery_matrix.json
 //	clonos-bench -experiment matrix -matrix-grid smoke \
@@ -26,7 +30,8 @@
 //	  runs the tiny CI grid and fails on cell flips or median
 //	  recovery/detection regressions.
 //	clonos-bench -matrix-validate BENCH_recovery_matrix.json
-//	  checks an existing report's schema without running anything.
+//	  checks an existing report's schema (including the schema-2 audit
+//	  verdict) without running anything.
 //
 // Observability:
 //
@@ -82,7 +87,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "matrix validate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: ok (%d cells)\n", *matrixValidate, len(report.Cells))
+		fmt.Printf("%s: ok (schema %d, %d cells)\n", *matrixValidate, report.Schema, len(report.Cells))
 		return
 	}
 
@@ -108,7 +113,8 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		srv, err := obs.StartServer(*metricsAddr, harness.CurrentRegistry, harness.CurrentTracer)
+		srv, err := obs.StartServer(*metricsAddr, harness.CurrentRegistry, harness.CurrentTracer,
+			func() *obs.Recorder { return recorder })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)

@@ -13,6 +13,10 @@
 //	  watermark stagnation between samples.
 //	clonos-trace -top 10 trace.jsonl
 //	  widens the outlier lists.
+//	clonos-trace -audit trace.jsonl
+//	  prints the audit-plane report instead: the verdict, the violation
+//	  timeline (with per-invariant and per-channel replay-hash mismatch
+//	  breakdowns), and every restore-time fingerprint attestation.
 //	clonos-trace -chrome trace.json trace.jsonl
 //	  converts the recording to Chrome trace_event JSON; open it in
 //	  Perfetto (ui.perfetto.dev) or chrome://tracing.
@@ -36,9 +40,10 @@ func main() {
 	top := flag.Int("top", 5, "how many slowest epochs / alignment outliers to list")
 	chrome := flag.String("chrome", "", "convert the recording to Chrome trace_event JSON at this path instead of summarizing")
 	stallGap := flag.Duration("stall-gap", 2*time.Second, "report watermarks that stay flat across samples for longer than this")
+	auditReport := flag.Bool("audit", false, "print the audit-plane report (violation timeline, fingerprint attestations, replay-hash mismatch breakdown) instead of the standard summary")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clonos-trace [-top N] [-chrome out.json] [-stall-gap 2s] <recording.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: clonos-trace [-top N] [-audit] [-chrome out.json] [-stall-gap 2s] <recording.jsonl | ->")
 		os.Exit(2)
 	}
 
@@ -84,13 +89,107 @@ func main() {
 		return
 	}
 
+	if *auditReport {
+		summarizeAudit(os.Stdout, recs)
+		return
+	}
 	summarize(os.Stdout, recs, *top, *stallGap)
+}
+
+// summarizeAudit renders the audit-plane report: the recording's
+// verdict, the ordered violation timeline with per-invariant and
+// per-channel replay-hash breakdowns, and every restore-time state
+// fingerprint attestation. Violation events carry the attrs the runtime
+// reporter attaches (task, invariant, channel, info); the counter family
+// clonos_audit_violations_total rides along in samples and may exceed
+// the event count — the per-channel reporter throttle goes quiet after
+// a diverged stream's first violations while the counter keeps counting.
+func summarizeAudit(w io.Writer, recs []obs.TraceRecord) {
+	base := recs[0].TS
+	var violations, fingerprints, samples []obs.TraceRecord
+	for _, r := range recs {
+		switch {
+		case r.Type == obs.RecordEvent && r.Name == "audit-violation":
+			violations = append(violations, r)
+		case r.Type == obs.RecordEvent && r.Name == "audit-fingerprint":
+			fingerprints = append(fingerprints, r)
+		case r.Type == obs.RecordSample:
+			samples = append(samples, r)
+		}
+	}
+	sort.SliceStable(violations, func(i, j int) bool { return violations[i].TS < violations[j].TS })
+	sort.SliceStable(fingerprints, func(i, j int) bool { return fingerprints[i].TS < fingerprints[j].TS })
+	sort.Slice(samples, func(i, j int) bool { return samples[i].TS < samples[j].TS })
+
+	verdict := "OK"
+	if len(violations) > 0 {
+		verdict = "VIOLATION"
+	}
+	fmt.Fprintf(w, "audit plane: %s (%d violation events, %d fingerprint attestations)\n",
+		verdict, len(violations), len(fingerprints))
+
+	// The counter total from the newest sample that carries the family.
+	for i := len(samples) - 1; i >= 0; i-- {
+		if total, ok := familySum(samples[i].Vals, "clonos_audit_violations_total"); ok {
+			fmt.Fprintf(w, "  clonos_audit_violations_total=%s at last sample (counter keeps counting past the reporter throttle)\n",
+				fmtVal(total))
+			break
+		}
+	}
+
+	if len(violations) > 0 {
+		byInv := map[string]int{}
+		mismatchByChan := map[string]int{}
+		fmt.Fprintf(w, "  violation timeline:\n")
+		for _, r := range violations {
+			inv := r.Attrs["invariant"]
+			byInv[inv]++
+			if inv == "replay-hash-mismatch" {
+				mismatchByChan[r.Attrs["channel"]]++
+			}
+			line := fmt.Sprintf("    t=%7s %-24s task=%-7s", rel(r.TS, base), inv, r.Attrs["task"])
+			if ch := r.Attrs["channel"]; ch != "" {
+				line += " ch=" + ch
+			}
+			if info := r.Attrs["info"]; info != "" {
+				line += "  " + info
+			}
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintf(w, "  by invariant:\n")
+		for _, inv := range sortedKeys(byInv) {
+			fmt.Fprintf(w, "    %-24s %d\n", inv, byInv[inv])
+		}
+		if len(mismatchByChan) > 0 {
+			fmt.Fprintf(w, "  replay-hash mismatches by channel:\n")
+			for _, ch := range sortedKeys(mismatchByChan) {
+				fmt.Fprintf(w, "    %-12s %d\n", ch, mismatchByChan[ch])
+			}
+		}
+	}
+
+	if len(fingerprints) > 0 {
+		fmt.Fprintf(w, "  fingerprint attestations (restore-time recomputation vs snapshot record):\n")
+		for _, r := range fingerprints {
+			fmt.Fprintf(w, "    t=%7s task=%-7s %s\n", rel(r.TS, base), r.Attrs["task"], r.Attrs["info"])
+		}
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func summarize(w io.Writer, recs []obs.TraceRecord, top int, stallGap time.Duration) {
 	base := recs[0].TS
 	end := base
 	counts := map[string]int{}
+	auditViolations := 0
 	var checkpoints, recoveries, restarts []obs.TraceRecord
 	var stalls []obs.TraceRecord
 	var samples []obs.TraceRecord
@@ -116,6 +215,8 @@ func summarize(w io.Writer, recs []obs.TraceRecord, top int, stallGap time.Durat
 			switch r.Name {
 			case "task-stall", "alignment-stall", "epoch-stall", "alignment-superseded":
 				stalls = append(stalls, r)
+			case "audit-violation":
+				auditViolations++
 			}
 		case obs.RecordSample:
 			samples = append(samples, r)
@@ -125,6 +226,9 @@ func summarize(w io.Writer, recs []obs.TraceRecord, top int, stallGap time.Durat
 	fmt.Fprintf(w, "recording: %d records (%d events, %d spans, %d samples) over %s\n",
 		len(recs), counts[obs.RecordEvent], counts[obs.RecordSpan], counts[obs.RecordSample],
 		time.Duration(end-base).Round(time.Millisecond))
+	if auditViolations > 0 {
+		fmt.Fprintf(w, "AUDIT: %d violation events recorded — rerun with -audit for the audit-plane report\n", auditViolations)
+	}
 
 	summarizeCheckpoints(w, checkpoints, base, top)
 	summarizeRecoveries(w, recoveries, restarts, base)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clonos/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func readFixture(t *testing.T, name string) []obs.TraceRecord {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func checkGolden(t *testing.T, got, goldenName string) {
+	t.Helper()
+	golden := filepath.Join("testdata", goldenName)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("report differs from %s (rerun with -update to rewrite):\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestAuditReportGolden pins the -audit report shape: verdict line,
+// counter total from the last sample, ordered violation timeline,
+// per-invariant and per-channel breakdowns, fingerprint attestations.
+func TestAuditReportGolden(t *testing.T) {
+	recs := readFixture(t, "audit_trace.jsonl")
+	var buf bytes.Buffer
+	summarizeAudit(&buf, recs)
+	checkGolden(t, buf.String(), "audit_report.golden")
+}
+
+// TestSummaryAuditHint checks the default summary surfaces recorded
+// violations prominently without -audit.
+func TestSummaryAuditHint(t *testing.T) {
+	recs := readFixture(t, "audit_trace.jsonl")
+	var buf bytes.Buffer
+	summarize(&buf, recs, 5, 2*time.Second)
+	out := buf.String()
+	if !strings.Contains(out, "AUDIT: 5 violation events recorded") {
+		t.Fatalf("summary missing audit hint:\n%s", out)
+	}
+}
+
+// TestAuditReportCleanRecording: a recording with no audit records
+// renders the OK verdict and nothing else.
+func TestAuditReportCleanRecording(t *testing.T) {
+	recs := []obs.TraceRecord{
+		{Type: obs.RecordEvent, Name: "task-live", TS: 1, Attrs: map[string]string{"task": "v0[0]"}},
+	}
+	var buf bytes.Buffer
+	summarizeAudit(&buf, recs)
+	out := buf.String()
+	if !strings.HasPrefix(out, "audit plane: OK (0 violation events, 0 fingerprint attestations)") {
+		t.Fatalf("unexpected clean report:\n%s", out)
+	}
+	if strings.Contains(out, "timeline") {
+		t.Fatalf("clean report should have no timeline:\n%s", out)
+	}
+}

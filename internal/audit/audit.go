@@ -1,0 +1,408 @@
+// Package audit implements the online causal-consistency audit plane:
+// an always-on runtime monitor that verifies the causal-recovery
+// contract (exactly-once, byte-deterministic replay, monotone
+// watermarks) while the job runs, instead of only under test oracles.
+//
+// The Auditor mirrors the faultinject.Injector arming pattern: a nil
+// *Auditor is the disarmed state, every method is nil-receiver safe and
+// free of allocations, and the job wires hooks unconditionally through a
+// task-cached handle. Armed, the auditor observes three planes:
+//
+//   - channel streams: per-channel sequence/epoch continuity, dedup-floor
+//     sanity, and a per-message + rolling per-epoch payload hash recorded
+//     at delivery. When a recovering sender re-produces a seq (in-flight
+//     log replay or dedup-suppressed guided re-execution) the bytes are
+//     compared against what the predecessor delivered — the PR 1 "silent
+//     byte-stream desync" bug class becomes a named violation.
+//   - state attestation: CheckFingerprint compares a snapshot-time state
+//     fingerprint against the restore-time recomputation (see
+//     Fingerprint), catching divergent restores at recovery rather than
+//     at the sink.
+//   - watermark/latency sanity: watermark regression per input channel
+//     and latency-marker reordering on source-fed channels.
+//
+// Violations are delivered to a single reporter callback (installed by
+// the job runtime), which turns each one into a tracer event, a
+// clonos_audit_violations_total counter increment, and a flight-recorder
+// record; /healthz aggregates the counter into the job health verdict.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clonos/internal/types"
+)
+
+// Invariant names, used as the {invariant} label of
+// clonos_audit_violations_total and as the violation event prefix.
+const (
+	// InvSeqGap: a channel delivered seq N+k (k>1) after N — the stream
+	// skipped buffers the receiver never saw.
+	InvSeqGap = "seq-gap"
+	// InvEpochRegression: a freshly delivered buffer carries an epoch
+	// lower than the channel's last — epochs only roll forward.
+	InvEpochRegression = "epoch-regression"
+	// InvReplayHashMismatch: a re-produced buffer (in-flight log replay
+	// or dedup-suppressed re-execution) does not byte-match what the
+	// predecessor delivered for the same seq.
+	InvReplayHashMismatch = "replay-hash-mismatch"
+	// InvDedupFloorRegression: a sender's dedup floor moved backward
+	// within an incarnation, or claims deliveries past the audited tail.
+	InvDedupFloorRegression = "dedup-floor-regression"
+	// InvWatermarkRegression: an input channel announced a watermark
+	// lower than its previous one.
+	InvWatermarkRegression = "watermark-regression"
+	// InvMarkerReorder: a source-fed channel delivered latency markers
+	// out of stamp order.
+	InvMarkerReorder = "latency-marker-reorder"
+	// InvFingerprintMismatch: restored task state does not reproduce the
+	// fingerprint recorded at snapshot time.
+	InvFingerprintMismatch = "fingerprint-mismatch"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Invariant string
+	Task      types.TaskID
+	// Channel is the affected channel's string form ("" for task-scoped
+	// violations such as fingerprint mismatches).
+	Channel string
+	Detail  string
+}
+
+func (v Violation) String() string {
+	if v.Channel != "" {
+		return fmt.Sprintf("%s %v %s: %s", v.Invariant, v.Task, v.Channel, v.Detail)
+	}
+	return fmt.Sprintf("%s %v: %s", v.Invariant, v.Task, v.Detail)
+}
+
+// FNV-1a, inlined so the per-message hash costs no allocation.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// streamEntry is the recorded truth for one delivered (channel, seq):
+// the buffer's epoch, its payload hash, and the channel's rolling
+// per-epoch hash after this buffer.
+type streamEntry struct {
+	epoch types.EpochID
+	sum   uint64
+	cum   uint64
+}
+
+// chanState is the auditor's per-channel view of the delivered stream.
+type chanState struct {
+	anchored bool
+	lastSeq  uint64
+	lastEp   types.EpochID
+	// curEpoch/epochCum maintain the rolling hash of the epoch being
+	// delivered; each delivered buffer's snapshot of it is kept in
+	// entries so re-deliveries can resynchronize it.
+	curEpoch types.EpochID
+	epochCum uint64
+	entries  map[uint64]streamEntry
+	// markerFloor is the highest latency-marker stamp seen (source-fed
+	// channels only). Re-delivery after a receiver recovery rewinds the
+	// channel, so the floor is re-seeded while the stream rewinds.
+	markerFloor  int64
+	markerSeeded bool
+	// reported throttles per-channel violation reporting; counters keep
+	// counting past the cap but the reporter goes quiet so a diverged
+	// stream cannot flood the tracer.
+	reported int
+}
+
+// reportCap bounds reporter callbacks per channel (see chanState.reported).
+const reportCap = 16
+
+// Auditor is the armed audit plane. The zero value is not useful; use
+// New. A nil *Auditor is the disarmed state: every method is safe and
+// free to call on it.
+type Auditor struct {
+	mu       sync.Mutex
+	reporter func(Violation)
+	chans    map[types.ChannelID]*chanState
+	total    atomic.Uint64
+	byInv    map[string]uint64
+}
+
+// New returns an armed auditor. Install it via job.Config.Audit and give
+// the runtime's reporter a chance to be wired before traffic flows.
+func New() *Auditor {
+	return &Auditor{
+		chans: make(map[types.ChannelID]*chanState),
+		byInv: make(map[string]uint64),
+	}
+}
+
+// SetReporter installs the violation sink. The callback runs outside the
+// auditor's lock, on whichever goroutine detected the violation.
+func (a *Auditor) SetReporter(f func(Violation)) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.reporter = f
+	a.mu.Unlock()
+}
+
+// Total reports the number of violations detected so far (never reset —
+// Reset clears stream state, not the verdict).
+func (a *Auditor) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.total.Load()
+}
+
+// ByInvariant returns a copy of the per-invariant violation counts.
+func (a *Auditor) ByInvariant() map[string]uint64 {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]uint64, len(a.byInv))
+	for k, v := range a.byInv {
+		out[k] = v
+	}
+	return out
+}
+
+// violate counts a violation and decides whether to report it; the
+// reporter call happens outside the lock (callers pass the channel state
+// whose throttle applies, or nil for task-scoped violations).
+func (a *Auditor) violate(cs *chanState, v Violation) {
+	a.total.Add(1)
+	a.mu.Lock()
+	a.byInv[v.Invariant]++
+	report := a.reporter
+	if cs != nil {
+		cs.reported++
+		if cs.reported > reportCap {
+			report = nil
+		}
+	}
+	a.mu.Unlock()
+	if report != nil {
+		report(v)
+	}
+}
+
+// state returns (creating if needed) the channel's audit state. Callers
+// hold a.mu.
+func (a *Auditor) state(ch types.ChannelID) *chanState {
+	cs, ok := a.chans[ch]
+	if !ok {
+		cs = &chanState{entries: make(map[uint64]streamEntry)}
+		a.chans[ch] = cs
+	}
+	return cs
+}
+
+// OnDeliver observes one accepted message on the receiving endpoint. A
+// fresh seq is checked for sequence/epoch continuity and recorded
+// (payload hash + rolling epoch hash); a seq already recorded is a
+// re-delivery after a receiver recovery and must byte-match the record.
+func (a *Auditor) OnDeliver(task types.TaskID, ch types.ChannelID, seq uint64, epoch types.EpochID, data []byte) {
+	if a == nil {
+		return
+	}
+	var v *Violation
+	a.mu.Lock()
+	cs := a.state(ch)
+	if cs.anchored && seq <= cs.lastSeq {
+		// The stream rewound: a replacement receiver is being replayed
+		// from the last checkpoint's epoch boundary. Marker stamps will
+		// legitimately repeat, so the floor re-seeds.
+		cs.markerSeeded = false
+	}
+	if e, ok := cs.entries[seq]; ok {
+		// Re-delivery: the bytes must match what the predecessor saw.
+		sum := fnvMix(fnvOffset, data)
+		if sum != e.sum || epoch != e.epoch {
+			v = &Violation{Invariant: InvReplayHashMismatch, Task: task, Channel: ch.String(),
+				Detail: fmt.Sprintf("re-delivered seq %d epoch %d payload hash %016x, recorded epoch %d hash %016x",
+					seq, epoch, sum, e.epoch, e.sum)}
+		}
+		// Resynchronize the rolling hash to the recorded position so the
+		// first post-rewind fresh buffer continues the right chain.
+		cs.curEpoch = e.epoch
+		cs.epochCum = e.cum
+	} else if !cs.anchored || seq > cs.lastSeq {
+		if cs.anchored && seq != cs.lastSeq+1 {
+			v = &Violation{Invariant: InvSeqGap, Task: task, Channel: ch.String(),
+				Detail: fmt.Sprintf("seq jumped %d -> %d (epoch %d)", cs.lastSeq, seq, epoch)}
+		} else if cs.anchored && epoch < cs.lastEp {
+			v = &Violation{Invariant: InvEpochRegression, Task: task, Channel: ch.String(),
+				Detail: fmt.Sprintf("epoch regressed %d -> %d at seq %d", cs.lastEp, epoch, seq)}
+		}
+		if epoch != cs.curEpoch {
+			cs.curEpoch = epoch
+			cs.epochCum = fnvOffset
+		}
+		sum := fnvMix(fnvOffset, data)
+		cs.epochCum = fnvMix(cs.epochCum, data)
+		cs.entries[seq] = streamEntry{epoch: epoch, sum: sum, cum: cs.epochCum}
+	}
+	// A fresh seq at or below lastSeq whose record was truncated cannot
+	// be checked or safely re-recorded; it only moves the cursor.
+	cs.anchored = true
+	cs.lastSeq = seq
+	cs.lastEp = epoch
+	a.mu.Unlock()
+	if v != nil {
+		a.violate(cs, *v)
+	}
+}
+
+// OnResend observes a sender re-producing an already-numbered buffer:
+// source is "replay" for in-flight log retransmission and "dedup" for a
+// dedup-suppressed buffer regenerated by guided re-execution. Either way
+// the bytes must match what the receiver recorded for that seq; seqs the
+// receiver never saw (or whose record was truncated) are uncheckable.
+func (a *Auditor) OnResend(task types.TaskID, ch types.ChannelID, seq uint64, epoch types.EpochID, data []byte, source string) {
+	if a == nil {
+		return
+	}
+	var v *Violation
+	a.mu.Lock()
+	cs := a.chans[ch]
+	if cs != nil {
+		if e, ok := cs.entries[seq]; ok {
+			sum := fnvMix(fnvOffset, data)
+			if sum != e.sum || epoch != e.epoch {
+				v = &Violation{Invariant: InvReplayHashMismatch, Task: task, Channel: ch.String(),
+					Detail: fmt.Sprintf("%s of seq %d epoch %d payload hash %016x, receiver recorded epoch %d hash %016x",
+						source, seq, epoch, sum, e.epoch, e.sum)}
+			}
+		}
+	}
+	a.mu.Unlock()
+	if v != nil {
+		a.violate(cs, *v)
+	}
+}
+
+// OnDedupFloor observes a sender-side dedup floor update after the
+// sender's own recovery: prev is the channel's floor before the update.
+// The floor may not move backward within an incarnation, and may not
+// exceed the audited delivery tail (the receiver cannot have received
+// buffers the audit never saw delivered).
+func (a *Auditor) OnDedupFloor(task types.TaskID, ch types.ChannelID, prev, upTo uint64) {
+	if a == nil {
+		return
+	}
+	var v *Violation
+	a.mu.Lock()
+	cs := a.chans[ch]
+	switch {
+	case upTo < prev:
+		v = &Violation{Invariant: InvDedupFloorRegression, Task: task, Channel: ch.String(),
+			Detail: fmt.Sprintf("dedup floor moved backward %d -> %d", prev, upTo)}
+	case cs != nil && cs.anchored && upTo > cs.lastSeq:
+		v = &Violation{Invariant: InvDedupFloorRegression, Task: task, Channel: ch.String(),
+			Detail: fmt.Sprintf("dedup floor %d beyond audited delivery tail %d", upTo, cs.lastSeq)}
+	}
+	a.mu.Unlock()
+	if v != nil {
+		a.violate(cs, *v)
+	}
+}
+
+// OnWatermark observes a per-channel watermark announcement: prev is the
+// channel's current merged watermark, ts the announced one. Equal
+// re-announcements are fine; a lower one is a regression.
+func (a *Auditor) OnWatermark(task types.TaskID, ch types.ChannelID, prev, ts int64) {
+	if a == nil {
+		return
+	}
+	if ts >= prev {
+		return
+	}
+	a.mu.Lock()
+	cs := a.state(ch)
+	a.mu.Unlock()
+	a.violate(cs, Violation{Invariant: InvWatermarkRegression, Task: task, Channel: ch.String(),
+		Detail: fmt.Sprintf("watermark regressed %d -> %d", prev, ts)})
+}
+
+// OnMarker observes a latency-marker stamp on a source-fed channel.
+// Stamps from a single source subtask are monotone per channel; the
+// floor re-seeds while the channel rewinds (see OnDeliver).
+func (a *Auditor) OnMarker(task types.TaskID, ch types.ChannelID, stamp int64) {
+	if a == nil {
+		return
+	}
+	var v *Violation
+	a.mu.Lock()
+	cs := a.state(ch)
+	if cs.markerSeeded && stamp < cs.markerFloor {
+		v = &Violation{Invariant: InvMarkerReorder, Task: task, Channel: ch.String(),
+			Detail: fmt.Sprintf("marker stamp regressed %d -> %d", cs.markerFloor, stamp)}
+	}
+	if !cs.markerSeeded || stamp > cs.markerFloor {
+		cs.markerFloor = stamp
+		cs.markerSeeded = true
+	}
+	a.mu.Unlock()
+	if v != nil {
+		a.violate(cs, *v)
+	}
+}
+
+// CheckFingerprint compares a snapshot-time state fingerprint against
+// the restore-time recomputation, reporting a violation and returning
+// false on mismatch.
+func (a *Auditor) CheckFingerprint(task types.TaskID, cp types.CheckpointID, want, got uint64) bool {
+	if a == nil || want == got {
+		return true
+	}
+	a.violate(nil, Violation{Invariant: InvFingerprintMismatch, Task: task,
+		Detail: fmt.Sprintf("checkpoint %d: restored state fingerprint %016x, snapshot recorded %016x", cp, got, want)})
+	return false
+}
+
+// Truncate drops recorded stream entries for epochs at or below cp,
+// mirroring in-flight log truncation on checkpoint completion: replay
+// always starts past the latest completed checkpoint, so older records
+// can never be compared against again.
+func (a *Auditor) Truncate(cp types.CheckpointID) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	for _, cs := range a.chans {
+		for seq, e := range cs.entries {
+			if e.epoch <= cp {
+				delete(cs.entries, seq)
+			}
+		}
+	}
+	a.mu.Unlock()
+}
+
+// Reset clears all recorded stream state. Called on a global rollback
+// restart: re-execution after a global restore is not byte-guided, so
+// the predecessor streams are no longer the reference. Violation totals
+// survive — a detected violation stays detected.
+func (a *Auditor) Reset() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.chans = make(map[types.ChannelID]*chanState)
+	a.mu.Unlock()
+}

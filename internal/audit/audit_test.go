@@ -1,0 +1,316 @@
+package audit
+
+import (
+	"testing"
+
+	"clonos/internal/statestore"
+	"clonos/internal/types"
+)
+
+var (
+	testTask = types.TaskID{Vertex: 2, Subtask: 0}
+	testChan = types.ChannelID{Edge: 1, From: 0, To: 0}
+)
+
+func collect(a *Auditor) *[]Violation {
+	var got []Violation
+	a.SetReporter(func(v Violation) { got = append(got, v) })
+	return &got
+}
+
+// TestNilAuditorZeroCost pins the disarmed cost: every hook on a nil
+// auditor must be allocation-free (the job calls them unconditionally
+// through a task-cached handle when armed; disarmed tasks skip the
+// calls, but the hooks themselves must stay cheap for any caller that
+// does not).
+func TestNilAuditorZeroCost(t *testing.T) {
+	var a *Auditor
+	data := []byte("payload")
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.OnDeliver(testTask, testChan, 1, 1, data)
+		a.OnResend(testTask, testChan, 1, 1, data, "replay")
+		a.OnDedupFloor(testTask, testChan, 0, 5)
+		a.OnWatermark(testTask, testChan, 10, 20)
+		a.OnMarker(testTask, testChan, 42)
+		a.CheckFingerprint(testTask, 1, 7, 7)
+		a.Truncate(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-auditor hooks allocate %.1f per call round, want 0", allocs)
+	}
+}
+
+// TestHealthyStreamNoViolations drives a well-formed stream — continuous
+// seqs, rolling epochs, a rewind with byte-identical re-delivery, and
+// matching resends — and expects silence.
+func TestHealthyStreamNoViolations(t *testing.T) {
+	a := New()
+	got := collect(a)
+	payload := func(seq uint64) []byte { return []byte{byte(seq), byte(seq >> 8), 0xab} }
+	for seq := uint64(1); seq <= 10; seq++ {
+		ep := types.EpochID(1 + seq/6)
+		a.OnDeliver(testTask, testChan, seq, ep, payload(seq))
+	}
+	// Receiver recovery: re-delivery from seq 6 with identical bytes.
+	for seq := uint64(6); seq <= 12; seq++ {
+		ep := types.EpochID(1 + seq/6)
+		a.OnDeliver(testTask, testChan, seq, ep, payload(seq))
+	}
+	// Sender-side resends of recorded seqs with identical bytes.
+	a.OnResend(testTask, testChan, 7, 2, payload(7), "replay")
+	a.OnResend(testTask, testChan, 9, 2, payload(9), "dedup")
+	// Resend of a seq the receiver never recorded: uncheckable, not a
+	// violation.
+	a.OnResend(testTask, testChan, 99, 3, []byte("whatever"), "replay")
+	a.OnDedupFloor(testTask, testChan, 0, 12)
+	if len(*got) != 0 || a.Total() != 0 {
+		t.Fatalf("healthy stream produced violations: %v", *got)
+	}
+}
+
+func expectOne(t *testing.T, got []Violation, inv string) Violation {
+	t.Helper()
+	if len(got) != 1 {
+		t.Fatalf("want exactly one %s violation, got %v", inv, got)
+	}
+	if got[0].Invariant != inv {
+		t.Fatalf("want invariant %s, got %v", inv, got[0])
+	}
+	return got[0]
+}
+
+func TestSeqGapFires(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	a.OnDeliver(testTask, testChan, 2, 1, []byte("b"))
+	a.OnDeliver(testTask, testChan, 5, 1, []byte("c"))
+	expectOne(t, *got, InvSeqGap)
+}
+
+func TestEpochRegressionFires(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 3, []byte("a"))
+	a.OnDeliver(testTask, testChan, 2, 2, []byte("b"))
+	expectOne(t, *got, InvEpochRegression)
+}
+
+func TestReplayHashMismatchOnRedelivery(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("original"))
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("tampered"))
+	expectOne(t, *got, InvReplayHashMismatch)
+}
+
+func TestReplayHashMismatchOnResend(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 3, 1, []byte("original"))
+	a.OnResend(testTask, testChan, 3, 1, []byte("tampered"), "replay")
+	v := expectOne(t, *got, InvReplayHashMismatch)
+	if v.Channel != testChan.String() {
+		t.Fatalf("violation channel = %q, want %q", v.Channel, testChan.String())
+	}
+	// Epoch mismatch on resend is the same invariant.
+	*got = (*got)[:0]
+	a.OnResend(testTask, testChan, 3, 2, []byte("original"), "dedup")
+	expectOne(t, *got, InvReplayHashMismatch)
+}
+
+func TestDedupFloorViolations(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	a.OnDeliver(testTask, testChan, 2, 1, []byte("b"))
+	a.OnDedupFloor(testTask, testChan, 5, 3) // backward within incarnation
+	expectOne(t, *got, InvDedupFloorRegression)
+	*got = (*got)[:0]
+	a.OnDedupFloor(testTask, testChan, 0, 10) // beyond audited tail (2)
+	expectOne(t, *got, InvDedupFloorRegression)
+}
+
+func TestWatermarkRegressionFires(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnWatermark(testTask, testChan, 100, 100) // equal: fine
+	a.OnWatermark(testTask, testChan, 100, 150) // advance: fine
+	if len(*got) != 0 {
+		t.Fatalf("monotone watermarks flagged: %v", *got)
+	}
+	a.OnWatermark(testTask, testChan, 150, 40)
+	expectOne(t, *got, InvWatermarkRegression)
+}
+
+func TestMarkerReorderFiresAndReseedsOnRewind(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	a.OnMarker(testTask, testChan, 100)
+	a.OnMarker(testTask, testChan, 120)
+	a.OnMarker(testTask, testChan, 90)
+	expectOne(t, *got, InvMarkerReorder)
+	*got = (*got)[:0]
+	// A rewound stream (receiver recovery) re-seeds the floor: the old
+	// stamps repeat legitimately.
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	a.OnMarker(testTask, testChan, 100)
+	a.OnMarker(testTask, testChan, 120)
+	if len(*got) != 0 {
+		t.Fatalf("post-rewind marker replay flagged: %v", *got)
+	}
+}
+
+func TestCheckFingerprint(t *testing.T) {
+	a := New()
+	got := collect(a)
+	if !a.CheckFingerprint(testTask, 3, 42, 42) {
+		t.Fatal("matching fingerprint rejected")
+	}
+	if a.CheckFingerprint(testTask, 3, 42, 43) {
+		t.Fatal("mismatched fingerprint accepted")
+	}
+	v := expectOne(t, *got, InvFingerprintMismatch)
+	if v.Channel != "" {
+		t.Fatalf("fingerprint violation carries channel %q", v.Channel)
+	}
+}
+
+// TestTruncateDropsOldEpochs: after truncation at cp, resends of the
+// truncated epochs are uncheckable — and stay silent — while newer
+// epochs keep their records.
+func TestTruncateDropsOldEpochs(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("e1"))
+	a.OnDeliver(testTask, testChan, 2, 2, []byte("e2"))
+	a.Truncate(1)
+	a.OnResend(testTask, testChan, 1, 1, []byte("tampered"), "replay") // truncated: silent
+	if len(*got) != 0 {
+		t.Fatalf("truncated record still compared: %v", *got)
+	}
+	a.OnResend(testTask, testChan, 2, 2, []byte("tampered"), "replay")
+	expectOne(t, *got, InvReplayHashMismatch)
+}
+
+// TestResetClearsStreamsKeepsTotals: a global restart invalidates the
+// recorded streams but not the verdict.
+func TestResetClearsStreamsKeepsTotals(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("b"))
+	expectOne(t, *got, InvReplayHashMismatch)
+	a.Reset()
+	*got = (*got)[:0]
+	// Divergent re-execution after the restart: fresh stream, no compare.
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("c"))
+	if len(*got) != 0 {
+		t.Fatalf("post-reset stream compared against stale record: %v", *got)
+	}
+	if a.Total() != 1 {
+		t.Fatalf("Total() = %d after reset, want 1 (totals survive)", a.Total())
+	}
+	if n := a.ByInvariant()[InvReplayHashMismatch]; n != 1 {
+		t.Fatalf("ByInvariant = %d, want 1", n)
+	}
+}
+
+// TestReportThrottle: per-channel reporting caps out but counting does
+// not.
+func TestReportThrottle(t *testing.T) {
+	a := New()
+	got := collect(a)
+	a.OnDeliver(testTask, testChan, 1, 1, []byte("a"))
+	for i := 0; i < reportCap+10; i++ {
+		a.OnDeliver(testTask, testChan, 1, 1, []byte("tampered"))
+	}
+	if len(*got) != reportCap {
+		t.Fatalf("reporter called %d times, want cap %d", len(*got), reportCap)
+	}
+	if a.Total() != uint64(reportCap+10) {
+		t.Fatalf("Total() = %d, want %d", a.Total(), reportCap+10)
+	}
+}
+
+// TestFingerprintRoundTrip: a snapshot/restore round trip reproduces the
+// fingerprint; any state difference changes it.
+func TestFingerprintRoundTrip(t *testing.T) {
+	st := statestore.NewStore()
+	win := st.Keyed("windows")
+	win.Put(7, int64(3))
+	win.Put(2, uint64(9))
+	acc := st.Keyed("acc")
+	acc.AppendList(1, int64(10))
+	acc.AppendList(1, int64(20))
+	timers := []byte{1, 2, 3}
+	wms := []int64{100, 200}
+
+	fp1, err := Fingerprint(st, timers, wms, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == 0 {
+		t.Fatal("fingerprint 0 is reserved for none")
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := statestore.NewStore()
+	if err := st2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(st2, timers, wms, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("restore round trip changed fingerprint: %016x != %016x", fp2, fp1)
+	}
+
+	win.Put(7, int64(4))
+	fp3, err := Fingerprint(st, timers, wms, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatal("state mutation did not change the fingerprint")
+	}
+	fp4, err := Fingerprint(st2, timers, []int64{100, 201}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp4 == fp1 {
+		t.Fatal("watermark change did not change the fingerprint")
+	}
+}
+
+// BenchmarkOnDeliverArmed measures the armed per-buffer delivery cost:
+// one FNV pass over the payload plus map bookkeeping under the mutex.
+// Quoted in DESIGN.md's audit-plane section.
+func BenchmarkOnDeliverArmed(b *testing.B) {
+	a := New()
+	data := make([]byte, 2048) // typical batched buffer
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.OnDeliver(testTask, testChan, uint64(i+1), types.EpochID(1+i/4096), data)
+		if i%4096 == 4095 {
+			a.Truncate(types.EpochID(1 + i/4096 - 1))
+		}
+	}
+}
+
+// BenchmarkOnDeliverDisarmed measures the nil-receiver hook (the
+// audit-off hot path when a caller does not gate on t.audit != nil).
+func BenchmarkOnDeliverDisarmed(b *testing.B) {
+	var a *Auditor
+	data := make([]byte, 2048)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.OnDeliver(testTask, testChan, uint64(i+1), 1, data)
+	}
+}

@@ -1,0 +1,62 @@
+package audit
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"clonos/internal/statestore"
+)
+
+// Fingerprint computes a deterministic digest of a task's recoverable
+// state: keyed state, encoded timer state, and the watermark-merge state
+// (per-channel watermarks in input order plus the merged watermark).
+//
+// The keyed state is walked in sorted (name, key) order and each value
+// is gob-encoded through a single encoder stream into the hash —
+// statestore.Store.Snapshot's bytes cannot be hashed directly because
+// gob's map encoding is order-nondeterministic. A correct restore
+// reproduces the identical walk, so snapshot-time and restore-time
+// fingerprints match bit-for-bit.
+//
+// The zero return value is reserved for "no fingerprint recorded"
+// (TaskSnapshot.Fingerprint of audit-off snapshots); a digest that lands
+// on 0 is nudged to 1.
+func Fingerprint(store *statestore.Store, timers []byte, chanWms []int64, curWm int64) (uint64, error) {
+	h := fnv.New64a()
+	enc := gob.NewEncoder(h)
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	for _, name := range store.Names() {
+		io.WriteString(h, name)
+		ks := store.Keyed(name)
+		for _, key := range ks.SortedKeys() {
+			writeU64(key)
+			v := ks.Get(key)
+			if v == nil {
+				// gob cannot encode a nil interface; a distinct sentinel
+				// keeps nil distinguishable from absent.
+				writeU64(fnvOffset)
+				continue
+			}
+			if err := enc.Encode(v); err != nil {
+				return 0, fmt.Errorf("audit: fingerprint %s[%d]: %w", name, key, err)
+			}
+		}
+	}
+	h.Write(timers)
+	for _, wm := range chanWms {
+		writeU64(uint64(wm))
+	}
+	writeU64(uint64(curWm))
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1
+	}
+	return fp, nil
+}

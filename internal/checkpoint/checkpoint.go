@@ -48,6 +48,11 @@ type TaskSnapshot struct {
 	// deduplication relies on.
 	ChanWms map[types.ChannelID]int64
 	CurWm   int64
+	// Fingerprint is the audit plane's state-attestation digest computed
+	// over the live task state at snapshot time (see audit.Fingerprint);
+	// restore recomputes and compares it. 0 means no fingerprint was
+	// recorded (audit disarmed at snapshot time), which skips the check.
+	Fingerprint uint64
 }
 
 // Store holds snapshots by (checkpoint, task) and tracks which checkpoints

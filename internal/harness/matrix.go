@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"clonos/internal/audit"
 	"clonos/internal/faultinject"
 	"clonos/internal/job"
 	"clonos/internal/kafkasim"
@@ -92,13 +93,24 @@ type MatrixCell struct {
 	SinkRecords      int     `json:"sink_records"`
 	GlobalRestart    bool    `json:"global_restart"`
 	Repeats          int     `json:"repeats"`
+	// AuditViolations totals the audit-plane violations across every
+	// repeat of the cell (schema >= 2; every cell runs audit-armed and a
+	// healthy run reports zero).
+	AuditViolations uint64 `json:"audit_violations"`
 	// Recoveries carries every repeat's raw sample behind the median.
 	Recoveries []RecoverySample `json:"recoveries,omitempty"`
 }
 
+// MatrixSchemaVersion is the report schema RunMatrix emits. Version 2
+// added per-cell audit_violations (cells run with the audit plane
+// armed). Version 0/1 reports — the committed legacy baseline — carry
+// no schema field and are accepted without audit checks.
+const MatrixSchemaVersion = 2
+
 // MatrixReport is the JSON payload of one matrix sweep (the committed
 // BENCH_recovery_matrix.json wraps this in a BenchReport).
 type MatrixReport struct {
+	Schema     int          `json:"schema,omitempty"`
 	Loads      []float64    `json:"loads"`
 	StateSizes []int        `json:"state_sizes"`
 	Failures   []string     `json:"failures"`
@@ -163,7 +175,7 @@ func RunMatrix(w io.Writer, opt MatrixOptions) (*MatrixReport, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	report := &MatrixReport{Loads: opt.Loads, StateSizes: opt.StateSizes, Failures: opt.Failures}
+	report := &MatrixReport{Schema: MatrixSchemaVersion, Loads: opt.Loads, StateSizes: opt.StateSizes, Failures: opt.Failures}
 	total := len(opt.Loads) * len(opt.StateSizes) * len(opt.Failures)
 	n := 0
 	for _, load := range opt.Loads {
@@ -199,10 +211,17 @@ func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptio
 
 	var runs []RunResult
 	var sums []recoverySummary
+	var auditTotal uint64
 	for rep := 0; rep < repeats; rep++ {
 		cfg := job.DefaultConfig()
 		cfg.Mode = job.ModeClonos
 		cfg.DSD = 0 // full sharing depth, as in the multi-failure experiments
+		// Every cell runs audit-armed (schema 2): the matrix doubles as a
+		// continuous false-positive check, and a real divergence under
+		// load surfaces as a non-zero audit_violations count the
+		// validator rejects.
+		aud := audit.New()
+		cfg.Audit = aud
 		if failure == "alignment" {
 			// The crash-point analyzer reserves Point constants for their
 			// single production call site; schedules are built from the
@@ -239,6 +258,7 @@ func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptio
 		if err != nil {
 			return MatrixCell{}, err
 		}
+		auditTotal += aud.Total()
 		runs = append(runs, res)
 		if failure == "alignment" {
 			if failAt, ok := alignmentFailAt(res); ok {
@@ -269,6 +289,7 @@ func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptio
 		SinkRecords:      rep.SinkCount,
 		GlobalRestart:    med.Restarted,
 		Repeats:          repeats,
+		AuditViolations:  auditTotal,
 		Recoveries:       recoverySamples(sums),
 	}
 	cell.LatencyP50Ms, cell.LatencyP99Ms = LatencyPercentiles(rep.Latency)
@@ -290,7 +311,8 @@ func PrintMatrix(w io.Writer, report *MatrixReport) {
 			fmt.Sprintf("%dms", c.LatencyP99Ms),
 			fmt.Sprintf("%.0f/s", c.SteadyThroughput),
 			fmt.Sprintf("%v", c.GlobalRestart),
+			fmt.Sprintf("%d", c.AuditViolations),
 		})
 	}
-	table(w, []string{"load", "state(B)", "failure", "detect", "recovery(10% lat)", "lat p50", "lat p99", "tput", "global restart"}, rows)
+	table(w, []string{"load", "state(B)", "failure", "detect", "recovery(10% lat)", "lat p50", "lat p99", "tput", "global restart", "audit"}, rows)
 }

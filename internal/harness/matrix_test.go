@@ -64,6 +64,24 @@ func TestValidateMatrixReport(t *testing.T) {
 	if err := ValidateMatrixReport(unsettled, 1); err == nil {
 		t.Error("settled cell with zero recovery passed validation")
 	}
+	future := sampleMatrixReport()
+	future.Schema = MatrixSchemaVersion + 1
+	if err := ValidateMatrixReport(future, 1); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future schema: err = %v, want schema error", err)
+	}
+	violated := sampleMatrixReport()
+	violated.Schema = MatrixSchemaVersion
+	violated.Cells[1].AuditViolations = 3
+	if err := ValidateMatrixReport(violated, 1); err == nil || !strings.Contains(err.Error(), "audit") {
+		t.Errorf("schema-2 report with violations: err = %v, want audit error", err)
+	}
+	// A legacy report (no schema field) never ran audit-armed; violation
+	// counts are absent and must not be enforced.
+	legacy := sampleMatrixReport()
+	legacy.Cells[1].AuditViolations = 3
+	if err := ValidateMatrixReport(legacy, 1); err != nil {
+		t.Errorf("legacy report rejected: %v", err)
+	}
 }
 
 // TestCompareMatrixBaseline checks the regression gate: one noisy cell

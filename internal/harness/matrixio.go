@@ -45,11 +45,17 @@ func LoadMatrixReport(path string) (*MatrixReport, error) {
 }
 
 // ValidateMatrixReport checks the schema-level invariants CI relies on:
-// at least minCells cells, each with its grid coordinates and latency
-// percentiles populated, and a recovery time whenever the cell settled.
+// a known schema version, at least minCells cells, each with its grid
+// coordinates and latency percentiles populated, a recovery time
+// whenever the cell settled, and — from schema 2, where every cell runs
+// audit-armed — zero audit violations. Legacy reports (no schema field)
+// are accepted without the audit check.
 func ValidateMatrixReport(r *MatrixReport, minCells int) error {
 	if r == nil {
 		return fmt.Errorf("matrix report is empty")
+	}
+	if r.Schema > MatrixSchemaVersion {
+		return fmt.Errorf("matrix report schema %d is newer than this build understands (%d)", r.Schema, MatrixSchemaVersion)
 	}
 	if len(r.Cells) < minCells {
 		return fmt.Errorf("matrix report has %d cells, want >= %d", len(r.Cells), minCells)
@@ -73,6 +79,9 @@ func ValidateMatrixReport(r *MatrixReport, minCells int) error {
 		}
 		if c.SinkRecords <= 0 {
 			return fmt.Errorf("%s: no sink output", at)
+		}
+		if r.Schema >= 2 && c.AuditViolations > 0 {
+			return fmt.Errorf("%s: audit plane detected %d violation(s)", at, c.AuditViolations)
 		}
 	}
 	return nil

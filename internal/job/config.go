@@ -3,6 +3,7 @@ package job
 import (
 	"time"
 
+	"clonos/internal/audit"
 	"clonos/internal/faultinject"
 	"clonos/internal/inflight"
 	"clonos/internal/obs"
@@ -144,6 +145,15 @@ type Config struct {
 	// schedule dictates. Nil (the default) keeps every crash point a
 	// no-op.
 	Faults *faultinject.Injector
+	// Audit, when set, arms the online causal-consistency audit plane:
+	// stream continuity/byte-identity checks at delivery and replay,
+	// snapshot fingerprint attestation at restore, and watermark/marker
+	// sanity checks, each violation reported through the tracer and the
+	// clonos_audit_violations_total counter. Nil (the default) keeps
+	// every audit hook a no-op; the stream checks are only sound under
+	// ExactlyOnce (divergent at-least-once replay legitimately rewrites
+	// streams), so other guarantees disarm the per-task hooks.
+	Audit *audit.Auditor
 }
 
 // DefaultConfig returns a configuration scaled for in-process experiments

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"clonos/internal/audit"
 	"clonos/internal/faultinject"
 	"clonos/internal/kafkasim"
 	"clonos/internal/obs"
@@ -137,6 +138,11 @@ func runCrashSchedule(t *testing.T, sched faultinject.Schedule) crashVerdict {
 	cfg.ServiceSeed = 42 // deterministic nondeterminants: replays hit the run the schedule saw
 	cfg.Faults = inj
 	cfg.TraceSink = rec
+	// The audit plane runs armed across the whole sweep: every schedule
+	// doubles as a false-positive pin — a passing crash schedule must
+	// produce zero violations.
+	aud := audit.New()
+	cfg.Audit = aud
 
 	timerRun := sched.HasKind(faultinject.KindTimer)
 	sink := kafkasim.NewSinkTopic(true)
@@ -219,6 +225,10 @@ func runCrashSchedule(t *testing.T, sched faultinject.Schedule) crashVerdict {
 				}
 			}
 		}
+	}
+	if n := aud.Total(); n != 0 {
+		failed = true
+		t.Errorf("audit plane detected %d violation(s) on this schedule: %v", n, aud.ByInvariant())
 	}
 	if failed {
 		writeFailureArtifact(t, sched, trace.Bytes(), stacks)

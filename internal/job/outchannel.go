@@ -19,6 +19,15 @@ import (
 // lingering sends (see Endpoint.Rebind).
 var channelGen atomic.Uint64
 
+// replayCorruptFn rewrites a replayed payload; see testReplayCorrupt.
+type replayCorruptFn func(ch types.ChannelID, seq uint64, data []byte) []byte
+
+// testReplayCorrupt, when set, rewrites replayed payloads before they
+// are audited and re-sent — the divergence-injection hook the audit
+// tests use to prove the replay-hash invariant fires. Never set outside
+// tests (the crash-point injector owns production fault injection).
+var testReplayCorrupt atomic.Pointer[replayCorruptFn]
+
 // outChannel is the sender side of one physical channel: serializer,
 // output buffer pool, in-flight log, sequence numbering, and the replay /
 // deduplication machinery used during recovery.
@@ -177,9 +186,7 @@ func (oc *outChannel) dispatch(b *buffer.Buffer) error {
 func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 	oc.mu.Lock()
 	send := !oc.pending && m.Seq > oc.sentUpTo && m.Seq > oc.dedupUpTo
-	if !oc.pending && m.Seq > oc.sentUpTo && m.Seq <= oc.dedupUpTo {
-		oc.task.metrics.dedupDiscarded.Inc()
-	}
+	dedup := !oc.pending && m.Seq > oc.sentUpTo && m.Seq <= oc.dedupUpTo
 	if send {
 		oc.sentUpTo = m.Seq
 		if oc.resetPending {
@@ -188,6 +195,16 @@ func (oc *outChannel) maybeTransmit(m *netstack.Message) error {
 		}
 	}
 	oc.mu.Unlock()
+	if dedup {
+		oc.task.metrics.dedupDiscarded.Inc()
+		if a := oc.task.audit; a != nil {
+			// A dedup-suppressed buffer is this incarnation's re-production
+			// of output its predecessor already delivered: guided replay
+			// promises byte identity, so the payload must hash-match what
+			// the receiver recorded for this seq (before Release below).
+			a.OnResend(oc.task.id, oc.id, m.Seq, m.Epoch, m.Data, "dedup")
+		}
+	}
 	if !send {
 		m.Release()
 		return nil
@@ -350,6 +367,16 @@ func (oc *outChannel) replayLoop() {
 			// the crashed-task cleanup and exit.
 			continue
 		}
+		if pf := testReplayCorrupt.Load(); pf != nil {
+			data = (*pf)(oc.id, entry.Seq, data)
+		}
+		if a := oc.task.audit; a != nil {
+			// Replayed bytes must match what the (possibly dead) receiver
+			// incarnation recorded at original delivery — the sender-side
+			// half of the replay-hash check; the receiving endpoint's
+			// OnDeliver re-checks on acceptance.
+			a.OnResend(oc.task.id, oc.id, entry.Seq, entry.Epoch, data, "replay")
+		}
 		m := netstack.NewMessage()
 		m.Channel = oc.id
 		m.Seq = entry.Seq
@@ -411,8 +438,12 @@ func (oc *outChannel) resumeDirect(afterSeq uint64) {
 // not retransmitted (§2.2 step 6).
 func (oc *outChannel) setDedup(upTo uint64) {
 	oc.mu.Lock()
+	prev := oc.dedupUpTo
 	oc.dedupUpTo = upTo
 	oc.mu.Unlock()
+	if a := oc.task.audit; a != nil {
+		a.OnDedupFloor(oc.task.id, oc.id, prev, upTo)
+	}
 }
 
 // forceNextSeq aligns sequencing with the receiver for at-least-once

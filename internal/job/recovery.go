@@ -108,6 +108,15 @@ func (r *Runtime) localRecover(failed types.TaskID) (escalate string) {
 	if snap != nil {
 		if err := t.restore(snap); err != nil {
 			r.reportTaskError(failed, err)
+			// The half-activated replacement is abandoned — the global
+			// restart that this escalation triggers builds a fresh
+			// incarnation — so reap it like the dead one above: its
+			// out-channels each own a spiller thread that nothing else
+			// will ever close.
+			t.crash()
+			for _, oc := range t.allOut {
+				oc.close()
+			}
 			sp.SetAttr("aborted", "restore-failed")
 			sp.End()
 			return "restore-failed"
@@ -418,6 +427,10 @@ func (r *Runtime) globalRestart(reason string) {
 			oc.close()
 		}
 	}
+	// Re-execution after a global rollback is not byte-guided (fresh
+	// nondeterminism), so the predecessor streams stop being the audit
+	// reference; detected violations stay counted.
+	r.cfg.Audit.Reset()
 
 	cp := r.snaps.LatestCompleted()
 	r.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clonos/internal/audit"
 	"clonos/internal/checkpoint"
 	"clonos/internal/faultinject"
 	"clonos/internal/netstack"
@@ -41,6 +42,15 @@ const (
 	// EventFaultInjected records an armed crash point firing (see
 	// Config.Faults); Info carries the crash-point name.
 	EventFaultInjected EventKind = "fault-injected"
+	// EventAuditViolation records the audit plane detecting a causal-
+	// consistency invariant breach (see Config.Audit); Info carries the
+	// invariant name and detail, and the event attributes carry the
+	// invariant and channel for clonos-trace -audit.
+	EventAuditViolation EventKind = "audit-violation"
+	// EventAuditFingerprint records a successful state-attestation check
+	// at restore (Info: "cp=N fp=... verified"), giving clonos-trace
+	// -audit a per-recovery fingerprint-comparison record.
+	EventAuditFingerprint EventKind = "audit-fingerprint"
 )
 
 // RecoverySpanName is the tracer span covering one local recovery, from
@@ -172,6 +182,32 @@ func NewRuntime(g *Graph, cfg Config) (*Runtime, error) {
 					return
 				}
 			}
+		})
+	}
+	if cfg.Audit != nil {
+		// Audit reporting: every violation becomes a labelled counter
+		// increment plus a structured tracer event (and through the trace
+		// sink, a flight-recorder record). /healthz aggregates the counter
+		// family into the job health verdict.
+		cfg.Audit.SetReporter(func(v audit.Violation) {
+			vertexName := fmt.Sprintf("v%d", v.Task.Vertex)
+			if int(v.Task.Vertex) < len(g.Vertices) {
+				vertexName = g.Vertices[v.Task.Vertex].Name
+			}
+			r.obs.Counter("clonos_audit_violations_total",
+				"Causal-consistency audit violations detected by the audit plane.",
+				obs.Labels{"invariant": v.Invariant, "vertex": vertexName, "subtask": strconv.Itoa(int(v.Task.Subtask))}).Inc()
+			attrs := map[string]string{
+				"task":      v.Task.String(),
+				"invariant": v.Invariant,
+				"info":      v.Detail,
+			}
+			if v.Channel != "" {
+				attrs["channel"] = v.Channel
+			}
+			r.tracer.Emit(string(EventAuditViolation),
+				Event{Time: time.Now(), Kind: EventAuditViolation, Task: v.Task, Info: v.Invariant + ": " + v.Detail}, attrs)
+			r.notifyProgress()
 		})
 	}
 	r.tracer.SetLimits(cfg.TraceMaxEvents, cfg.TraceMaxSpans)
@@ -508,6 +544,10 @@ func (r *Runtime) onCheckpointComplete(cp types.CheckpointID) {
 	for _, t := range tasks {
 		t.NotifyCheckpointComplete(cp)
 	}
+	// Recorded stream hashes for epochs at or below cp can never be
+	// replayed against again (replay starts past the latest completed
+	// checkpoint), so the auditor drops them alongside in-flight logs.
+	r.cfg.Audit.Truncate(cp)
 }
 
 // onSnapshot stores a task snapshot and acks the coordinator.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clonos/internal/audit"
 	"clonos/internal/buffer"
 	"clonos/internal/causal"
 	"clonos/internal/checkpoint"
@@ -68,9 +69,19 @@ type Task struct {
 	store    *statestore.Store
 	timerSvc *timers.Service
 	causal   *causal.Manager // nil unless Clonos exactly-once
-	svcs     *services.Services
-	chn      *chain
-	srcCtx   *opContext
+	// audit is the job's armed auditor, nil unless Config.Audit is set
+	// AND the guarantee is exactly-once (the stream invariants are only
+	// sound when replay is byte-deterministic). Hook sites nil-check this
+	// handle so the disarmed hot path costs one predictable branch.
+	audit *audit.Auditor
+	// markerFromSource flags input channels fed directly by a source
+	// vertex, the only channels whose latency-marker stamps are monotone
+	// (fan-in merges legitimately interleave stamps). Set only when audit
+	// is armed.
+	markerFromSource []bool
+	svcs             *services.Services
+	chn              *chain
+	srcCtx           *opContext
 
 	mailbox chan mailEvent
 	abort   chan struct{}
@@ -263,6 +274,13 @@ func newTask(env *Runtime, vertex *Vertex, subtask int32) *Task {
 	}
 
 	t.inIDs, t.inPorts = inChannels(vertex, subtask)
+	if cfg.Audit != nil && cfg.Guarantee == ExactlyOnce {
+		t.audit = cfg.Audit
+		t.markerFromSource = make([]bool, len(t.inIDs))
+		for i, id := range t.inIDs {
+			t.markerFromSource[i] = env.graph.Edges[id.Edge].From.Source != nil
+		}
+	}
 	t.chanWms = make([]int64, len(t.inIDs))
 	for i := range t.chanWms {
 		t.chanWms[i] = math.MinInt64
@@ -307,10 +325,19 @@ func (t *Task) attachNetwork(accepting bool) {
 				// a recovering upstream's determinant request then covers
 				// every buffer this task has received, including those
 				// still queued ahead of the main thread.
-				t.gate.Endpoint(i).SetOnAccept(func(m *netstack.Message) {
+				t.gate.Endpoint(i).AddOnAccept(func(m *netstack.Message) {
 					if err := t.causal.Ingest(m.Delta); err != nil {
 						t.fail(err)
 					}
+				})
+			}
+			if t.audit != nil {
+				// Channel-stream auditor tap: record/verify every accepted
+				// buffer's seq, epoch, and payload hash at the same point
+				// recovery's LastPushed dedup contract is defined.
+				chID := id
+				t.gate.Endpoint(i).AddOnAccept(func(m *netstack.Message) {
+					t.audit.OnDeliver(t.id, chID, m.Seq, m.Epoch, m.Data)
 				})
 			}
 		}
@@ -369,6 +396,25 @@ func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 		if t.causal != nil {
 			t.causal.StartEpochChannel(oc.id, t.epoch)
 		}
+	}
+	if a := t.audit; a != nil && snap.Fingerprint != 0 {
+		// State attestation: the restored state must reproduce the digest
+		// recorded over the predecessor's live state at snapshot time. The
+		// timer bytes are re-encoded from the restored service (the set is
+		// sorted, so the encoding round-trips deterministically).
+		tb, err := t.timerSvc.Snapshot()
+		if err != nil {
+			return err
+		}
+		fp, err := audit.Fingerprint(t.store, tb, t.chanWms, t.curWm)
+		if err != nil {
+			return err
+		}
+		if !a.CheckFingerprint(t.id, snap.Checkpoint, snap.Fingerprint, fp) {
+			return fmt.Errorf("job: %v: restored state fingerprint %016x does not match checkpoint %d's recorded %016x",
+				t.id, fp, snap.Checkpoint, snap.Fingerprint)
+		}
+		t.env.recordEvent(EventAuditFingerprint, t.id, fmt.Sprintf("cp=%d fp=%016x verified", snap.Checkpoint, fp))
 	}
 	return nil
 }
@@ -827,10 +873,18 @@ func (t *Task) handleElement(idx int, e types.Element) {
 		if e.Timestamp > t.chanWms[idx] {
 			t.raiseChanWm(idx, e.Timestamp)
 			t.maybeAdvanceWatermark()
+		} else if t.audit != nil && e.Timestamp < t.chanWms[idx] {
+			// The silent-ignore above is correct for equal re-announcements;
+			// a strictly lower watermark means the channel's event-time
+			// regressed — under exactly-once replay that never happens.
+			t.audit.OnWatermark(t.id, t.inIDs[idx], t.chanWms[idx], e.Timestamp)
 		}
 	case types.KindBarrier:
 		t.handleBarrier(idx, e.Checkpoint)
 	case types.KindLatencyMarker:
+		if t.audit != nil && t.markerFromSource[idx] {
+			t.audit.OnMarker(t.id, t.inIDs[idx], e.Timestamp)
+		}
 		t.handleLatencyMarker(e)
 	case types.KindEndOfStream:
 		if !t.eosSeen[idx] {
@@ -1102,6 +1156,17 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		t.fail(err)
 		return
 	}
+	var fp uint64
+	if t.audit != nil {
+		// The fingerprint walks the LIVE store, not stateBytes: delta
+		// snapshots carry only dirty entries, and the snapshot store
+		// mutates State on Put while rebuilding the full image.
+		fp, err = audit.Fingerprint(t.store, timerBytes, t.chanWms, t.curWm)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+	}
 	snap := &checkpoint.TaskSnapshot{
 		Checkpoint:     cp,
 		Task:           t.id,
@@ -1113,6 +1178,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		ChannelLogBase: make(map[types.ChannelID]uint64, len(t.allOut)),
 		ChanWms:        make(map[types.ChannelID]int64, len(t.inIDs)),
 		CurWm:          t.curWm,
+		Fingerprint:    fp,
 	}
 	for i, id := range t.inIDs {
 		snap.ChanWms[id] = t.chanWms[i]

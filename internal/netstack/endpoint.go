@@ -69,13 +69,14 @@ type Endpoint struct {
 	// metrics, when set, counts accepted messages and credit-limit
 	// stalls.
 	metrics *EndpointMetrics
-	// onAccept, when set, is invoked for every accepted message before
-	// Push returns. The task routes this to its causal-log manager so
-	// piggybacked determinant deltas are logged as soon as the buffer is
-	// received (the paper's causal log manager sits at the network
-	// layer) — a recovering upstream's extraction then covers every
-	// buffer the receiver holds, not only those already processed.
-	onAccept func(*Message)
+	// onAccept hooks are invoked in order for every accepted message
+	// before Push returns. The task routes these to its causal-log
+	// manager (piggybacked determinant deltas are logged as soon as the
+	// buffer is received — the paper's causal log manager sits at the
+	// network layer, so a recovering upstream's extraction covers every
+	// buffer the receiver holds, not only those already processed) and
+	// to the audit plane's channel-stream auditor.
+	onAccept []func(*Message)
 }
 
 // NewEndpoint creates an endpoint with the given queue capacity in buffers.
@@ -164,13 +165,13 @@ func (ep *Endpoint) Push(m *Message) error {
 	}
 	onAccept := ep.onAccept
 	ep.mu.Unlock()
-	// Log the piggybacked determinants BEFORE the message (and its seq)
-	// becomes visible: recovery reads LastPushed for sender-side dedup,
-	// and every deduplicated buffer's determinants must already be in
-	// the replica store. Pushes on one channel are serial (the sender's
+	// Run the hooks BEFORE the message (and its seq) becomes visible:
+	// recovery reads LastPushed for sender-side dedup, and every
+	// deduplicated buffer's determinants (and audit stream records) must
+	// already cover it. Pushes on one channel are serial (the sender's
 	// writer lock / replay handoff), so the unlocked window is safe.
-	if onAccept != nil {
-		onAccept(m)
+	for _, h := range onAccept {
+		h(m)
 	}
 	ep.mu.Lock()
 	if ep.closed || ep.broken {
@@ -220,11 +221,20 @@ func (ep *Endpoint) Instrument(m *EndpointMetrics) {
 	ep.metrics = m
 }
 
-// SetOnAccept installs the accepted-message hook (see the field doc).
+// SetOnAccept installs f as the only accepted-message hook, replacing
+// any previously installed hooks (see the field doc).
 func (ep *Endpoint) SetOnAccept(f func(*Message)) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	ep.onAccept = f
+	ep.onAccept = []func(*Message){f}
+}
+
+// AddOnAccept appends an accepted-message hook; hooks run in install
+// order. Install-time only (before traffic flows on the endpoint).
+func (ep *Endpoint) AddOnAccept(f func(*Message)) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.onAccept = append(ep.onAccept, f)
 }
 
 // Pop removes and returns the oldest queued message, or nil if empty.

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Health statuses, ordered by severity. DEGRADED means the job is
+// running but an operator should look (stuck tasks, observability data
+// being shed); VIOLATION means the audit plane detected a breach of the
+// causal-recovery contract — the job's output can no longer be trusted.
+const (
+	HealthOK        = "OK"
+	HealthDegraded  = "DEGRADED"
+	HealthViolation = "VIOLATION"
+)
+
+// Health is the aggregated job health verdict served by /healthz: the
+// stall watchdog's view, observability back-pressure (tracer ring and
+// flight-recorder drops), and the audit plane's violation tally folded
+// into one status.
+type Health struct {
+	Status              string    `json:"status"`
+	Time                time.Time `json:"time"`
+	StalledTasks        int64     `json:"stalled_tasks"`
+	TracerDroppedEvents uint64    `json:"tracer_dropped_events"`
+	TracerDroppedSpans  uint64    `json:"tracer_dropped_spans"`
+	RecorderDropped     uint64    `json:"recorder_dropped"`
+	AuditViolations     uint64    `json:"audit_violations"`
+	// ViolationsByInvariant breaks audit_violations down by the
+	// {invariant} label of clonos_audit_violations_total.
+	ViolationsByInvariant map[string]uint64 `json:"violations_by_invariant,omitempty"`
+}
+
+// Metric families ComputeHealth aggregates.
+const (
+	famStalledTasks    = "clonos_stalled_tasks"
+	famAuditViolations = "clonos_audit_violations_total"
+)
+
+// ComputeHealth derives the health verdict from the registry (stall
+// gauge + audit violation counters), the tracer's drop counts, and the
+// flight recorder's overflow count. Any argument may be nil.
+func ComputeHealth(reg *Registry, tracer *Tracer, rec *Recorder) Health {
+	h := Health{Status: HealthOK, Time: time.Now()}
+	for _, fam := range reg.Snapshot().Families {
+		switch fam.Name {
+		case famStalledTasks:
+			for _, m := range fam.Metrics {
+				if m.Value != nil {
+					h.StalledTasks += int64(*m.Value)
+				}
+			}
+		case famAuditViolations:
+			for _, m := range fam.Metrics {
+				if m.Value == nil {
+					continue
+				}
+				n := uint64(*m.Value)
+				h.AuditViolations += n
+				if inv := m.Labels["invariant"]; inv != "" && n > 0 {
+					if h.ViolationsByInvariant == nil {
+						h.ViolationsByInvariant = make(map[string]uint64)
+					}
+					h.ViolationsByInvariant[inv] += n
+				}
+			}
+		}
+	}
+	if tracer != nil {
+		h.TracerDroppedEvents, h.TracerDroppedSpans = tracer.Dropped()
+	}
+	if rec != nil {
+		h.RecorderDropped = rec.Dropped()
+	}
+	switch {
+	case h.AuditViolations > 0:
+		h.Status = HealthViolation
+	case h.StalledTasks > 0 || h.TracerDroppedEvents > 0 || h.TracerDroppedSpans > 0 || h.RecorderDropped > 0:
+		h.Status = HealthDegraded
+	}
+	return h
+}
+
+// Invariants lists the breached invariants in deterministic order (for
+// log lines and tests).
+func (h Health) Invariants() []string {
+	out := make([]string, 0, len(h.ViolationsByInvariant))
+	for inv := range h.ViolationsByInvariant {
+		out = append(out, inv)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeHealth serves one /healthz response. A VIOLATION verdict answers
+// 503 so load balancers and probes fail over without parsing the body;
+// DEGRADED stays 200 — the job is still making progress.
+func writeHealth(w http.ResponseWriter, h Health) {
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status == HealthViolation {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}

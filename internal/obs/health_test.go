@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestComputeHealthVerdicts(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+
+	h := ComputeHealth(r, tr, nil)
+	if h.Status != HealthOK {
+		t.Fatalf("empty registry: status = %s, want OK", h.Status)
+	}
+
+	// A stuck task degrades but does not condemn.
+	stalled := r.Gauge("clonos_stalled_tasks", "stuck", nil)
+	stalled.Set(2)
+	h = ComputeHealth(r, tr, nil)
+	if h.Status != HealthDegraded || h.StalledTasks != 2 {
+		t.Fatalf("stalled: status = %s stalled = %d, want DEGRADED 2", h.Status, h.StalledTasks)
+	}
+
+	// Tracer ring overflow also degrades.
+	stalled.Set(0)
+	tr.SetLimits(1, 1)
+	tr.Emit("a", nil, nil)
+	tr.Emit("b", nil, nil)
+	h = ComputeHealth(r, tr, nil)
+	if h.Status != HealthDegraded || h.TracerDroppedEvents == 0 {
+		t.Fatalf("tracer drops: status = %s dropped = %d, want DEGRADED >0", h.Status, h.TracerDroppedEvents)
+	}
+
+	// Any audit violation outranks everything else.
+	r.Counter("clonos_audit_violations_total", "violations",
+		Labels{"invariant": "replay-hash-mismatch", "vertex": "map", "subtask": "0"}).Add(3)
+	r.Counter("clonos_audit_violations_total", "violations",
+		Labels{"invariant": "seq-gap", "vertex": "sink", "subtask": "0"}).Add(1)
+	h = ComputeHealth(r, tr, nil)
+	if h.Status != HealthViolation || h.AuditViolations != 4 {
+		t.Fatalf("violations: status = %s total = %d, want VIOLATION 4", h.Status, h.AuditViolations)
+	}
+	if got := h.Invariants(); len(got) != 2 || got[0] != "replay-hash-mismatch" || got[1] != "seq-gap" {
+		t.Fatalf("invariants = %v", got)
+	}
+	if h.ViolationsByInvariant["replay-hash-mismatch"] != 3 {
+		t.Fatalf("by-invariant = %v", h.ViolationsByInvariant)
+	}
+}
+
+func TestComputeHealthNilInputs(t *testing.T) {
+	h := ComputeHealth(nil, nil, nil)
+	if h.Status != HealthOK {
+		t.Fatalf("nil inputs: status = %s, want OK", h.Status)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	r := NewRegistry()
+	s, err := StartServer("127.0.0.1:0", func() *Registry { return r }, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func() (int, Health) {
+		resp, err := http.Get("http://" + s.Addr() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Health
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("unmarshal %q: %v", body, err)
+		}
+		return resp.StatusCode, h
+	}
+
+	code, h := get()
+	if code != http.StatusOK || h.Status != HealthOK {
+		t.Fatalf("healthy: code = %d status = %s, want 200 OK", code, h.Status)
+	}
+
+	r.Counter("clonos_audit_violations_total", "violations",
+		Labels{"invariant": "fingerprint-mismatch", "vertex": "reduce", "subtask": "1"}).Inc()
+	code, h = get()
+	if code != http.StatusServiceUnavailable || h.Status != HealthViolation {
+		t.Fatalf("violated: code = %d status = %s, want 503 VIOLATION", code, h.Status)
+	}
+	if h.AuditViolations != 1 || h.ViolationsByInvariant["fingerprint-mismatch"] != 1 {
+		t.Fatalf("violation accounting: %+v", h)
+	}
+}

@@ -270,7 +270,7 @@ func TestServerEndpoints(t *testing.T) {
 	sp.Mark("midpoint")
 	sp.End()
 	tr.Emit("srv-event", nil, nil)
-	s, err := StartServer("127.0.0.1:0", func() *Registry { return r }, func() *Tracer { return tr })
+	s, err := StartServer("127.0.0.1:0", func() *Registry { return r }, func() *Tracer { return tr }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 //
 //	/metrics             Prometheus text format 0.0.4
 //	/metrics.json        JSON registry snapshot
+//	/healthz             aggregated health verdict (see ComputeHealth); 503 on VIOLATION
 //	/debug/trace         retained tracer spans/events + one registry sample, JSONL
 //	/debug/trace.chrome  the same, as Chrome trace_event JSON (Perfetto)
 //	/debug/vars          expvar
@@ -24,16 +25,20 @@ type Server struct {
 }
 
 // StartServer listens on addr and serves exposition for whatever
-// registry source (and tracer, for the /debug/trace endpoints) the
-// callbacks return at request time; either may be nil or return nil,
-// which renders an empty page. The indirection lets a long-running
-// process expose the registry of the currently active experiment run.
-func StartServer(addr string, source func() *Registry, tracer func() *Tracer) (*Server, error) {
+// registry source (and tracer, for the /debug/trace endpoints, and
+// flight recorder, for /healthz drop accounting) the callbacks return
+// at request time; any may be nil or return nil, which renders an
+// empty page. The indirection lets a long-running process expose the
+// registry of the currently active experiment run.
+func StartServer(addr string, source func() *Registry, tracer func() *Tracer, recorder func() *Recorder) (*Server, error) {
 	if source == nil {
 		source = func() *Registry { return nil }
 	}
 	if tracer == nil {
 		tracer = func() *Tracer { return nil }
+	}
+	if recorder == nil {
+		recorder = func() *Recorder { return nil }
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -65,6 +70,9 @@ func StartServer(addr string, source func() *Registry, tracer func() *Tracer) (*
 	mux.HandleFunc("/debug/trace.chrome", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteChromeTrace(w, liveRecords())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeHealth(w, ComputeHealth(source(), tracer(), recorder()))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
