@@ -28,6 +28,7 @@ package clonos
 import (
 	"time"
 
+	"clonos/internal/codec"
 	"clonos/internal/job"
 	"clonos/internal/kafkasim"
 	"clonos/internal/metrics"
@@ -65,6 +66,16 @@ type (
 	WindowSpec = operator.WindowSpec
 	// AggregateFn is an incremental window aggregate.
 	AggregateFn = operator.AggregateFn
+	// Codec serializes record payloads on an edge or in snapshots.
+	Codec = codec.Codec
+	// Int64Codec is the zig-zag varint codec for int64 payloads.
+	Int64Codec = codec.Int64Codec
+	// Float64Codec is the fixed 8-byte codec for float64 payloads.
+	Float64Codec = codec.Float64Codec
+	// StringCodec is the raw-bytes codec for string payloads.
+	StringCodec = codec.StringCodec
+	// BytesCodec passes []byte payloads through unchanged.
+	BytesCodec = codec.BytesCodec
 )
 
 // Fault-tolerance modes.
@@ -117,8 +128,17 @@ func TopicRecord(key uint64, ts int64, v any) kafkasim.Record {
 }
 
 // RegisterStateType registers a concrete type used as operator state or
-// as a record value crossing a gob-encoded edge.
+// as a record value crossing an auto-codec edge, for the reflective gob
+// fallback. Pair with RegisterCodec to keep such values off the
+// reflection path entirely.
 func RegisterStateType(v any) { statestore.Register(v) }
+
+// RegisterCodec binds a hand-written codec to sample's concrete type.
+// Values of that type then encode reflection-free everywhere the engine
+// serializes them: auto-selected edges, state snapshots and deltas, and
+// audit fingerprints. Registration is process-wide and must happen
+// before any job starts (init functions are the natural place).
+func RegisterCodec(sample any, c Codec) { codec.RegisterType(sample, c) }
 
 // Count returns the record-count window aggregate.
 func Count() AggregateFn { return operator.Count() }

@@ -33,6 +33,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", sc.Name)
 		results = append(results, hotbench.Measure(sc))
 	}
+	for _, sc := range hotbench.SnapshotScenarios() {
+		if *scenario != "" && sc.Name != *scenario {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", sc.Name)
+		results = append(results, hotbench.MeasureSnapshot(sc))
+	}
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "no scenario matches %q\n", *scenario)
 		os.Exit(2)

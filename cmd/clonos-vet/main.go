@@ -1,6 +1,7 @@
 // Command clonos-vet is the repo's multichecker: it runs the
-// internal/lint analyzers (bufown, mainthread, crashpoint, nosleepwait)
-// over the requested packages and exits nonzero on any diagnostic.
+// internal/lint analyzers (bufown, mainthread, crashpoint, nosleepwait,
+// gobcodec) over the requested packages and exits nonzero on any
+// diagnostic.
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 	"clonos/internal/lint/analysis"
 	"clonos/internal/lint/bufown"
 	"clonos/internal/lint/crashpoint"
+	"clonos/internal/lint/gobcodec"
 	"clonos/internal/lint/load"
 	"clonos/internal/lint/mainthread"
 	"clonos/internal/lint/nosleepwait"
@@ -32,6 +34,7 @@ var suite = []*analysis.Analyzer{
 	mainthread.Analyzer,
 	crashpoint.Analyzer,
 	nosleepwait.Analyzer,
+	gobcodec.Analyzer,
 }
 
 func main() {

@@ -2,11 +2,11 @@ package audit
 
 import (
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"io"
 
+	"clonos/internal/codec"
 	"clonos/internal/statestore"
 )
 
@@ -15,10 +15,12 @@ import (
 // (per-channel watermarks in input order plus the merged watermark).
 //
 // The keyed state is walked in sorted (name, key) order and each value
-// is gob-encoded through a single encoder stream into the hash —
-// statestore.Store.Snapshot's bytes cannot be hashed directly because
-// gob's map encoding is order-nondeterministic. A correct restore
-// reproduces the identical walk, so snapshot-time and restore-time
+// is hashed as its typed-codec frame (codec.EncodeAnyFramed) into a
+// reused scratch buffer — registered types pay the hand-written encoder
+// instead of a reflection walk, and a nil value encodes as its own tag,
+// so no sentinel is needed. Typed encoders emit map contents in sorted
+// key order, so the bytes are deterministic; a correct restore
+// reproduces the identical walk, and snapshot-time and restore-time
 // fingerprints match bit-for-bit.
 //
 // The zero return value is reserved for "no fingerprint recorded"
@@ -26,27 +28,22 @@ import (
 // on 0 is nudged to 1.
 func Fingerprint(store *statestore.Store, timers []byte, chanWms []int64, curWm int64) (uint64, error) {
 	h := fnv.New64a()
-	enc := gob.NewEncoder(h)
 	var scratch [8]byte
 	writeU64 := func(v uint64) {
 		binary.BigEndian.PutUint64(scratch[:], v)
 		h.Write(scratch[:])
 	}
+	var buf []byte
 	for _, name := range store.Names() {
 		io.WriteString(h, name)
 		ks := store.Keyed(name)
 		for _, key := range ks.SortedKeys() {
 			writeU64(key)
-			v := ks.Get(key)
-			if v == nil {
-				// gob cannot encode a nil interface; a distinct sentinel
-				// keeps nil distinguishable from absent.
-				writeU64(fnvOffset)
-				continue
-			}
-			if err := enc.Encode(v); err != nil {
+			var err error
+			if buf, err = codec.EncodeAnyFramed(buf[:0], ks.Get(key)); err != nil {
 				return 0, fmt.Errorf("audit: fingerprint %s[%d]: %w", name, key, err)
 			}
+			h.Write(buf)
 		}
 	}
 	h.Write(timers)

@@ -30,6 +30,12 @@ type Codec interface {
 // contain a complete encoding.
 var ErrShortBuffer = errors.New("codec: short buffer")
 
+// ErrTrailingBytes is returned when a decode consumed a complete value
+// but input bytes remain — a framing bug upstream (Decode receives
+// exactly one value's bytes), which must surface instead of being
+// silently accepted.
+var ErrTrailingBytes = errors.New("codec: trailing bytes after value")
+
 // JSONCodec is a generic fallback codec. Decoded values come back as the
 // usual encoding/json shapes (map[string]any, float64, ...), so typed
 // pipelines should prefer a hand-written codec.
@@ -71,6 +77,9 @@ func (Int64Codec) Decode(b []byte) (any, error) {
 	if sz <= 0 {
 		return nil, ErrShortBuffer
 	}
+	if sz != len(b) {
+		return nil, ErrTrailingBytes
+	}
 	return n, nil
 }
 
@@ -90,6 +99,9 @@ func (Float64Codec) EncodeAppend(dst []byte, v any) ([]byte, error) {
 func (Float64Codec) Decode(b []byte) (any, error) {
 	if len(b) < 8 {
 		return nil, ErrShortBuffer
+	}
+	if len(b) != 8 {
+		return nil, ErrTrailingBytes
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
 }

@@ -53,3 +53,10 @@ func (GobCodec) Decode(b []byte) (any, error) {
 	}
 	return box.V, nil
 }
+
+// GobFallback returns the reflective fallback codec. It is the only
+// sanctioned way to obtain one outside this package (benchmark
+// comparisons, legacy decode paths): constructing codec.GobCodec{}
+// directly on an edge is flagged by clonos-vet's gobcodec analyzer, so
+// the ~150x reflection tax cannot be reintroduced silently.
+func GobFallback() Codec { return GobCodec{} }

@@ -1,0 +1,236 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// builtinSamples covers every built-in tag with representative values,
+// including zero values and shapes that exercise varint width edges.
+func builtinSamples() []any {
+	return []any{
+		int64(0), int64(-1), int64(1 << 40), int64(-1 << 40),
+		float64(0), float64(3.14159), float64(-1e300),
+		"", "hello", strings.Repeat("x", 300),
+		[]byte{}, []byte{1, 2, 3}, bytes.Repeat([]byte{7}, 1000),
+		true, false,
+		int(0), int(-42), int(1 << 30),
+		uint64(0), uint64(1<<64 - 1),
+		[]any{}, []any{int64(1), "two", 3.0, nil, []byte{4}},
+		[]int64{}, []int64{-1, 0, 1 << 50},
+		map[int64]any{}, map[int64]any{-5: "neg", 0: int64(0), 9: []any{true}},
+		map[uint64]int64{}, map[uint64]int64{1: -1, 1 << 60: 1 << 60},
+		map[string]any{}, map[string]any{"a": int64(1), "b": nil, "c": "s"},
+	}
+}
+
+func TestEncodeAnyRoundTripBuiltins(t *testing.T) {
+	for _, v := range builtinSamples() {
+		enc, err := EncodeAny(nil, v)
+		if err != nil {
+			t.Fatalf("EncodeAny(%#v): %v", v, err)
+		}
+		got, err := DecodeAny(enc)
+		if err != nil {
+			t.Fatalf("DecodeAny(%#v): %v", v, err)
+		}
+		assertSemanticEqual(t, v, got)
+	}
+}
+
+func TestEncodeAnyFramedRoundTripBuiltins(t *testing.T) {
+	for _, v := range append(builtinSamples(), nil) {
+		enc, err := EncodeAnyFramed(nil, v)
+		if err != nil {
+			t.Fatalf("EncodeAnyFramed(%#v): %v", v, err)
+		}
+		got, used, err := DecodeAnyFramed(enc)
+		if err != nil {
+			t.Fatalf("DecodeAnyFramed(%#v): %v", v, err)
+		}
+		if used != len(enc) {
+			t.Fatalf("DecodeAnyFramed(%#v) consumed %d of %d bytes", v, used, len(enc))
+		}
+		assertSemanticEqual(t, v, got)
+	}
+}
+
+// assertSemanticEqual compares with the convention the tier guarantees:
+// empty slices/maps may decode as empty (not nil-vs-empty-identical).
+func assertSemanticEqual(t *testing.T, want, got any) {
+	t.Helper()
+	if want == nil {
+		if got != nil {
+			t.Fatalf("round trip of nil gave %#v", got)
+		}
+		return
+	}
+	wv := reflect.ValueOf(want)
+	if (wv.Kind() == reflect.Slice || wv.Kind() == reflect.Map) && wv.Len() == 0 {
+		gv := reflect.ValueOf(got)
+		if gv.Kind() != wv.Kind() || gv.Len() != 0 || gv.Type() != wv.Type() {
+			t.Fatalf("round trip of %#v gave %#v", want, got)
+		}
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip of %#v gave %#v", want, got)
+	}
+}
+
+// TestFramedLengthShift exercises the optimistic one-byte length
+// reservation on both sides of the 128-byte boundary, where payloads must
+// be shifted right for the wider varint.
+func TestFramedLengthShift(t *testing.T) {
+	for _, n := range []int{0, 1, 126, 127, 128, 129, 1 << 14, 1<<14 + 1} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		// Prefix garbage ensures the shift respects the dst offset.
+		enc, err := EncodeAnyFramed([]byte{0xAA, 0xBB}, payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, used, err := DecodeAnyFramed(enc[2:])
+		if err != nil || used != len(enc)-2 {
+			t.Fatalf("n=%d: decode used=%d err=%v", n, used, err)
+		}
+		if !bytes.Equal(got.([]byte), payload) {
+			t.Fatalf("n=%d: payload corrupted by length shift", n)
+		}
+	}
+}
+
+func TestDecodeAnyRejectsTrailing(t *testing.T) {
+	enc, err := EncodeAny(nil, int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAny(append(enc, 0)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte after int64 not rejected: %v", err)
+	}
+	if _, err := DecodeAny([]byte{byte(TagNil), 1}); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte after nil not rejected: %v", err)
+	}
+}
+
+func TestDecodeAnyUnknownTag(t *testing.T) {
+	if _, err := DecodeAny([]byte{200, 1, 2}); err == nil {
+		t.Fatal("unknown tag decoded without error")
+	}
+	if _, _, err := DecodeAnyFramed([]byte{200, 2, 1, 2}); err == nil {
+		t.Fatal("unknown framed tag decoded without error")
+	}
+}
+
+type regTestType struct{ A int64 }
+type regTestCodec struct{}
+
+func (regTestCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	return Int64Codec{}.EncodeAppend(dst, v.(regTestType).A)
+}
+func (regTestCodec) Decode(b []byte) (any, error) {
+	v, err := Int64Codec{}.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return regTestType{A: v.(int64)}, nil
+}
+
+type regTestCodec2 struct{ regTestCodec }
+
+func TestRegisterType(t *testing.T) {
+	RegisterType(regTestType{}, regTestCodec{})
+	if _, ok := TypedFor(regTestType{}); !ok {
+		t.Fatal("registered type not found")
+	}
+	// Identical re-registration is a no-op.
+	RegisterType(regTestType{}, regTestCodec{})
+	// Conflicting re-registration panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("conflicting re-registration did not panic")
+			}
+		}()
+		RegisterType(regTestType{}, regTestCodec2{})
+	}()
+	enc, err := EncodeAny(nil, regTestType{A: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAny(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (regTestType{A: 41}) {
+		t.Fatalf("custom type round trip gave %#v", got)
+	}
+}
+
+type unregisteredType struct{ S string }
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	// Registered with gob (required for interface encoding) but NOT with
+	// RegisterType, so the tier must take the TagGob fallback.
+	gob.Register(unregisteredType{})
+	v := unregisteredType{S: "via gob"}
+	enc, err := EncodeAny(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TypeTag(enc[0]) != TagGob {
+		t.Fatalf("unregistered type got tag %d, want TagGob", enc[0])
+	}
+	got, err := DecodeAny(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("gob fallback round trip gave %#v", got)
+	}
+}
+
+// TestAutoMatchesEncodeAny pins Auto as a plain alias of the tier.
+func TestAutoMatchesEncodeAny(t *testing.T) {
+	for _, v := range []any{int64(5), "s", []byte{1}} {
+		a, _ := Auto{}.EncodeAppend(nil, v)
+		b, _ := EncodeAny(nil, v)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("Auto encoding diverges from EncodeAny for %#v", v)
+		}
+	}
+}
+
+// TestEncodeAnyDeterministic pins byte determinism for map composites:
+// fingerprints hash these bytes at snapshot and restore time.
+func TestEncodeAnyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := map[string]any{}
+	m2 := map[uint64]int64{}
+	for i := 0; i < 200; i++ {
+		m[strings.Repeat("k", rng.Intn(10)+1)+string(rune('a'+rng.Intn(26)))] = int64(i)
+		m2[uint64(rng.Intn(1000))] = int64(i)
+	}
+	for _, v := range []any{m, m2} {
+		first, err := EncodeAny(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := EncodeAny(nil, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, again) {
+				t.Fatalf("map encoding nondeterministic for %T", v)
+			}
+		}
+	}
+}

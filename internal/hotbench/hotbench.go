@@ -16,6 +16,7 @@ import (
 	"clonos/internal/buffer"
 	"clonos/internal/codec"
 	"clonos/internal/netstack"
+	"clonos/internal/nexmark"
 	"clonos/internal/types"
 )
 
@@ -154,6 +155,7 @@ func Scenarios() []Scenario {
 	// Pre-box the element so the benchmark measures the pipeline, not
 	// the cost of boxing the []byte into types.Element.Value per call.
 	alignedElem := types.Record(1, 0, alignedPayload)
+	structElems := structElements()
 	return []Scenario{
 		{
 			Name: "int64", BufSize: buffer.DefaultSize, PoolBufs: 8, Codec: codec.Int64Codec{},
@@ -166,12 +168,46 @@ func Scenarios() []Scenario {
 			Element: func(i int) types.Element { return alignedElem },
 		},
 		{
-			Name: "gob", BufSize: buffer.DefaultSize, PoolBufs: 8, Codec: codec.GobCodec{},
+			Name: "gob", BufSize: buffer.DefaultSize, PoolBufs: 8, Codec: codec.GobFallback(),
 			Element: func(i int) types.Element {
 				return types.Record(uint64(i)&0xffff, int64(i)&0xffff, int64(i))
 			},
 		},
+		{
+			// The typed tier on a realistic struct edge: NEXMark bid
+			// events through the auto codec (registry dispatch + the
+			// hand-written EventCodec), the encoding every nil-codec edge
+			// now gets for registered types.
+			Name: "typed-struct", BufSize: buffer.DefaultSize, PoolBufs: 8, Codec: codec.Auto{},
+			Element: func(i int) types.Element { return structElems[i&255] },
+		},
+		{
+			// The same struct edge through the reflective gob fallback:
+			// the before side of the typed-tier speedup, and the budget
+			// tests' comparison baseline.
+			Name: "struct-gob", BufSize: buffer.DefaultSize, PoolBufs: 8, Codec: codec.GobFallback(),
+			Element: func(i int) types.Element { return structElems[i&255] },
+		},
 	}
+}
+
+// structElements pre-boxes 256 distinct bid events so struct scenarios
+// measure the pipeline, not per-call boxing, while still varying the
+// encoded bytes call to call.
+func structElements() []types.Element {
+	elems := make([]types.Element, 256)
+	for i := range elems {
+		elems[i] = types.Record(uint64(i), int64(i), nexmark.Event{
+			Kind: nexmark.KindBid,
+			Bid: &nexmark.Bid{
+				Auction:  uint64(1000 + i%101),
+				Bidder:   uint64(i),
+				Price:    int64(100 + 7*i),
+				DateTime: int64(1_600_000_000_000 + i),
+			},
+		})
+	}
+	return elems
 }
 
 // Result is the machine-readable outcome of one scenario, the unit

@@ -66,16 +66,20 @@ type Edge struct {
 	// KeyOf re-keys records for hash partitioning; nil keeps the
 	// producing record's key.
 	KeyOf func(v any) uint64
-	// Codec serializes record values on this edge; nil uses GobCodec.
+	// Codec serializes record values on this edge; nil auto-selects the
+	// registered typed codec per value (codec.Auto), with gob as the
+	// fallback for unregistered types.
 	Codec codec.Codec
 }
 
-// CodecOrDefault returns the edge codec.
+// CodecOrDefault returns the edge codec. The default is the registry
+// dispatcher: values of registered concrete types take the hand-written
+// reflection-free encoding, everything else the tagged gob fallback.
 func (e *Edge) CodecOrDefault() codec.Codec {
 	if e.Codec != nil {
 		return e.Codec
 	}
-	return codec.GobCodec{}
+	return codec.Auto{}
 }
 
 // Graph is a logical dataflow DAG.

@@ -1,0 +1,85 @@
+// Package gobcodec keeps the reflective gob codec from leaking back onto
+// hot paths. The typed codec tier made nil-codec edges auto-select
+// hand-written encoders (~20x+ cheaper than gob on struct payloads), so
+// the only legitimate ways to reach gob are the registry's own fallback
+// and the sanctioned codec.GobFallback() accessor (benchmark baselines,
+// legacy decode paths). A bare codec.GobCodec{} literal anywhere else is
+// almost always an accident that silently reintroduces the reflection
+// tax — on an edge it also defeats the registered typed codecs entirely.
+//
+// The analyzer flags codec.GobCodec composite literals and new(GobCodec)
+// in non-test files outside clonos/internal/codec. Suppress a reviewed
+// exception with `//clonos:allow gobcodec` on the flagged line.
+package gobcodec
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the gobcodec analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "gobcodec",
+	Doc: "no bare codec.GobCodec{} construction outside internal/codec " +
+		"(use registered typed codecs, the nil-codec auto tier, or codec.GobFallback())",
+	Run: run,
+}
+
+// codecPkg is the package allowed to construct its own fallback.
+const codecPkg = "clonos/internal/codec"
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == codecPkg {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			// Tests may construct the fallback directly (differential
+			// fixtures, budget baselines).
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			pos := n.Pos()
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isGobCodecType(pass, n.Type) {
+					return true
+				}
+			case *ast.CallExpr:
+				fn, ok := n.Fun.(*ast.Ident)
+				if !ok || fn.Name != "new" || len(n.Args) != 1 || !isGobCodecType(pass, n.Args[0]) {
+					return true
+				}
+			default:
+				return true
+			}
+			if pass.Allowed(pos) {
+				return true
+			}
+			pass.Reportf(pos,
+				"bare codec.GobCodec construction reintroduces the reflection tax: register a typed codec, leave the edge codec nil (auto tier), or use codec.GobFallback()")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isGobCodecType reports whether the expression names the
+// internal/codec GobCodec type.
+func isGobCodecType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "GobCodec" && obj.Pkg() != nil && obj.Pkg().Path() == codecPkg
+}

@@ -1,0 +1,12 @@
+package gobcodec_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/gobcodec"
+)
+
+func TestGobCodec(t *testing.T) {
+	analysistest.Run(t, "testdata", gobcodec.Analyzer, "g", "clonos/internal/codec")
+}

@@ -1,0 +1,22 @@
+// Stub of internal/codec for gobcodec fixtures, under its real import
+// path so the analyzer's type matching works.
+package codec
+
+// Codec is the payload codec interface.
+type Codec interface {
+	EncodeAppend(dst []byte, v any) ([]byte, error)
+	Decode(b []byte) (any, error)
+}
+
+// GobCodec is the reflective fallback codec.
+type GobCodec struct{}
+
+// EncodeAppend implements Codec.
+func (GobCodec) EncodeAppend(dst []byte, v any) ([]byte, error) { return dst, nil }
+
+// Decode implements Codec.
+func (GobCodec) Decode(b []byte) (any, error) { return nil, nil }
+
+// GobFallback returns the sanctioned fallback instance; constructing one
+// inside the declaring package is allowed.
+func GobFallback() Codec { return GobCodec{} }

@@ -1,0 +1,30 @@
+// Package g exercises the gobcodec analyzer outside internal/codec.
+package g
+
+import "clonos/internal/codec"
+
+// BadEdge hardwires the reflective codec on an edge.
+func BadEdge() codec.Codec {
+	return codec.GobCodec{} // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+}
+
+// BadPointer takes the address of a fresh literal.
+func BadPointer() codec.Codec {
+	return &codec.GobCodec{} // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+}
+
+// BadNew allocates one with new.
+func BadNew() codec.Codec {
+	return new(codec.GobCodec) // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+}
+
+// OkFallback goes through the sanctioned accessor.
+func OkFallback() codec.Codec { return codec.GobFallback() }
+
+// OkNil leaves codec selection to the auto tier.
+func OkNil() codec.Codec { return nil }
+
+// OkAllowed is a reviewed exception.
+func OkAllowed() codec.Codec {
+	return codec.GobCodec{} //clonos:allow gobcodec — legacy decode baseline
+}

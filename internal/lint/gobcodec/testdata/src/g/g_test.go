@@ -1,0 +1,7 @@
+package g
+
+import "clonos/internal/codec"
+
+// Test files may construct the fallback directly (differential and
+// budget baselines) — never flagged.
+func testBaseline() codec.Codec { return codec.GobCodec{} }

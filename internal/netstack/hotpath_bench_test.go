@@ -132,6 +132,49 @@ func TestHotPathStraddleBounded(t *testing.T) {
 	}
 }
 
+// TestTypedStructAllocBudget fences the typed codec tier on the struct
+// edge: NEXMark bid events through the auto codec must stay within a few
+// allocations per element (decode rebuilds the Bid and boxes the Event;
+// encode must be zero-alloc), versus the gob fallback's ~335.
+func TestTypedStructAllocBudget(t *testing.T) {
+	sc := scenarioByName(t, "typed-struct")
+	const elems = 2000
+	loop := hotbench.NewLoop(sc.BufSize, sc.PoolBufs, sc.Codec)
+	runLoop(t, loop, elems, sc.Element) // warm pools and queues
+	perRun := testing.AllocsPerRun(5, func() {
+		runLoop(t, loop, elems, sc.Element)
+	})
+	perElem := perRun / elems
+	t.Logf("typed-struct: %.3f allocs/elem (budget 4.0)", perElem)
+	if perElem > 4.0 {
+		t.Errorf("typed-struct: %.3f allocs/elem exceeds budget 4.0 — the reflection-free struct path regressed",
+			perElem)
+	}
+}
+
+// TestTypedStructSpeedup pins the tentpole claim of the typed codec
+// tier: the same struct elements through the registered codec must beat
+// the gob fallback by at least 20x end to end. Measured ~185x at
+// introduction; a fall below 20x means the typed path silently fell back
+// to reflection (or gob got 10x faster, which would be its own news).
+func TestTypedStructSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	typed := testing.Benchmark(func(b *testing.B) {
+		hotbench.Bench(b, scenarioByName(t, "typed-struct"))
+	})
+	gob := testing.Benchmark(func(b *testing.B) {
+		hotbench.Bench(b, scenarioByName(t, "struct-gob"))
+	})
+	ratio := float64(gob.NsPerOp()) / float64(typed.NsPerOp())
+	t.Logf("typed-struct %d ns/elem, struct-gob %d ns/elem: %.1fx", typed.NsPerOp(), gob.NsPerOp(), ratio)
+	if ratio < 20 {
+		t.Errorf("typed codec speedup %.1fx below the 20x floor (typed %d ns, gob %d ns)",
+			ratio, typed.NsPerOp(), gob.NsPerOp())
+	}
+}
+
 // TestGobEncodeAllocBudget bounds the pooled gob encode scratch: the
 // sync.Pool'd sink must hold EncodeAppend to the encoder's own cost
 // (fresh encoder + reflection), with no bytes.Buffer double-buffering.

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"clonos/internal/codec"
 	"clonos/internal/statestore"
 )
 
@@ -82,9 +83,16 @@ func (e Event) Time() int64 {
 }
 
 func init() {
-	// Event is stored in interface-typed state and on gob-encoded edges;
-	// its pointer fields encode transparently without registration.
+	// Event is stored in interface-typed state; gob registration remains
+	// for legacy snapshot images and the reflective fallback.
 	statestore.Register(Event{})
+	// The typed tier: every NEXMark shape that crosses an edge or lands
+	// in keyed state encodes through its hand-written codec — snapshots,
+	// fingerprints, and Auto edges never pay the gob reflection walk.
+	codec.RegisterType(Event{}, EventCodec{})
+	codec.RegisterType(Person{}, PersonCodec{})
+	codec.RegisterType(Auction{}, AuctionCodec{})
+	codec.RegisterType(Bid{}, BidCodec{})
 }
 
 // EventCodec is a hand-written binary codec for Event values, far cheaper
@@ -104,6 +112,40 @@ func getString(b []byte) (string, int, error) {
 	return string(b[sz : sz+int(n)]), sz + int(n), nil
 }
 
+// encodePerson appends p's field encoding (no kind byte).
+func encodePerson(dst []byte, p *Person) []byte {
+	dst = binary.AppendUvarint(dst, p.ID)
+	dst = putString(dst, p.Name)
+	dst = putString(dst, p.Email)
+	dst = putString(dst, p.City)
+	dst = putString(dst, p.State)
+	dst = binary.AppendVarint(dst, p.DateTime)
+	return putString(dst, p.Extra)
+}
+
+// encodeAuction appends a's field encoding (no kind byte).
+func encodeAuction(dst []byte, a *Auction) []byte {
+	dst = binary.AppendUvarint(dst, a.ID)
+	dst = putString(dst, a.ItemName)
+	dst = putString(dst, a.Description)
+	dst = binary.AppendVarint(dst, a.InitialBid)
+	dst = binary.AppendVarint(dst, a.Reserve)
+	dst = binary.AppendVarint(dst, a.DateTime)
+	dst = binary.AppendVarint(dst, a.Expires)
+	dst = binary.AppendUvarint(dst, a.Seller)
+	dst = binary.AppendUvarint(dst, a.Category)
+	return putString(dst, a.Extra)
+}
+
+// encodeBid appends b's field encoding (no kind byte).
+func encodeBid(dst []byte, b *Bid) []byte {
+	dst = binary.AppendUvarint(dst, b.Auction)
+	dst = binary.AppendUvarint(dst, b.Bidder)
+	dst = binary.AppendVarint(dst, b.Price)
+	dst = binary.AppendVarint(dst, b.DateTime)
+	return putString(dst, b.Extra)
+}
+
 // EncodeAppend implements codec.Codec.
 func (EventCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
 	e, ok := v.(Event)
@@ -113,37 +155,82 @@ func (EventCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
 	dst = append(dst, byte(e.Kind))
 	switch e.Kind {
 	case KindPerson:
-		p := e.Person
-		dst = binary.AppendUvarint(dst, p.ID)
-		dst = putString(dst, p.Name)
-		dst = putString(dst, p.Email)
-		dst = putString(dst, p.City)
-		dst = putString(dst, p.State)
-		dst = binary.AppendVarint(dst, p.DateTime)
-		dst = putString(dst, p.Extra)
+		return encodePerson(dst, e.Person), nil
 	case KindAuction:
-		a := e.Auction
-		dst = binary.AppendUvarint(dst, a.ID)
-		dst = putString(dst, a.ItemName)
-		dst = putString(dst, a.Description)
-		dst = binary.AppendVarint(dst, a.InitialBid)
-		dst = binary.AppendVarint(dst, a.Reserve)
-		dst = binary.AppendVarint(dst, a.DateTime)
-		dst = binary.AppendVarint(dst, a.Expires)
-		dst = binary.AppendUvarint(dst, a.Seller)
-		dst = binary.AppendUvarint(dst, a.Category)
-		dst = putString(dst, a.Extra)
+		return encodeAuction(dst, e.Auction), nil
 	case KindBid:
-		b := e.Bid
-		dst = binary.AppendUvarint(dst, b.Auction)
-		dst = binary.AppendUvarint(dst, b.Bidder)
-		dst = binary.AppendVarint(dst, b.Price)
-		dst = binary.AppendVarint(dst, b.DateTime)
-		dst = putString(dst, b.Extra)
+		return encodeBid(dst, e.Bid), nil
 	default:
 		return dst, fmt.Errorf("nexmark: unknown event kind %d", e.Kind)
 	}
-	return dst, nil
+}
+
+// cursor walks a byte slice during decode, latching the first error.
+type cursor struct {
+	b   []byte
+	i   int
+	err error
+}
+
+func (c *cursor) uv() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.i:])
+	if n <= 0 {
+		c.err = fmt.Errorf("nexmark: truncated event")
+		return 0
+	}
+	c.i += n
+	return v
+}
+
+func (c *cursor) sv() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.i:])
+	if n <= 0 {
+		c.err = fmt.Errorf("nexmark: truncated event")
+		return 0
+	}
+	c.i += n
+	return v
+}
+
+func (c *cursor) str() string {
+	if c.err != nil {
+		return ""
+	}
+	s, n, err := getString(c.b[c.i:])
+	if err != nil {
+		c.err = err
+		return ""
+	}
+	c.i += n
+	return s
+}
+
+func decodePerson(c *cursor) Person {
+	return Person{
+		ID: c.uv(), Name: c.str(), Email: c.str(), City: c.str(),
+		State: c.str(), DateTime: c.sv(), Extra: c.str(),
+	}
+}
+
+func decodeAuction(c *cursor) Auction {
+	return Auction{
+		ID: c.uv(), ItemName: c.str(), Description: c.str(),
+		InitialBid: c.sv(), Reserve: c.sv(), DateTime: c.sv(),
+		Expires: c.sv(), Seller: c.uv(), Category: c.uv(), Extra: c.str(),
+	}
+}
+
+func decodeBid(c *cursor) Bid {
+	return Bid{
+		Auction: c.uv(), Bidder: c.uv(), Price: c.sv(),
+		DateTime: c.sv(), Extra: c.str(),
+	}
 }
 
 // Decode implements codec.Codec.
@@ -151,110 +238,102 @@ func (EventCodec) Decode(b []byte) (any, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("nexmark: empty event")
 	}
-	kind := EventKind(b[0])
-	i := 1
-	uv := func() (uint64, error) {
-		v, n := binary.Uvarint(b[i:])
-		if n <= 0 {
-			return 0, fmt.Errorf("nexmark: truncated event")
-		}
-		i += n
-		return v, nil
-	}
-	sv := func() (int64, error) {
-		v, n := binary.Varint(b[i:])
-		if n <= 0 {
-			return 0, fmt.Errorf("nexmark: truncated event")
-		}
-		i += n
-		return v, nil
-	}
-	str := func() (string, error) {
-		s, n, err := getString(b[i:])
-		if err != nil {
-			return "", err
-		}
-		i += n
-		return s, nil
-	}
-	var err error
-	switch kind {
+	c := &cursor{b: b, i: 1}
+	var e Event
+	switch EventKind(b[0]) {
 	case KindPerson:
-		p := &Person{}
-		if p.ID, err = uv(); err != nil {
-			return nil, err
-		}
-		if p.Name, err = str(); err != nil {
-			return nil, err
-		}
-		if p.Email, err = str(); err != nil {
-			return nil, err
-		}
-		if p.City, err = str(); err != nil {
-			return nil, err
-		}
-		if p.State, err = str(); err != nil {
-			return nil, err
-		}
-		if p.DateTime, err = sv(); err != nil {
-			return nil, err
-		}
-		if p.Extra, err = str(); err != nil {
-			return nil, err
-		}
-		return Event{Kind: KindPerson, Person: p}, nil
+		p := decodePerson(c)
+		e = Event{Kind: KindPerson, Person: &p}
 	case KindAuction:
-		a := &Auction{}
-		if a.ID, err = uv(); err != nil {
-			return nil, err
-		}
-		if a.ItemName, err = str(); err != nil {
-			return nil, err
-		}
-		if a.Description, err = str(); err != nil {
-			return nil, err
-		}
-		if a.InitialBid, err = sv(); err != nil {
-			return nil, err
-		}
-		if a.Reserve, err = sv(); err != nil {
-			return nil, err
-		}
-		if a.DateTime, err = sv(); err != nil {
-			return nil, err
-		}
-		if a.Expires, err = sv(); err != nil {
-			return nil, err
-		}
-		if a.Seller, err = uv(); err != nil {
-			return nil, err
-		}
-		if a.Category, err = uv(); err != nil {
-			return nil, err
-		}
-		if a.Extra, err = str(); err != nil {
-			return nil, err
-		}
-		return Event{Kind: KindAuction, Auction: a}, nil
+		a := decodeAuction(c)
+		e = Event{Kind: KindAuction, Auction: &a}
 	case KindBid:
-		bid := &Bid{}
-		if bid.Auction, err = uv(); err != nil {
-			return nil, err
-		}
-		if bid.Bidder, err = uv(); err != nil {
-			return nil, err
-		}
-		if bid.Price, err = sv(); err != nil {
-			return nil, err
-		}
-		if bid.DateTime, err = sv(); err != nil {
-			return nil, err
-		}
-		if bid.Extra, err = str(); err != nil {
-			return nil, err
-		}
-		return Event{Kind: KindBid, Bid: bid}, nil
+		bid := decodeBid(c)
+		e = Event{Kind: KindBid, Bid: &bid}
 	default:
 		return nil, fmt.Errorf("nexmark: unknown event kind %d", b[0])
 	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	return e, nil
+}
+
+// PersonCodec is the binary codec for bare Person values (the typed
+// snapshot tier; events on edges use EventCodec).
+type PersonCodec struct{}
+
+// EncodeAppend implements codec.Codec.
+func (PersonCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	p, ok := v.(Person)
+	if !ok {
+		return dst, fmt.Errorf("nexmark: PersonCodec got %T", v)
+	}
+	return encodePerson(dst, &p), nil
+}
+
+// Decode implements codec.Codec.
+func (PersonCodec) Decode(b []byte) (any, error) {
+	c := &cursor{b: b}
+	p := decodePerson(c)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	return p, nil
+}
+
+// AuctionCodec is the binary codec for bare Auction values.
+type AuctionCodec struct{}
+
+// EncodeAppend implements codec.Codec.
+func (AuctionCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	a, ok := v.(Auction)
+	if !ok {
+		return dst, fmt.Errorf("nexmark: AuctionCodec got %T", v)
+	}
+	return encodeAuction(dst, &a), nil
+}
+
+// Decode implements codec.Codec.
+func (AuctionCodec) Decode(b []byte) (any, error) {
+	c := &cursor{b: b}
+	a := decodeAuction(c)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	return a, nil
+}
+
+// BidCodec is the binary codec for bare Bid values.
+type BidCodec struct{}
+
+// EncodeAppend implements codec.Codec.
+func (BidCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	bid, ok := v.(Bid)
+	if !ok {
+		return dst, fmt.Errorf("nexmark: BidCodec got %T", v)
+	}
+	return encodeBid(dst, &bid), nil
+}
+
+// Decode implements codec.Codec.
+func (BidCodec) Decode(b []byte) (any, error) {
+	c := &cursor{b: b}
+	bid := decodeBid(c)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	return bid, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"clonos/internal/codec"
 	"clonos/internal/job"
 	"clonos/internal/kafkasim"
 	"clonos/internal/operator"
@@ -27,6 +28,10 @@ func init() {
 	statestore.Register(q4Acc{})
 	statestore.Register([]int64{})
 	statestore.Register(map[uint64]int64{})
+	// Typed tier registrations; []int64 and map[uint64]int64 are codec
+	// package built-ins.
+	codec.RegisterType(Result{}, ResultCodec{})
+	codec.RegisterType(q4Acc{}, q4AccCodec{})
 }
 
 // ResultCodec is the binary codec for Result values.
@@ -77,8 +82,55 @@ func (ResultCodec) Decode(b []byte) (any, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("nexmark: truncated result")
 	}
+	i += n
 	r.T = tv
+	if i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
 	return r, nil
+}
+
+// q4AccCodec is the typed snapshot codec for the Q4/Q6 auction-close
+// accumulator.
+type q4AccCodec struct{}
+
+// EncodeAppend implements codec.Codec.
+func (q4AccCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	a, ok := v.(q4Acc)
+	if !ok {
+		return dst, fmt.Errorf("nexmark: q4AccCodec got %T", v)
+	}
+	have := byte(0)
+	if a.HaveAuction {
+		have = 1
+	}
+	dst = append(dst, have)
+	dst = binary.AppendUvarint(dst, a.Category)
+	dst = binary.AppendUvarint(dst, a.Seller)
+	dst = binary.AppendVarint(dst, a.Expires)
+	dst = binary.AppendVarint(dst, a.Reserve)
+	dst = binary.AppendVarint(dst, a.Best)
+	return dst, nil
+}
+
+// Decode implements codec.Codec.
+func (q4AccCodec) Decode(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("nexmark: truncated q4Acc")
+	}
+	c := &cursor{b: b, i: 1}
+	a := q4Acc{
+		HaveAuction: b[0] != 0,
+		Category:    c.uv(), Seller: c.uv(),
+		Expires: c.sv(), Reserve: c.sv(), Best: c.sv(),
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("nexmark: truncated q4Acc")
+	}
+	if c.i != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	return a, nil
 }
 
 func floatBits(f float64) uint64     { return uint64FromFloat(f) }

@@ -1,0 +1,198 @@
+package statestore
+
+// Back-compat and framing tests for the binary snapshot encoding: legacy
+// gob images (full and delta) must still restore, the version byte must
+// reject foreign frames with a pinned message, and the binary image must
+// be byte-deterministic and semantically identical to what the legacy
+// encoding preserved.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// populate fills a store with a mix of shapes across two named states.
+func populate(s *Store) {
+	ks := s.Keyed("counts")
+	for i := uint64(0); i < 50; i++ {
+		ks.Put(i, int64(i*3))
+	}
+	mixed := s.Keyed("mixed")
+	mixed.Put(1, "a string")
+	mixed.Put(2, []byte{9, 8, 7})
+	mixed.Put(3, 2.5)
+	mixed.Put(4, []any{int64(1), "two"})
+	mixed.Put(5, nil)
+}
+
+// legacyGobSnapshot builds a full snapshot the way the pre-binary
+// Snapshot implementation did.
+func legacyGobSnapshot(t *testing.T, s *Store) []byte {
+	t.Helper()
+	flat := make(map[string]map[uint64]any)
+	for _, name := range s.Names() {
+		m := make(map[uint64]any)
+		s.Keyed(name).Range(func(key uint64, v any) bool {
+			m[key] = v
+			return true
+		})
+		flat[name] = m
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func storesEqual(t *testing.T, a, b *Store) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Names(), b.Names()) {
+		t.Fatalf("state names differ: %v vs %v", a.Names(), b.Names())
+	}
+	for _, name := range a.Names() {
+		ka, kb := a.Keyed(name), b.Keyed(name)
+		if !reflect.DeepEqual(ka.SortedKeys(), kb.SortedKeys()) {
+			t.Fatalf("%s: keys differ", name)
+		}
+		for _, key := range ka.SortedKeys() {
+			if !reflect.DeepEqual(ka.Get(key), kb.Get(key)) {
+				t.Fatalf("%s[%d]: %#v vs %#v", name, key, ka.Get(key), kb.Get(key))
+			}
+		}
+	}
+}
+
+// TestRestoreLegacyGobSnapshot proves a pre-binary image still restores
+// to the identical store through the gob fallback path.
+func TestRestoreLegacyGobSnapshot(t *testing.T) {
+	src := NewStore()
+	populate(src)
+
+	legacy := NewStore()
+	if err := legacy.Restore(legacyGobSnapshot(t, src)); err != nil {
+		t.Fatalf("legacy restore: %v", err)
+	}
+	binSnap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBinary := NewStore()
+	if err := viaBinary.Restore(binSnap); err != nil {
+		t.Fatalf("binary restore: %v", err)
+	}
+	storesEqual(t, src, legacy)
+	storesEqual(t, legacy, viaBinary)
+}
+
+// TestApplyLegacyGobDelta proves a pre-binary delta image still applies.
+func TestApplyLegacyGobDelta(t *testing.T) {
+	d := delta{
+		Changes: map[string]map[uint64]any{"s": {1: int64(10), 2: "x"}},
+		Deletes: map[string][]uint64{"s": {3}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	s.Keyed("s").Put(3, int64(99))
+	if err := s.ApplyDelta(buf.Bytes()); err != nil {
+		t.Fatalf("legacy delta apply: %v", err)
+	}
+	ks := s.Keyed("s")
+	if ks.Get(1) != int64(10) || ks.Get(2) != "x" || ks.Get(3) != nil {
+		t.Fatalf("legacy delta applied wrong: %v %v %v", ks.Get(1), ks.Get(2), ks.Get(3))
+	}
+}
+
+// TestSnapshotVersionRejected pins the rejection message for frames from
+// a future (or corrupted) snapshot version — they must error, never
+// misdecode.
+func TestSnapshotVersionRejected(t *testing.T) {
+	src := NewStore()
+	populate(src)
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap[3] = snapshotVersion + 1 // bump the version byte
+	s := NewStore()
+	err = s.Restore(snap)
+	if err == nil {
+		t.Fatal("future-version snapshot restored without error")
+	}
+	want := fmt.Sprintf("statestore: unsupported snapshot version %d (want %d)", snapshotVersion+1, snapshotVersion)
+	if err.Error() != want {
+		t.Fatalf("rejection message %q, want pinned %q", err.Error(), want)
+	}
+}
+
+// TestSnapshotMalformedHeaderRejected covers a 0x00-leading buffer that
+// is not a valid frame.
+func TestSnapshotMalformedHeaderRejected(t *testing.T) {
+	s := NewStore()
+	if err := s.Restore([]byte{0x00, 'X', 'X', 2, 0}); err == nil ||
+		!strings.Contains(err.Error(), "malformed snapshot header") {
+		t.Fatalf("malformed header not rejected: %v", err)
+	}
+	if err := s.ApplyDelta([]byte{0x00, 'C', 'S', 2, 0}); err == nil {
+		t.Fatal("full-snapshot magic accepted as delta")
+	}
+}
+
+// TestSnapshotDeterministic pins byte determinism of the binary frame:
+// equal logical state must produce identical bytes (audit fingerprints
+// and guided replay compare encodings).
+func TestSnapshotDeterministic(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	populate(a)
+	populate(b)
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("equal stores produced different snapshot bytes")
+	}
+}
+
+// TestBinaryDeltaRoundTrip covers the new frame end to end, including
+// deletes and the nil value tag.
+func TestBinaryDeltaRoundTrip(t *testing.T) {
+	src := NewStore()
+	populate(src)
+	src.ResetDirty()
+	src.Keyed("counts").Put(7, int64(777))
+	src.Keyed("counts").Delete(8)
+	src.Keyed("mixed").Put(5, nil) // re-dirty the nil entry
+	d, err := src.DeltaSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) < snapshotHeadLen || d[0] != 0x00 || d[2] != magicKindDelta {
+		t.Fatalf("delta frame header wrong: % x", d[:4])
+	}
+	dst := NewStore()
+	populate(dst)
+	if err := dst.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Keyed("counts").Get(7) != int64(777) {
+		t.Fatalf("change not applied: %v", dst.Keyed("counts").Get(7))
+	}
+	if dst.Keyed("counts").Get(8) != nil {
+		t.Fatal("delete not applied")
+	}
+	if v := dst.Keyed("mixed").Get(5); v != nil {
+		t.Fatalf("nil value came back as %#v", v)
+	}
+}

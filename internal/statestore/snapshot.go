@@ -1,0 +1,191 @@
+package statestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"clonos/internal/codec"
+)
+
+// Snapshot wire format (version 2, the binary frame):
+//
+//	magic    0x00 'C' ('S' full | 'D' delta) version
+//	full:    uvarint nStates, then per state (sorted by name):
+//	         uvarint len(name) | name | uvarint nEntries,
+//	         then per entry (sorted by key): uvarint key | framed value
+//	delta:   the changes section in full-snapshot layout, then a deletes
+//	         section: uvarint nStates, per state name | uvarint nKeys |
+//	         sorted uvarint keys
+//
+// Values are codec.EncodeAnyFramed frames (type tag | uvarint len |
+// payload), so registered types encode through the reflection-free tier
+// and anything else falls back to a gob-tagged frame. The leading 0x00
+// distinguishes the frame from legacy gob images: a gob stream begins
+// with a message byte count, which is never zero, so Restore/ApplyDelta
+// can decode pre-binary snapshots with the old reflective path.
+const (
+	snapshotVersion  = 2
+	magicKindFull    = 'S'
+	magicKindDelta   = 'D'
+	legacyFirstByte  = 0x00
+	snapshotHeadLen  = 4
+	magicChecksByte1 = 'C'
+)
+
+func appendMagic(dst []byte, kind byte) []byte {
+	return append(dst, legacyFirstByte, magicChecksByte1, kind, snapshotVersion)
+}
+
+// checkMagic validates the frame header for kind and returns whether b is
+// a binary frame at all (false means legacy gob).
+func checkMagic(b []byte, kind byte) (bool, error) {
+	if len(b) == 0 || b[0] != legacyFirstByte {
+		return false, nil
+	}
+	if len(b) < snapshotHeadLen || b[1] != magicChecksByte1 || b[2] != kind {
+		return false, fmt.Errorf("statestore: malformed snapshot header % x", b[:min(len(b), snapshotHeadLen)])
+	}
+	if b[3] != snapshotVersion {
+		return false, fmt.Errorf("statestore: unsupported snapshot version %d (want %d)", b[3], snapshotVersion)
+	}
+	return true, nil
+}
+
+// appendStateSection encodes a name→(key→value) section with sorted names
+// and sorted keys, so identical logical state yields identical bytes (the
+// audit fingerprint and guided replay both rely on byte determinism).
+func appendStateSection(dst []byte, flat map[string]map[uint64]any) ([]byte, error) {
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	var err error
+	for _, name := range names {
+		data := flat[name]
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		keys := make([]uint64, 0, len(data))
+		for k := range data {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = binary.AppendUvarint(dst, k)
+			if dst, err = codec.EncodeAnyFramed(dst, data[k]); err != nil {
+				return dst, fmt.Errorf("statestore: encode %s[%d]: %w", name, k, err)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// readStateSection decodes a section written by appendStateSection,
+// returning the bytes consumed.
+func readStateSection(b []byte) (map[string]map[uint64]any, int, error) {
+	nStates, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, codec.ErrShortBuffer
+	}
+	i := w
+	out := make(map[string]map[uint64]any, nStates)
+	for s := uint64(0); s < nStates; s++ {
+		nameLen, w := binary.Uvarint(b[i:])
+		if w <= 0 || uint64(len(b)-i-w) < nameLen {
+			return nil, 0, codec.ErrShortBuffer
+		}
+		i += w
+		name := string(b[i : i+int(nameLen)])
+		i += int(nameLen)
+		nEntries, w := binary.Uvarint(b[i:])
+		if w <= 0 {
+			return nil, 0, codec.ErrShortBuffer
+		}
+		i += w
+		data := make(map[uint64]any, nEntries)
+		for e := uint64(0); e < nEntries; e++ {
+			key, w := binary.Uvarint(b[i:])
+			if w <= 0 {
+				return nil, 0, codec.ErrShortBuffer
+			}
+			i += w
+			v, used, err := codec.DecodeAnyFramed(b[i:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("statestore: decode %s[%d]: %w", name, key, err)
+			}
+			i += used
+			data[key] = v
+		}
+		out[name] = data
+	}
+	return out, i, nil
+}
+
+// readBinaryDelta decodes the body (after the header) of a version-2
+// delta frame.
+func readBinaryDelta(b []byte) (delta, error) {
+	var d delta
+	changes, used, err := readStateSection(b)
+	if err != nil {
+		return d, err
+	}
+	d.Changes = changes
+	i := used
+	nStates, w := binary.Uvarint(b[i:])
+	if w <= 0 {
+		return d, codec.ErrShortBuffer
+	}
+	i += w
+	d.Deletes = make(map[string][]uint64, nStates)
+	for s := uint64(0); s < nStates; s++ {
+		nameLen, w := binary.Uvarint(b[i:])
+		if w <= 0 || uint64(len(b)-i-w) < nameLen {
+			return d, codec.ErrShortBuffer
+		}
+		i += w
+		name := string(b[i : i+int(nameLen)])
+		i += int(nameLen)
+		nKeys, w := binary.Uvarint(b[i:])
+		if w <= 0 {
+			return d, codec.ErrShortBuffer
+		}
+		i += w
+		keys := make([]uint64, 0, nKeys)
+		for k := uint64(0); k < nKeys; k++ {
+			key, w := binary.Uvarint(b[i:])
+			if w <= 0 {
+				return d, codec.ErrShortBuffer
+			}
+			i += w
+			keys = append(keys, key)
+		}
+		d.Deletes[name] = keys
+	}
+	if i != len(b) {
+		return d, fmt.Errorf("statestore: apply delta: %w", codec.ErrTrailingBytes)
+	}
+	return d, nil
+}
+
+// decodeLegacySnapshot decodes a pre-binary (gob) full snapshot image.
+func decodeLegacySnapshot(b []byte) (map[string]map[uint64]any, error) {
+	var flat map[string]map[uint64]any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&flat); err != nil {
+		return nil, fmt.Errorf("statestore: restore: %w", err)
+	}
+	return flat, nil
+}
+
+// decodeLegacyDelta decodes a pre-binary (gob) delta image.
+func decodeLegacyDelta(b []byte) (delta, error) {
+	var d delta
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&d); err != nil {
+		return d, fmt.Errorf("statestore: apply delta: %w", err)
+	}
+	return d, nil
+}

@@ -4,10 +4,12 @@
 package statestore
 
 import (
-	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"sort"
+
+	"clonos/internal/codec"
 )
 
 // Register makes a concrete value type encodable inside snapshots. Every
@@ -140,30 +142,48 @@ func (s *Store) TotalEntries() int {
 	return n
 }
 
-// Snapshot serializes every state to bytes.
+// Snapshot serializes every state to bytes: a versioned binary frame of
+// typed-codec-encoded entries (see snapshot.go), deterministic for equal
+// logical state.
 func (s *Store) Snapshot() ([]byte, error) {
 	flat := make(map[string]map[uint64]any, len(s.states))
 	for name, st := range s.states {
 		flat[name] = st.data
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
-		return nil, fmt.Errorf("statestore: snapshot: %w", err)
+	out := appendMagic(make([]byte, 0, 64+16*s.TotalEntries()), magicKindFull)
+	out, err := appendStateSection(out, flat)
+	if err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Restore replaces the store contents with a snapshot produced by
-// Snapshot. A nil snapshot restores the empty store. Dirty tracking is
-// reset: the next delta snapshot is computed against the restore point.
+// Snapshot. A nil snapshot restores the empty store; legacy gob images
+// (pre-binary-frame) are detected by their first byte and decoded with
+// the reflective path. Dirty tracking is reset: the next delta snapshot
+// is computed against the restore point.
 func (s *Store) Restore(snapshot []byte) error {
 	s.states = make(map[string]*KeyedState)
 	if len(snapshot) == 0 {
 		return nil
 	}
 	var flat map[string]map[uint64]any
-	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&flat); err != nil {
-		return fmt.Errorf("statestore: restore: %w", err)
+	binaryFrame, err := checkMagic(snapshot, magicKindFull)
+	if err != nil {
+		return err
+	}
+	if binaryFrame {
+		var used int
+		flat, used, err = readStateSection(snapshot[snapshotHeadLen:])
+		if err != nil {
+			return err
+		}
+		if snapshotHeadLen+used != len(snapshot) {
+			return fmt.Errorf("statestore: restore: %w", codec.ErrTrailingBytes)
+		}
+	} else if flat, err = decodeLegacySnapshot(snapshot); err != nil {
+		return err
 	}
 	for name, data := range flat {
 		if data == nil {
@@ -202,11 +222,28 @@ func (s *Store) DeltaSnapshot() ([]byte, error) {
 		}
 		st.dirty = nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
-		return nil, fmt.Errorf("statestore: delta snapshot: %w", err)
+	out := appendMagic(make([]byte, 0, 64), magicKindDelta)
+	out, err := appendStateSection(out, d.Changes)
+	if err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	names := make([]string, 0, len(d.Deletes))
+	for name := range d.Deletes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out = binary.AppendUvarint(out, uint64(len(names)))
+	for _, name := range names {
+		out = binary.AppendUvarint(out, uint64(len(name)))
+		out = append(out, name...)
+		keys := d.Deletes[name]
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out = binary.AppendUvarint(out, uint64(len(keys)))
+		for _, k := range keys {
+			out = binary.AppendUvarint(out, k)
+		}
+	}
+	return out, nil
 }
 
 // ResetDirty clears dirty tracking without snapshotting (used right after
@@ -219,10 +256,19 @@ func (s *Store) ResetDirty() {
 
 // ApplyDelta merges a DeltaSnapshot into the store — the snapshot-store
 // side of incremental checkpointing, reconstructing the full image.
+// Legacy gob deltas are detected and decoded like legacy full snapshots.
 func (s *Store) ApplyDelta(b []byte) error {
 	var d delta
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&d); err != nil {
-		return fmt.Errorf("statestore: apply delta: %w", err)
+	binaryFrame, err := checkMagic(b, magicKindDelta)
+	if err != nil {
+		return err
+	}
+	if binaryFrame {
+		if d, err = readBinaryDelta(b[snapshotHeadLen:]); err != nil {
+			return err
+		}
+	} else if d, err = decodeLegacyDelta(b); err != nil {
+		return err
 	}
 	for name, changes := range d.Changes {
 		st := s.Keyed(name)

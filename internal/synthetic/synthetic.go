@@ -5,6 +5,7 @@
 package synthetic
 
 import (
+	"encoding/binary"
 	"time"
 
 	"fmt"
@@ -44,7 +45,48 @@ type stageState struct {
 	Payload []byte
 }
 
-func init() { statestore.Register(stageState{}) }
+func init() {
+	statestore.Register(stageState{})
+	codec.RegisterType(stageState{}, stageStateCodec{})
+}
+
+// stageStateCodec is the typed snapshot codec for stageState: the payload
+// dominates the synthetic state footprint, so snapshot encoding must not
+// pay gob's per-byte reflection walk over it.
+type stageStateCodec struct{}
+
+// EncodeAppend implements codec.Codec.
+func (stageStateCodec) EncodeAppend(dst []byte, v any) ([]byte, error) {
+	s, ok := v.(stageState)
+	if !ok {
+		return dst, fmt.Errorf("synthetic: stageStateCodec got %T", v)
+	}
+	dst = binary.AppendVarint(dst, s.Count)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Payload)))
+	return append(dst, s.Payload...), nil
+}
+
+// Decode implements codec.Codec.
+func (stageStateCodec) Decode(b []byte) (any, error) {
+	var s stageState
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, codec.ErrShortBuffer
+	}
+	s.Count = count
+	plen, w := binary.Uvarint(b[n:])
+	if w <= 0 || uint64(len(b)-n-w) < plen {
+		return nil, codec.ErrShortBuffer
+	}
+	if n+w+int(plen) != len(b) {
+		return nil, codec.ErrTrailingBytes
+	}
+	if plen > 0 {
+		s.Payload = make([]byte, plen)
+		copy(s.Payload, b[n+w:])
+	}
+	return s, nil
+}
 
 // Build constructs the synthetic pipeline over an int64 record topic.
 func Build(topic *kafkasim.Topic, sink *kafkasim.SinkTopic, cfg Config) *job.Graph {

@@ -3,7 +3,6 @@ package clonos
 import (
 	"fmt"
 
-	"clonos/internal/codec"
 	"clonos/internal/job"
 	"clonos/internal/operator"
 	"clonos/internal/types"
@@ -35,6 +34,24 @@ type Stream struct {
 	// shuffle re-keyed by it.
 	keyOf func(v any) uint64
 	keyed bool
+	// edgeCodec, when set by EdgeCodec/KeyByCodec, overrides the next
+	// connection's payload codec. Nil edges auto-select the registered
+	// typed codec per value, with gob as the reflective fallback.
+	edgeCodec Codec
+}
+
+// EdgeCodec pins the payload codec of the next connection, overriding
+// per-value auto-selection — useful when the value type is known and the
+// one-byte type tag of the auto frame should be avoided, or to force a
+// specific wire format.
+func (s *Stream) EdgeCodec(c Codec) *Stream {
+	return &Stream{jg: s.jg, v: s.v, keyOf: s.keyOf, keyed: s.keyed, edgeCodec: c}
+}
+
+// KeyByCodec is KeyBy with a pinned payload codec for the next
+// connection.
+func (s *Stream) KeyByCodec(keyOf func(v any) uint64, c Codec) *Stream {
+	return &Stream{jg: s.jg, v: s.v, keyOf: keyOf, keyed: true, edgeCodec: c}
 }
 
 // SourceOptions tune a topic source.
@@ -71,14 +88,14 @@ func (s *Stream) connect(v *job.Vertex) *Stream {
 	} else if s.v.Parallelism != v.Parallelism {
 		p = job.PartitionRebalance
 	}
-	s.jg.g.Connect(s.v, v, p, keyOf, codec.GobCodec{})
+	s.jg.g.Connect(s.v, v, p, keyOf, s.edgeCodec)
 	return &Stream{jg: s.jg, v: v}
 }
 
 // KeyBy re-partitions the stream by the given key extractor; the next
 // stage receives records hash-routed (and re-keyed) by it.
 func (s *Stream) KeyBy(keyOf func(v any) uint64) *Stream {
-	return &Stream{jg: s.jg, v: s.v, keyOf: keyOf, keyed: true}
+	return &Stream{jg: s.jg, v: s.v, keyOf: keyOf, keyed: true, edgeCodec: s.edgeCodec}
 }
 
 // Parallelism overrides the next stage's parallelism (defaults to the
@@ -140,7 +157,7 @@ func (s *Stream) connectTo(v *job.Vertex) {
 	} else if s.v.Parallelism != v.Parallelism {
 		p = job.PartitionRebalance
 	}
-	s.jg.g.Connect(s.v, v, p, keyOf, codec.GobCodec{})
+	s.jg.g.Connect(s.v, v, p, keyOf, s.edgeCodec)
 }
 
 // ToSink terminates the stream into a measured sink topic (parallelism 1).
@@ -166,7 +183,7 @@ func (s *Stream) toSink(name string, sink *SinkTopic, eoo bool) {
 	if s.keyed {
 		keyOf = s.keyOf
 	}
-	s.jg.g.Connect(s.v, v, p, keyOf, codec.GobCodec{})
+	s.jg.g.Connect(s.v, v, p, keyOf, s.edgeCodec)
 }
 
 // VertexID returns the stream's producing vertex ID, for failure
