@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet lint race bench bench-smoke bench-json bench-matrix matrix-smoke
+.PHONY: build check vet lint race bench bench-smoke bench-json bench-matrix matrix-smoke fault-sweep fault-sweep-unaligned
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # bench-smoke compiles and runs every benchmark exactly once so benches
-# cannot bit-rot (CI runs this; it is not a measurement).
+# cannot bit-rot (CI runs this; it is not a measurement). CI pairs it
+# with the hot-path allocation budgets and the alignment-stall budget
+# (TestUnalignedStallBudget: overloaded unaligned checkpoints must never
+# gate a channel).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -p 1 ./...
 
@@ -58,12 +61,14 @@ bench-json:
 bench-matrix:
 	$(GO) run ./cmd/clonos-bench -experiment matrix -matrix-out BENCH_recovery_matrix.json
 
-# matrix-smoke is the CI gate: the tiny 2x2x2 grid, schema-validated and
-# regression-checked against the committed baseline. Up to 2 of the 8
-# compared cells may flip settled->unsettled (shared runners are noisy);
-# more than that fails, as does the grid's MEDIAN recovery or detection
-# time moving past 3x + 1s — per-cell ratios flap at sub-second
-# baselines, medians only move when every cell slows down.
+# matrix-smoke is the CI gate: the small 2x2x2x2 grid (loads x state
+# sizes x {single, alignment} x {aligned, unaligned} checkpoint modes),
+# schema-validated and regression-checked against the committed
+# baseline. Up to 2 of the compared cells may flip settled->unsettled
+# (shared runners are noisy); more than that fails, as does the grid's
+# MEDIAN recovery or detection time moving past 3x + 1s — per-cell
+# ratios flap at sub-second baselines, medians only move when every
+# cell slows down.
 matrix-smoke:
 	$(GO) run ./cmd/clonos-bench -matrix-validate BENCH_recovery_matrix.json
 	$(GO) run ./cmd/clonos-bench -experiment matrix -matrix-grid smoke \
@@ -82,3 +87,14 @@ matrix-smoke:
 fault-sweep:
 	$(GO) test -count=1 ./internal/faultinject
 	$(GO) test -run 'TestFaultSweep|TestFaultFuzz|TestCrashScheduleRegressions|TestAudit' -count=1 -p 1 -timeout 10m ./internal/job
+
+# fault-sweep-unaligned is the same gate with every schedule forced
+# through unaligned checkpointing (CLONOS_FAULT_UNALIGNED=1): the sweep,
+# fuzz batch, and pinned regressions all run with in-flight capture
+# armed and the audit plane asserting zero violations, so a
+# capture/seal/preload bug cannot hide behind the aligned default.
+# Schedules naming the aligned-only points (align/blocked,
+# align/complete) are skipped — those points are structurally
+# unreachable when no channel is ever gated.
+fault-sweep-unaligned:
+	CLONOS_FAULT_UNALIGNED=1 $(GO) test -run 'TestFaultSweep|TestFaultFuzz|TestCrashScheduleRegressions|TestAudit' -count=1 -p 1 -timeout 10m ./internal/job

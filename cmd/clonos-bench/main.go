@@ -52,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"clonos/internal/harness"
@@ -69,7 +70,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write machine-readable experiment results to this file on exit")
 	recordPath := flag.String("record", "", "write a JSONL flight recording (tracer spans/events + registry samples) to this file")
 	recordSample := flag.Duration("record-sample", 250*time.Millisecond, "registry sampling interval for -record")
-	matrixGrid := flag.String("matrix-grid", "full", "matrix grid size: full (2 loads x 2 states x 4 failures) | smoke (CI 2x2x2)")
+	matrixGrid := flag.String("matrix-grid", "full", "matrix grid size: full (2 loads x 2 states x 4 failures x 2 modes) | smoke (CI 2x2x2x2)")
+	matrixModes := flag.String("matrix-modes", "", "comma-separated checkpoint-mode axis override (aligned,unaligned)")
 	matrixOut := flag.String("matrix-out", "", "write the matrix sweep as a standalone baseline report to this file")
 	matrixBaseline := flag.String("matrix-baseline", "", "compare the matrix sweep against this committed baseline and fail on recovery regressions")
 	matrixMaxRegress := flag.Float64("matrix-max-regress", 3.0, "allowed median recovery/detection slowdown factor vs -matrix-baseline")
@@ -295,6 +297,9 @@ func main() {
 			if *matrixRepeats > 0 {
 				opt.Repeats = *matrixRepeats
 			}
+			if *matrixModes != "" {
+				opt.Modes = strings.Split(*matrixModes, ",")
+			}
 			res, err := harness.RunMatrix(w, opt)
 			if err != nil {
 				return err
@@ -308,6 +313,7 @@ func main() {
 					"grid":     *matrixGrid,
 					"duration": opt.Duration.String(),
 					"repeats":  opt.Repeats,
+					"modes":    res.Modes,
 				}
 				if err := harness.WriteMatrixReport(*matrixOut, res, options); err != nil {
 					return err

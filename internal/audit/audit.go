@@ -339,6 +339,23 @@ func (a *Auditor) OnWatermark(task types.TaskID, ch types.ChannelID, prev, ts in
 		Detail: fmt.Sprintf("watermark regressed %d -> %d", prev, ts)})
 }
 
+// OnPreload observes a restored in-flight prefix being preloaded onto a
+// channel ahead of live replay (unaligned-checkpoint restore). Preloaded
+// buffers come from the receiver's own snapshot and bypass the endpoint
+// accept path, so OnDeliver's rewind detection never sees them — but they
+// rewind the channel to the epoch boundary all the same, and the marker
+// stamps inside the preloaded window legitimately repeat. Re-seed the
+// floor exactly as OnDeliver does for a re-delivered seq.
+func (a *Auditor) OnPreload(task types.TaskID, ch types.ChannelID) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	cs := a.state(ch)
+	cs.markerSeeded = false
+	a.mu.Unlock()
+}
+
 // OnMarker observes a latency-marker stamp on a source-fed channel.
 // Stamps from a single source subtask are monotone per channel; the
 // floor re-seeds while the channel rewinds (see OnDeliver).

@@ -53,6 +53,24 @@ type TaskSnapshot struct {
 	// restore recomputes and compares it. 0 means no fingerprint was
 	// recorded (audit disarmed at snapshot time), which skips the check.
 	Fingerprint uint64
+	// InFlight is the logged-buffer section of an unaligned checkpoint
+	// (statestore.EncodeInFlight bytes): the pre-barrier input of every
+	// channel whose barrier had not arrived when the task snapshotted.
+	// Restore preloads it ahead of live replay. Empty for aligned
+	// checkpoints. Held in memory only — the disk mirror (Store.Put)
+	// writes operator state, standing in for HDFS's state files, not the
+	// transient channel log.
+	InFlight []byte
+	// SourceBacklog is the polled-but-unemitted tail of a source task's
+	// current batch at barrier time. Source operators advance their
+	// offsets when a batch is polled, not per emitted element, so a
+	// barrier arriving mid-batch snapshots state that already covers
+	// elements still waiting in the task's pending batch — elements that
+	// then flow in the next epoch. Restore must re-emit them before
+	// polling again or they are silently skipped (the offsets are past
+	// them). Like InFlight, this section is held in memory only; the
+	// disk mirror persists operator state.
+	SourceBacklog []types.Element
 }
 
 // Store holds snapshots by (checkpoint, task) and tracks which checkpoints
@@ -215,7 +233,9 @@ type CoordinatorMetrics struct {
 // barrier alignment, "snapshot-persisted:<task>" when its snapshot
 // lands in the store, "ack:<task>" for each acknowledgement, and
 // "complete" when the epoch is declared done. Aborted epochs end with
-// an "aborted" attribute (pause | reset | timeout) instead.
+// an "aborted" attribute (pause | reset | timeout) instead. Epochs where
+// any task snapshotted through the unaligned capture path carry an
+// "alignment"="unaligned" attribute (see Coordinator.AnnotateCheckpoint).
 const SpanName = "checkpoint"
 
 type Coordinator struct {
@@ -280,6 +300,20 @@ func (c *Coordinator) MarkCheckpoint(cp types.CheckpointID, name string) {
 	}
 	c.marked[name] = true
 	c.span.Mark(name)
+}
+
+// AnnotateCheckpoint sets an attribute on the in-flight epoch's span —
+// e.g. the job layer stamps "alignment"="unaligned" when any task takes
+// the epoch's snapshot through the unaligned capture path. Attributes for
+// checkpoints that are not in flight are dropped; nil-safe without a
+// tracer.
+func (c *Coordinator) AnnotateCheckpoint(cp types.CheckpointID, key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cp != c.current || c.span == nil {
+		return
+	}
+	c.span.SetAttr(key, value)
 }
 
 // endSpanLocked detaches and finishes the in-flight epoch span. With a

@@ -42,6 +42,14 @@ const (
 	PointAlignBlocked  = "align/blocked"  // a channel was just blocked for alignment
 	PointAlignComplete = "align/complete" // all barriers in, before the snapshot
 
+	// Unaligned checkpointing (task.beginUnalignedCapture / captureMessage
+	// / sealCapture): the overload-tolerant path snapshots on the first
+	// barrier and logs pre-barrier input instead of gating channels, so
+	// these windows bracket a snapshot that is visible but not yet sealed.
+	PointUnalignedSnapshot = "unaligned/snapshot" // first barrier arrived, before the immediate snapshot
+	PointUnalignedCapture  = "unaligned/capture"  // one pre-barrier message was just logged into the capture
+	PointUnalignedSeal     = "unaligned/seal"     // every pending barrier drained, before the sealed snapshot persists
+
 	// Snapshot and the persist→ack window (task.snapshot / Runtime.onSnapshot).
 	PointSnapshotPreBarrier = "snapshot/pre-barrier"        // before the barrier is forwarded downstream
 	PointSnapshotPreState   = "snapshot/pre-state"          // barrier forwarded and epochs rolled, before state capture
@@ -86,6 +94,10 @@ const (
 	KindSource
 	// KindAlign points fire only on tasks with two or more input channels.
 	KindAlign
+	// KindUnaligned points fire only on multi-input tasks running with
+	// unaligned checkpoints armed; the sweep driver arms the mode when a
+	// schedule carries this kind.
+	KindUnaligned
 	// KindTimer points fire only on tasks with processing-time timers.
 	KindTimer
 	// KindRecovery points fire while a task is being recovered, so a
@@ -113,6 +125,9 @@ var points = []PointInfo{
 	{PointAlignStart, KindAlign},
 	{PointAlignBlocked, KindAlign},
 	{PointAlignComplete, KindAlign},
+	{PointUnalignedSnapshot, KindUnaligned},
+	{PointUnalignedCapture, KindUnaligned},
+	{PointUnalignedSeal, KindUnaligned},
 	{PointSnapshotPreBarrier, KindDirect},
 	{PointSnapshotPreState, KindDirect},
 	{PointSnapshotPrePersist, KindDirect},
@@ -423,6 +438,18 @@ func Sweep(plan SweepPlan) []Schedule {
 		case KindAlign:
 			if align != "" {
 				out = append(out, Schedule{Kills: []Kill{{Point: p.Name, Victim: align}}})
+			}
+		case KindUnaligned:
+			// Same victim shape as alignment points; the driver arms
+			// Config.UnalignedCheckpoints when it sees this kind.
+			if align != "" {
+				k := Kill{Point: p.Name, Victim: align}
+				if p.Name == PointUnalignedCapture {
+					// Land mid-capture rather than on the first logged
+					// message.
+					k.Skip = plan.StepSkip
+				}
+				out = append(out, Schedule{Kills: []Kill{k}})
 			}
 		case KindTimer:
 			if plan.Timer != "" {

@@ -34,7 +34,26 @@ type MatrixOptions struct {
 	StateSizes []int
 	// Failures are the swept failure types; see MatrixFailureTypes.
 	Failures []string
+	// Modes are the swept checkpoint modes; see MatrixCheckpointModes.
+	// Empty means aligned-only (the pre-mode-axis grid).
+	Modes []string
 }
+
+// MatrixCheckpointModes lists the checkpoint-mode axis values:
+//
+//	aligned    barrier alignment gates already-barriered channels until
+//	           the last barrier arrives (the default task configuration)
+//	unaligned  always-on unaligned checkpointing: the task snapshots on
+//	           the first barrier and logs in-flight input instead of
+//	           gating channels
+//
+// The mode decides which crash point the "alignment" failure cell arms:
+// align/blocked never fires in unaligned mode (no channel is ever
+// gated), so the unaligned cell kills inside the capture window at
+// unaligned/snapshot instead — without the explicit selection the kill
+// would silently never land and the cell would measure a failure-free
+// run.
+var MatrixCheckpointModes = []string{"aligned", "unaligned"}
 
 // MatrixFailureTypes lists the supported failure-type axis values:
 //
@@ -48,7 +67,7 @@ type MatrixOptions struct {
 var MatrixFailureTypes = []string{"single", "staggered", "concurrent", "alignment"}
 
 // DefaultMatrixOptions returns the committed-baseline grid: 2 loads x
-// 2 state sizes x 4 failure types = 16 cells.
+// 2 state sizes x 4 failure types x 2 checkpoint modes = 32 cells.
 func DefaultMatrixOptions() MatrixOptions {
 	syn := synthetic.DefaultConfig()
 	syn.Parallelism = 2
@@ -62,11 +81,13 @@ func DefaultMatrixOptions() MatrixOptions {
 		Loads:      []float64{0.5, 1.0},
 		StateSizes: []int{1024, 8192},
 		Failures:   MatrixFailureTypes,
+		Modes:      MatrixCheckpointModes,
 	}
 }
 
-// SmokeMatrixOptions returns the tiny 2x2x2 grid CI runs: both loads,
-// both state sizes, but only the two cheap single-run failure types.
+// SmokeMatrixOptions returns the small 2x2x2x2 grid CI runs: both loads,
+// both state sizes, both checkpoint modes, but only the two cheap
+// single-run failure types.
 func SmokeMatrixOptions() MatrixOptions {
 	opt := DefaultMatrixOptions()
 	opt.Duration = 10 * time.Second
@@ -81,6 +102,9 @@ type MatrixCell struct {
 	Rate             int     `json:"rate_per_s"`
 	StateBytesPerKey int     `json:"state_bytes_per_key"`
 	Failure          string  `json:"failure"`
+	// Mode is the checkpoint mode the cell ran (schema >= 3); legacy
+	// reports default to "aligned" on load.
+	Mode string `json:"mode,omitempty"`
 
 	DetectionMs     float64 `json:"detection_ms"`
 	RecoveryMs      float64 `json:"recovery_ms"`
@@ -103,9 +127,11 @@ type MatrixCell struct {
 
 // MatrixSchemaVersion is the report schema RunMatrix emits. Version 2
 // added per-cell audit_violations (cells run with the audit plane
-// armed). Version 0/1 reports — the committed legacy baseline — carry
-// no schema field and are accepted without audit checks.
-const MatrixSchemaVersion = 2
+// armed). Version 3 added the checkpoint-mode axis; older cells load
+// with mode "aligned", which is what they ran. Version 0/1 reports —
+// the committed legacy baseline — carry no schema field and are
+// accepted without audit checks.
+const MatrixSchemaVersion = 3
 
 // MatrixReport is the JSON payload of one matrix sweep (the committed
 // BENCH_recovery_matrix.json wraps this in a BenchReport).
@@ -114,6 +140,7 @@ type MatrixReport struct {
 	Loads      []float64    `json:"loads"`
 	StateSizes []int        `json:"state_sizes"`
 	Failures   []string     `json:"failures"`
+	Modes      []string     `json:"modes,omitempty"`
 	Cells      []MatrixCell `json:"cells"`
 }
 
@@ -175,21 +202,27 @@ func RunMatrix(w io.Writer, opt MatrixOptions) (*MatrixReport, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	report := &MatrixReport{Schema: MatrixSchemaVersion, Loads: opt.Loads, StateSizes: opt.StateSizes, Failures: opt.Failures}
-	total := len(opt.Loads) * len(opt.StateSizes) * len(opt.Failures)
+	modes := opt.Modes
+	if len(modes) == 0 {
+		modes = []string{"aligned"}
+	}
+	report := &MatrixReport{Schema: MatrixSchemaVersion, Loads: opt.Loads, StateSizes: opt.StateSizes, Failures: opt.Failures, Modes: modes}
+	total := len(opt.Loads) * len(opt.StateSizes) * len(opt.Failures) * len(modes)
 	n := 0
 	for _, load := range opt.Loads {
 		for _, stateBytes := range opt.StateSizes {
 			for _, failure := range opt.Failures {
-				n++
-				if w != nil {
-					fmt.Fprintf(w, "matrix cell %d/%d: load=%.2f state=%dB failure=%s\n", n, total, load, stateBytes, failure)
+				for _, mode := range modes {
+					n++
+					if w != nil {
+						fmt.Fprintf(w, "matrix cell %d/%d: load=%.2f state=%dB failure=%s mode=%s\n", n, total, load, stateBytes, failure, mode)
+					}
+					cell, err := runMatrixCell(load, stateBytes, failure, mode, opt, repeats)
+					if err != nil {
+						return nil, fmt.Errorf("matrix cell load=%.2f state=%d failure=%s mode=%s: %w", load, stateBytes, failure, mode, err)
+					}
+					report.Cells = append(report.Cells, cell)
 				}
-				cell, err := runMatrixCell(load, stateBytes, failure, opt, repeats)
-				if err != nil {
-					return nil, fmt.Errorf("matrix cell load=%.2f state=%d failure=%s: %w", load, stateBytes, failure, err)
-				}
-				report.Cells = append(report.Cells, cell)
 			}
 		}
 	}
@@ -199,7 +232,10 @@ func RunMatrix(w io.Writer, opt MatrixOptions) (*MatrixReport, error) {
 	return report, nil
 }
 
-func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptions, repeats int) (MatrixCell, error) {
+func runMatrixCell(load float64, stateBytes int, failure, mode string, opt MatrixOptions, repeats int) (MatrixCell, error) {
+	if mode != "aligned" && mode != "unaligned" {
+		return MatrixCell{}, fmt.Errorf("matrix: unknown checkpoint mode %q (want one of %v)", mode, MatrixCheckpointModes)
+	}
 	syn := opt.Synthetic
 	syn.StateBytesPerKey = stateBytes
 	rate := int(float64(opt.BaseRate) * load)
@@ -222,25 +258,34 @@ func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptio
 		// validator rejects.
 		aud := audit.New()
 		cfg.Audit = aud
+		cfg.UnalignedCheckpoints = mode == "unaligned"
 		if failure == "alignment" {
 			// The crash-point analyzer reserves Point constants for their
 			// single production call site; schedules are built from the
-			// replayable artifact format instead. align/blocked fires once
-			// per alignment at a 2-input task, so skipping occurrences
-			// delays the kill to ~40% of the run — an early kill leaves too
-			// small a pre-failure window for the §7.4 settle baseline.
+			// replayable artifact format instead. The kill point must match
+			// the checkpoint mode: align/blocked fires once per alignment at
+			// a 2-input task, but never in unaligned mode (no channel is
+			// gated), where the equivalent mid-checkpoint instant is the
+			// unaligned/snapshot capture switch. Either point fires once per
+			// checkpoint, so skipping occurrences delays the kill to ~40% of
+			// the run — an early kill leaves too small a pre-failure window
+			// for the §7.4 settle baseline.
+			point := "align/blocked"
+			if mode == "unaligned" {
+				point = "unaligned/snapshot"
+			}
 			skip := int(float64(opt.Duration)*0.4/float64(cfg.CheckpointInterval)) - 1
 			if skip < 0 {
 				skip = 0
 			}
-			sched, perr := faultinject.Parse(fmt.Sprintf("kill=align/blocked@v2[0]#%d", skip))
+			sched, perr := faultinject.Parse(fmt.Sprintf("kill=%s@v2[0]#%d", point, skip))
 			if perr != nil {
 				return MatrixCell{}, perr
 			}
 			cfg.Faults = faultinject.New(sched)
 		}
 		res, err := Run(RunSpec{
-			Name:      fmt.Sprintf("matrix-%s-l%.2f-s%d", failure, load, stateBytes),
+			Name:      fmt.Sprintf("matrix-%s-%s-l%.2f-s%d", failure, mode, load, stateBytes),
 			Cfg:       cfg,
 			SinkDedup: true,
 			NewTopic:  func() *kafkasim.Topic { return kafkasim.NewTopic("syn", syn.Parallelism*2) },
@@ -281,6 +326,7 @@ func runMatrixCell(load float64, stateBytes int, failure string, opt MatrixOptio
 		Rate:             rate,
 		StateBytesPerKey: stateBytes,
 		Failure:          failure,
+		Mode:             mode,
 		DetectionMs:      float64(med.Detection.Milliseconds()),
 		RecoveryMs:       float64(med.Recovery.Milliseconds()),
 		RecoveryOK:       med.RecoveryOK,
@@ -301,10 +347,15 @@ func PrintMatrix(w io.Writer, report *MatrixReport) {
 	fmt.Fprintf(w, "\nrecovery-under-load matrix (%d cells, clonos full-DSD)\n", len(report.Cells))
 	var rows [][]string
 	for _, c := range report.Cells {
+		mode := c.Mode
+		if mode == "" {
+			mode = "aligned"
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%.2f", c.Load),
 			fmt.Sprintf("%d", c.StateBytesPerKey),
 			c.Failure,
+			mode,
 			fmtDur(time.Duration(c.DetectionMs)*time.Millisecond, c.DetectionMs > 0),
 			fmtDur(time.Duration(c.RecoveryMs)*time.Millisecond, c.RecoveryOK),
 			fmt.Sprintf("%dms", c.LatencyP50Ms),
@@ -314,5 +365,5 @@ func PrintMatrix(w io.Writer, report *MatrixReport) {
 			fmt.Sprintf("%d", c.AuditViolations),
 		})
 	}
-	table(w, []string{"load", "state(B)", "failure", "detect", "recovery(10% lat)", "lat p50", "lat p99", "tput", "global restart", "audit"}, rows)
+	table(w, []string{"load", "state(B)", "failure", "mode", "detect", "recovery(10% lat)", "lat p50", "lat p99", "tput", "global restart", "audit"}, rows)
 }

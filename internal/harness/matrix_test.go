@@ -11,12 +11,13 @@ func sampleMatrixReport() *MatrixReport {
 		Loads:      []float64{0.5, 1.0},
 		StateSizes: []int{1024},
 		Failures:   []string{"single", "alignment"},
+		Modes:      []string{"aligned"},
 		Cells: []MatrixCell{
-			{Load: 0.5, Rate: 2250, StateBytesPerKey: 1024, Failure: "single",
+			{Load: 0.5, Rate: 2250, StateBytesPerKey: 1024, Failure: "single", Mode: "aligned",
 				RecoveryMs: 800, RecoveryOK: true, DetectionMs: 650, LatencyP50Ms: 10, LatencyP99Ms: 40, SinkRecords: 1000, Repeats: 1},
-			{Load: 1.0, Rate: 4500, StateBytesPerKey: 1024, Failure: "alignment",
+			{Load: 1.0, Rate: 4500, StateBytesPerKey: 1024, Failure: "alignment", Mode: "aligned",
 				RecoveryMs: 1200, RecoveryOK: true, DetectionMs: 700, LatencyP50Ms: 12, LatencyP99Ms: 55, SinkRecords: 2000, Repeats: 1},
-			{Load: 1.0, Rate: 4500, StateBytesPerKey: 1024, Failure: "single",
+			{Load: 1.0, Rate: 4500, StateBytesPerKey: 1024, Failure: "single", Mode: "aligned",
 				RecoveryMs: 1000, RecoveryOK: true, DetectionMs: 680, LatencyP50Ms: 11, LatencyP99Ms: 48, SinkRecords: 2000, Repeats: 1},
 		},
 	}
@@ -81,6 +82,52 @@ func TestValidateMatrixReport(t *testing.T) {
 	legacy.Cells[1].AuditViolations = 3
 	if err := ValidateMatrixReport(legacy, 1); err != nil {
 		t.Errorf("legacy report rejected: %v", err)
+	}
+	// From schema 3 the checkpoint mode is a grid coordinate: unknown
+	// values are rejected, and cells differing only by mode coexist.
+	badMode := sampleMatrixReport()
+	badMode.Schema = MatrixSchemaVersion
+	badMode.Cells[0].Mode = "sideways"
+	if err := ValidateMatrixReport(badMode, 1); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Errorf("unknown mode: err = %v, want mode error", err)
+	}
+	modal := sampleMatrixReport()
+	modal.Schema = MatrixSchemaVersion
+	cell := modal.Cells[0]
+	cell.Mode = "unaligned"
+	modal.Cells = append(modal.Cells, cell)
+	if err := ValidateMatrixReport(modal, 1); err != nil {
+		t.Errorf("mode-distinct cells rejected as duplicates: %v", err)
+	}
+}
+
+// TestMatrixLegacyModeNormalized proves pre-mode-axis reports load with
+// every cell on the aligned coordinate, so baseline comparison keys line
+// up with the cells' actual configuration.
+func TestMatrixLegacyModeNormalized(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := sampleMatrixReport()
+	legacy.Modes = nil
+	for i := range legacy.Cells {
+		legacy.Cells[i].Mode = ""
+	}
+	if err := WriteMatrixReport(path, legacy, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrixReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Modes) != 1 || got.Modes[0] != "aligned" {
+		t.Errorf("legacy modes axis = %v, want [aligned]", got.Modes)
+	}
+	for i, c := range got.Cells {
+		if c.Mode != "aligned" {
+			t.Errorf("legacy cell %d mode = %q, want aligned", i, c.Mode)
+		}
+	}
+	if key := matrixCellKey(MatrixCell{Load: 1, StateBytesPerKey: 1024, Failure: "single"}); key != matrixCellKey(got.Cells[2]) {
+		t.Errorf("legacy cell key %q does not match empty-mode key %q", matrixCellKey(got.Cells[2]), key)
 	}
 }
 

@@ -41,6 +41,17 @@ func LoadMatrixReport(path string) (*MatrixReport, error) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		return nil, fmt.Errorf("%s: matrix payload: %w", path, err)
 	}
+	// Reports older than schema 3 predate the checkpoint-mode axis; every
+	// such cell ran barrier-aligned, so normalize the coordinate rather
+	// than forcing every consumer to special-case the empty mode.
+	for i := range report.Cells {
+		if report.Cells[i].Mode == "" {
+			report.Cells[i].Mode = "aligned"
+		}
+	}
+	if len(report.Modes) == 0 {
+		report.Modes = []string{"aligned"}
+	}
 	return &report, nil
 }
 
@@ -62,9 +73,12 @@ func ValidateMatrixReport(r *MatrixReport, minCells int) error {
 	}
 	seen := map[string]bool{}
 	for i, c := range r.Cells {
-		at := fmt.Sprintf("cell %d (load=%.2f state=%d failure=%q)", i, c.Load, c.StateBytesPerKey, c.Failure)
+		at := fmt.Sprintf("cell %d (load=%.2f state=%d failure=%q mode=%q)", i, c.Load, c.StateBytesPerKey, c.Failure, c.Mode)
 		if c.Load <= 0 || c.StateBytesPerKey <= 0 || c.Failure == "" {
 			return fmt.Errorf("%s: missing grid coordinates", at)
+		}
+		if r.Schema >= 3 && c.Mode != "aligned" && c.Mode != "unaligned" {
+			return fmt.Errorf("%s: unknown checkpoint mode", at)
 		}
 		key := matrixCellKey(c)
 		if seen[key] {
@@ -88,7 +102,11 @@ func ValidateMatrixReport(r *MatrixReport, minCells int) error {
 }
 
 func matrixCellKey(c MatrixCell) string {
-	return fmt.Sprintf("%.4f/%d/%s", c.Load, c.StateBytesPerKey, c.Failure)
+	mode := c.Mode
+	if mode == "" {
+		mode = "aligned"
+	}
+	return fmt.Sprintf("%.4f/%d/%s/%s", c.Load, c.StateBytesPerKey, c.Failure, mode)
 }
 
 // CompareMatrixBaseline flags recovery regressions of cur against base.
@@ -135,8 +153,8 @@ func CompareMatrixBaseline(base, cur *MatrixReport, maxRegress float64, maxUnset
 			continue
 		}
 		if !c.RecoveryOK {
-			flips = append(flips, fmt.Sprintf("load=%.2f state=%dB failure=%s: recovery never settled (baseline %.0fms)",
-				c.Load, c.StateBytesPerKey, c.Failure, b.RecoveryMs))
+			flips = append(flips, fmt.Sprintf("load=%.2f state=%dB failure=%s mode=%s: recovery never settled (baseline %.0fms)",
+				c.Load, c.StateBytesPerKey, c.Failure, c.Mode, b.RecoveryMs))
 			continue
 		}
 		baseRec = append(baseRec, b.RecoveryMs)

@@ -115,6 +115,21 @@ type Config struct {
 	// full image. The first snapshot after start or recovery is full.
 	IncrementalCheckpoints bool
 
+	// UnalignedCheckpoints arms overload-tolerant checkpointing as
+	// always-on: a multi-input task snapshots immediately on its first
+	// barrier and logs the in-flight buffers of not-yet-barriered
+	// channels into the snapshot instead of gating them. No channel is
+	// ever blocked for alignment; the checkpoint ack is deferred until
+	// every pending channel's barrier has drained past the capture.
+	UnalignedCheckpoints bool
+	// AlignmentBudget converts a stuck aligned checkpoint to the
+	// unaligned capture path: when a barrier alignment has been pending
+	// longer than this budget, the task snapshots where it stands,
+	// unblocks its gated channels, and logs the remaining pre-barrier
+	// input into the snapshot. 0 disables the conversion (aligned
+	// checkpoints wait indefinitely; UnalignedCheckpoints is unaffected).
+	AlignmentBudget time.Duration
+
 	// StallDeadline arms the runtime's stall watchdog: a tracer event
 	// fires when a running task's watermark/offset, a pending barrier
 	// alignment, or checkpoint completion stops advancing for this long.

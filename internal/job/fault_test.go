@@ -24,6 +24,25 @@ import (
 // sweep failure shrinks to a one-line reproducer.
 var scheduleFlag = flag.String("schedule", "", "crash schedule to replay in TestCrashSchedule")
 
+// faultUnaligned reports whether the whole sweep is forced through
+// unaligned checkpointing (CLONOS_FAULT_UNALIGNED=1, the CI fault-sweep
+// job's second leg). Schedules whose points require gated alignment are
+// skipped in that leg — see alignedOnlySchedule.
+func faultUnaligned() bool { return os.Getenv("CLONOS_FAULT_UNALIGNED") == "1" }
+
+// alignedOnlySchedule reports whether sched names a crash point that is
+// structurally unreachable when unaligned checkpointing is armed: with no
+// channel ever gated, the blocked-alignment window does not exist, and
+// multi-input alignments convert to capture before their last barrier.
+func alignedOnlySchedule(sched faultinject.Schedule) bool {
+	for _, k := range sched.Kills {
+		if k.Point == faultinject.PointAlignBlocked || k.Point == faultinject.PointAlignComplete {
+			return true
+		}
+	}
+	return false
+}
+
 // crashVerdict is the outcome of one schedule-driven run.
 type crashVerdict struct {
 	finished bool
@@ -120,6 +139,14 @@ func writeFailureArtifact(t *testing.T, sched faultinject.Schedule, trace, stack
 // the expected aggregate. On violation it writes the failure artifact.
 func runCrashSchedule(t *testing.T, sched faultinject.Schedule) crashVerdict {
 	t.Helper()
+	return runCrashScheduleMode(t, sched, false)
+}
+
+// runCrashScheduleMode is runCrashSchedule with an explicit unaligned
+// override, for pinned regressions whose bug only exists under unaligned
+// checkpoints regardless of the sweep leg's env gate.
+func runCrashScheduleMode(t *testing.T, sched faultinject.Schedule, forceUnaligned bool) crashVerdict {
+	t.Helper()
 	const (
 		n    = 2500
 		keys = 7
@@ -138,6 +165,17 @@ func runCrashSchedule(t *testing.T, sched faultinject.Schedule) crashVerdict {
 	cfg.ServiceSeed = 42 // deterministic nondeterminants: replays hit the run the schedule saw
 	cfg.Faults = inj
 	cfg.TraceSink = rec
+	unaligned := forceUnaligned || faultUnaligned() || sched.HasKind(faultinject.KindUnaligned)
+	if unaligned {
+		// Schedules that target the unaligned crash points arm the mode
+		// they exercise; the env gate forces every schedule through it.
+		cfg.UnalignedCheckpoints = true
+		// Small frames keep the ORDER unit fine-grained under the slow
+		// pipeline's backpressure: with the default 8KiB buffers the whole
+		// backlog packs into 2-3 full frames per channel and no capture
+		// window ever brackets one, leaving unaligned/capture unreachable.
+		cfg.BufferSize = 256
+	}
 	// The audit plane runs armed across the whole sweep: every schedule
 	// doubles as a false-positive pin — a passing crash schedule must
 	// produce zero violations.
@@ -151,6 +189,13 @@ func runCrashSchedule(t *testing.T, sched faultinject.Schedule) crashVerdict {
 	if timerRun {
 		topic = kafkasim.NewTopic("in", 1)
 		g = procWindowPipeline(topic, sink)
+	} else if unaligned {
+		// Unaligned runs go through the slow variant so the capture
+		// windows the schedule crashes in open onto a genuine backlog
+		// (in-flight buffers to log), matching the matrix's
+		// sustained-backpressure load rather than a drained queue.
+		topic = kafkasim.NewTopic("in", 2)
+		g = slowDeepPipeline(topic, sink, 2, 600*time.Microsecond)
 	} else {
 		topic = kafkasim.NewTopic("in", 2)
 		g = deepPipeline(topic, sink, 2)
@@ -274,6 +319,9 @@ func TestFaultSweep(t *testing.T) {
 	firedPoints := make(map[string]bool)
 	for _, sched := range schedules {
 		sched := sched
+		if faultUnaligned() && alignedOnlySchedule(sched) {
+			continue
+		}
 		t.Run(sanitizeSchedule(sched.String()), func(t *testing.T) {
 			v := runCrashSchedule(t, sched)
 			for _, f := range v.fired {
@@ -284,6 +332,10 @@ func TestFaultSweep(t *testing.T) {
 	// The sweep only proves something if the points actually fired: every
 	// registered point must have gone off in at least one schedule.
 	for _, p := range faultinject.Points() {
+		if faultUnaligned() &&
+			(p.Name == faultinject.PointAlignBlocked || p.Name == faultinject.PointAlignComplete) {
+			continue // unreachable with every schedule forced unaligned
+		}
 		if !firedPoints[p.Name] {
 			t.Errorf("crash point %q never fired in any sweep schedule", p.Name)
 		}
@@ -332,7 +384,11 @@ func TestCrashScheduleRegressions(t *testing.T) {
 	regressions := []struct {
 		name     string
 		schedule string
-		bug      string
+		// unaligned forces unaligned checkpoints: the pinned bug only
+		// exists on the unaligned path, so the pin must not depend on the
+		// sweep leg's env gate to arm it.
+		unaligned bool
+		bug       string
 	}{
 		{
 			name:     "crash-before-first-checkpoint-loses-pre-barrier-buffers",
@@ -368,6 +424,36 @@ func TestCrashScheduleRegressions(t *testing.T) {
 				"downstream wedged waiting for data no one would ever re-send",
 		},
 		{
+			name:      "global-restart-skips-mid-batch-source-backlog",
+			schedule:  "kill=task/loop@v2[0]#60;kill=global/post-rebuild@v2[0]",
+			unaligned: true, // needs the backpressured pipeline: the batch is drained otherwise
+			bug: "KafkaSource.Poll advances its offsets for the whole polled " +
+				"batch, but the task emits the batch one element at a time and " +
+				"services checkpoint triggers in between: a barrier arriving " +
+				"mid-batch snapshotted offsets already past the unemitted tail, " +
+				"which then flowed in the NEXT epoch. A restore from that " +
+				"checkpoint resumed at the post-batch offsets and silently " +
+				"skipped the tail — up to BatchMax records lost per source " +
+				"subtask per restart. Latent until the backpressured sweep: " +
+				"with a drained queue the batch is empty whenever a trigger " +
+				"arrives. Fixed by persisting the unemitted tail in the " +
+				"snapshot (TaskSnapshot.SourceBacklog) and re-emitting it on " +
+				"restore before polling again",
+		},
+		{
+			name:      "unaligned-preload-replays-stale-latency-markers",
+			schedule:  "kill=task/loop@v2[0]#60;kill=channel/serve-replay@*",
+			unaligned: true,
+			bug: "only under unaligned checkpoints: restore preloads captured " +
+				"in-flight buffers straight into the gate, bypassing the " +
+				"endpoint accept path — so the audit plane's OnDeliver rewind " +
+				"detection never saw the channel rewind, and marker stamps " +
+				"inside the preloaded window tripped a false " +
+				"latency-marker-reorder violation against the pre-crash floor. " +
+				"Fixed by notifying the auditor at preload (OnPreload) so the " +
+				"marker floor re-seeds exactly as for a re-delivered seq",
+		},
+		{
 			name:     "second-kill-delays-checkpoint-into-end-of-input",
 			schedule: "kill=task/loop@v2[0]#20;kill=task/loop@v2[0]#31",
 			bug: "an EOS arriving on a channel MID-alignment set eosSeen but never " +
@@ -385,7 +471,7 @@ func TestCrashScheduleRegressions(t *testing.T) {
 			if err != nil {
 				t.Fatalf("bad pinned schedule: %v", err)
 			}
-			if v := runCrashSchedule(t, sched); !v.finished {
+			if v := runCrashScheduleMode(t, sched, reg.unaligned); !v.finished {
 				t.Logf("regressed bug: %s", reg.bug)
 			}
 		})

@@ -32,6 +32,9 @@ type taskMetrics struct {
 	// serialized size (state + timers).
 	snapshots     *obs.Counter
 	snapshotBytes *obs.Counter
+	// inflightLogged counts encoded in-flight-section bytes sealed into
+	// unaligned checkpoints (zero while checkpoints stay aligned).
+	inflightLogged *obs.Counter
 	// dedupDiscarded counts dispatched buffers suppressed by sender-side
 	// deduplication after this task's own recovery (§5.2).
 	dedupDiscarded *obs.Counter
@@ -69,6 +72,8 @@ func newTaskMetrics(reg *obs.Registry, vertexName string, subtask int32) *taskMe
 		snapshots: reg.Counter("clonos_checkpoint_snapshots_total", "Task snapshots completed.", lbl),
 		snapshotBytes: reg.Counter("clonos_checkpoint_snapshot_bytes_total",
 			"Serialized snapshot bytes (state + timers) produced by the task.", lbl),
+		inflightLogged: reg.Counter("clonos_checkpoint_inflight_logged_bytes_total",
+			"In-flight input bytes logged into unaligned checkpoints.", lbl),
 		dedupDiscarded: reg.Counter("clonos_dedup_discarded_total",
 			"Dispatched buffers suppressed by sender-side deduplication after recovery.", lbl),
 		replayServed: reg.Counter("clonos_replay_served_total",

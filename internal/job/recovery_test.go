@@ -197,6 +197,30 @@ func deepPipeline(topic *kafkasim.Topic, sink *kafkasim.SinkTopic, p int) *Graph
 	return g
 }
 
+// slowDeepPipeline is deepPipeline with a per-record processing delay in
+// the keyed stage. With the generator outrunning s2's service rate the
+// input channels carry a standing backlog, so unaligned capture windows
+// opened by the fault sweep log real in-flight buffers instead of
+// draining an empty queue. Same oracle as deepPipeline.
+func slowDeepPipeline(topic *kafkasim.Topic, sink *kafkasim.SinkTopic, p int, delay time.Duration) *Graph {
+	g := NewGraph()
+	src := g.AddVertex("src", p, &operator.KafkaSource{SourceName: "kafka", Topic: topic, WatermarkEvery: 25})
+	s1 := g.AddVertex("s1", p, nil, operator.Map("add1", func(ctx operator.Context, e types.Element) (any, bool, error) {
+		return e.Value.(int64) + 1, true, nil
+	}))
+	s2 := g.AddVertex("s2", p, nil, operator.KeyedReduce("sum", func(ctx operator.Context, acc any, e types.Element) (any, error) {
+		time.Sleep(delay)
+		s, _ := acc.(statefulValue)
+		s.Total += e.Value.(int64)
+		return s, nil
+	}))
+	sinkV := g.AddVertex("sink", 1, nil, operator.NewKafkaSink("sink", sink))
+	g.Connect(src, s1, PartitionHash, nil, nil)
+	g.Connect(s1, s2, PartitionHash, nil, nil)
+	g.Connect(s2, sinkV, PartitionHash, nil, nil)
+	return g
+}
+
 func expectedDeepSums(n int, keys uint64) map[uint64]int64 {
 	out := make(map[uint64]int64)
 	for i := 0; i < n; i++ {

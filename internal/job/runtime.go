@@ -51,6 +51,12 @@ const (
 	// at restore (Info: "cp=N fp=... verified"), giving clonos-trace
 	// -audit a per-recovery fingerprint-comparison record.
 	EventAuditFingerprint EventKind = "audit-fingerprint"
+	// EventUnalignedSnapshot records a task snapshotting unaligned — at
+	// its first barrier (Config.UnalignedCheckpoints) or after a pending
+	// alignment exceeded Config.AlignmentBudget. Info carries the
+	// checkpoint; the in-flight capture of the not-yet-barriered channels
+	// begins here.
+	EventUnalignedSnapshot EventKind = "unaligned-snapshot"
 )
 
 // RecoverySpanName is the tracer span covering one local recovery, from
@@ -591,6 +597,15 @@ func (r *Runtime) faultHit(point string, id types.TaskID) bool {
 func (r *Runtime) onBarrier(cp types.CheckpointID, id types.TaskID) {
 	_ = id
 	r.coord.MarkCheckpoint(cp, "first-barrier")
+}
+
+// onUnalignedSnapshot records a task switching checkpoint cp into
+// unaligned capture and tags the checkpoint's span, so traces show which
+// completed checkpoints logged in-flight input (and on which tasks).
+func (r *Runtime) onUnalignedSnapshot(cp types.CheckpointID, id types.TaskID) {
+	r.recordEvent(EventUnalignedSnapshot, id, fmt.Sprintf("cp=%d", cp))
+	r.coord.MarkCheckpoint(cp, "unaligned:"+id.String())
+	r.coord.AnnotateCheckpoint(cp, "alignment", "unaligned")
 }
 
 // onAlignmentComplete marks the epoch span when one task finished

@@ -123,6 +123,23 @@ type Task struct {
 	// pending alignment (zero = not blocked). Main thread only.
 	blockStart []time.Time
 
+	// Unaligned-checkpoint capture state (main thread only). While
+	// capturing, pendingSnap holds the already-built snapshot of
+	// checkpoint captureCp, and capChans logs every pre-barrier message
+	// still consumed on channels whose barrier has not arrived; when the
+	// last pending channel's barrier (or EOS) is decoded, sealCapture
+	// encodes the log into the snapshot and only then acks — so a
+	// completed checkpoint always covers its logged in-flight input.
+	capturing   bool
+	captureCp   types.CheckpointID
+	capChans    []capChannel
+	capLeft     int
+	pendingSnap *checkpoint.TaskSnapshot
+	// restoredInFlight is the decoded in-flight section of a restored
+	// unaligned snapshot; preloadInFlight injects it into the input path
+	// at the top of run(), before any live or replayed input is consumed.
+	restoredInFlight []statestore.InFlightChannel
+
 	// Shadows of main-thread progress state, stored atomically so the
 	// stall watchdog and callback gauges can read them off-thread.
 	wmShadow      atomic.Int64
@@ -148,6 +165,17 @@ type Task struct {
 	// recSpan is the recovery span this incarnation must finish (nil for
 	// fresh tasks); the main thread marks replay-done/caught-up on it.
 	recSpan atomic.Pointer[obs.Span]
+}
+
+// capChannel is the per-input capture state of one unaligned checkpoint:
+// done flips when the channel's barrier arrives (nothing further belongs
+// to the checkpoint), prefix is the deserializer's undecoded tail at
+// snapshot time, and msgs are the pre-barrier messages consumed between
+// the snapshot and the barrier.
+type capChannel struct {
+	done   bool
+	prefix []byte
+	msgs   []statestore.InFlightMessage
 }
 
 // taskOutEdge groups an edge's channels for partitioning.
@@ -397,6 +425,19 @@ func (t *Task) restore(snap *checkpoint.TaskSnapshot) error {
 			t.causal.StartEpochChannel(oc.id, t.epoch)
 		}
 	}
+	if len(snap.InFlight) > 0 {
+		chans, err := statestore.DecodeInFlight(snap.InFlight)
+		if err != nil {
+			return err
+		}
+		t.restoredInFlight = chans
+	}
+	if len(snap.SourceBacklog) > 0 {
+		// The predecessor snapshotted mid-batch: its source offsets
+		// already cover these elements, so re-emit them before polling
+		// again (see TaskSnapshot.SourceBacklog).
+		t.pendingBatch = append([]types.Element(nil), snap.SourceBacklog...)
+	}
 	if a := t.audit; a != nil && snap.Fingerprint != 0 {
 		// State attestation: the restored state must reproduce the digest
 		// recorded over the predecessor's live state at snapshot time. The
@@ -629,6 +670,10 @@ func (t *Task) run() {
 			return
 		}
 	}
+	t.preloadInFlight()
+	if t.crashed.Load() {
+		return
+	}
 	if t.replay.hasNext() {
 		t.state.Store(int32(stateRecovering))
 		if t.crashPoint(faultinject.PointReplayStart) {
@@ -711,9 +756,22 @@ func (t *Task) completeAlignment(cp types.CheckpointID) {
 
 // runLive is the normal-operation loop of a non-source task.
 func (t *Task) runLive() {
+	budget := t.env.cfg.AlignmentBudget
 	for !t.crashed.Load() {
 		if t.loopTick() {
 			return
+		}
+		if startNs := t.alignStartNs.Load(); budget > 0 && startNs != 0 &&
+			time.Since(time.Unix(0, startNs)) > budget {
+			// The aligned checkpoint is stuck behind a slow barrier
+			// (backpressure on a not-yet-barriered channel): convert it to
+			// an unaligned one rather than keep the barriered channels
+			// gated. Their parked post-barrier input belongs to epoch
+			// cp+1 and flows again once releaseAlignment reopens the gate.
+			t.beginUnalignedCapture(types.CheckpointID(t.alignCpShadow.Load()))
+			if t.crashed.Load() {
+				return
+			}
 		}
 		select {
 		case ev := <-t.mailbox:
@@ -839,6 +897,10 @@ func (t *Task) handleBuffer(idx int, m *netstack.Message) {
 	}
 	t.offset++
 	t.offsetShadow.Store(t.offset)
+	if t.capturing && t.captureMessage(idx, m) {
+		m.Release()
+		return
+	}
 	d := t.desers[idx]
 	if m.StreamReset {
 		// A divergent sender incarnation: its byte stream does not
@@ -916,6 +978,14 @@ func (t *Task) handleElement(idx int, e types.Element) {
 //
 //clonos:mainthread
 func (t *Task) eosCompletesAlignment(idx int) {
+	if t.capturing {
+		// End-of-stream also stands in for a pending capture channel's
+		// barrier: the finished upstream will never send one, and the EOS
+		// message itself was captured, so a restored task re-finishes the
+		// channel identically.
+		t.completeCaptureChannel(idx)
+		return
+	}
 	if !t.aligning || t.barriersSeen[idx] {
 		return
 	}
@@ -1036,12 +1106,34 @@ func (t *Task) advanceWatermark(wm int64) {
 	t.broadcastElement(types.Watermark(wm))
 }
 
-// handleBarrier performs aligned checkpointing: the first barrier of a
-// checkpoint blocks its channel; when barriers arrived on all channels
-// the task snapshots and unblocks.
+// handleBarrier performs checkpoint alignment. Aligned mode: the first
+// barrier of a checkpoint blocks its channel; when barriers arrived on
+// all channels the task snapshots and unblocks. Unaligned mode (see
+// beginUnalignedCapture): the first barrier snapshots immediately and the
+// remaining channels keep flowing, their pre-barrier input logged into
+// the snapshot until their barriers catch up.
 //
 //clonos:mainthread
 func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
+	// Capture bookkeeping must run BEFORE the stale-barrier guard: an
+	// unaligned snapshot already rolled the epoch to captureCp+1, so the
+	// pending channels' barriers for captureCp arrive "stale" by design —
+	// they are exactly the capture-completion signal.
+	if t.capturing {
+		switch {
+		case cp == t.captureCp:
+			t.completeCaptureChannel(idx)
+			return
+		case cp > t.captureCp:
+			// A newer checkpoint's barrier outran a pending channel's
+			// barrier for the captured one: the coordinator aborted the
+			// captured checkpoint, so drop the half-built capture and
+			// align on the newer barrier below.
+			t.abandonCapture(cp)
+		default:
+			return // stale barrier from a replayed stream, already covered
+		}
+	}
 	if cp < t.epoch {
 		return // stale barrier from a replayed stream, already covered
 	}
@@ -1086,6 +1178,10 @@ func (t *Task) handleBarrier(idx int, cp types.CheckpointID) {
 	t.barriersSeen[idx] = true
 	t.barriersLeft--
 	if t.barriersLeft > 0 {
+		if t.env.cfg.UnalignedCheckpoints {
+			t.beginUnalignedCapture(cp)
+			return
+		}
 		t.gate.Block(idx)
 		t.blockStart[idx] = time.Now()
 		t.crashPoint(faultinject.PointAlignBlocked)
@@ -1110,13 +1206,223 @@ func (t *Task) releaseAlignment() {
 	t.gate.UnblockAll()
 }
 
+// beginUnalignedCapture switches the pending alignment of checkpoint cp
+// into unaligned capture: snapshot NOW, then log — instead of gate — the
+// pre-barrier input still in flight on the not-yet-barriered channels.
+// Entered from handleBarrier (Config.UnalignedCheckpoints, at the first
+// barrier) or from runLive's budget check (a pending alignment exceeded
+// Config.AlignmentBudget). The snapshot broadcasts the barrier and rolls
+// the epoch exactly as an aligned one does, and each channel's capture
+// ends precisely when that sender's own barrier is decoded — so the
+// captured log ends at the sender's epoch boundary and recovery's replay
+// protocol (resume at the first seq of epoch cp+1) needs no changes.
+//
+//clonos:mainthread
+func (t *Task) beginUnalignedCapture(cp types.CheckpointID) {
+	// The alignment ends here, not at barrier-complete: observe its
+	// (near-zero, or budget-long on conversion) duration before capture.
+	t.metrics.align.ObserveSince(t.alignStart)
+	t.env.onUnalignedSnapshot(cp, t.id)
+	if t.crashPoint(faultinject.PointUnalignedSnapshot) {
+		return
+	}
+	t.capChans = make([]capChannel, len(t.inIDs))
+	t.capLeft = 0
+	for i := range t.capChans {
+		if t.barriersSeen[i] {
+			// Barriered (or finished) channels have nothing in flight for
+			// cp; anything queued behind their barrier is epoch cp+1.
+			t.capChans[i].done = true
+			continue
+		}
+		t.capLeft++
+		t.capChans[i].prefix = t.desers[i].PendingTail()
+	}
+	snap := t.buildSnapshot(cp)
+	if snap == nil {
+		t.capChans = nil
+		return
+	}
+	t.capturing = true
+	t.captureCp = cp
+	t.pendingSnap = snap
+	t.releaseAlignment()
+	if t.capLeft == 0 {
+		t.sealCapture()
+	}
+}
+
+// captureMessage logs one consumed message into the pending unaligned
+// capture. It copies the payload and determinant delta (the originals are
+// released once the deserializer drains them) and reports whether a crash
+// point consumed the task.
+//
+//clonos:mainthread
+func (t *Task) captureMessage(idx int, m *netstack.Message) bool {
+	c := &t.capChans[idx]
+	if c.done || m.Epoch > t.captureCp {
+		return false
+	}
+	if t.crashPoint(faultinject.PointUnalignedCapture) {
+		return true
+	}
+	c.msgs = append(c.msgs, statestore.InFlightMessage{
+		Seq:   m.Seq,
+		Epoch: m.Epoch,
+		Data:  append([]byte(nil), m.Data...),
+		Delta: append([]byte(nil), m.Delta...),
+	})
+	return false
+}
+
+// completeCaptureChannel ends one channel's capture: its barrier (or EOS)
+// for the captured checkpoint was decoded, so everything the checkpoint
+// covers on this channel is now logged. Seals once no channel is pending.
+//
+//clonos:mainthread
+func (t *Task) completeCaptureChannel(idx int) {
+	c := &t.capChans[idx]
+	if c.done {
+		return
+	}
+	c.done = true
+	t.capLeft--
+	if t.capLeft == 0 {
+		t.sealCapture()
+	}
+}
+
+// sealCapture finishes an unaligned checkpoint: encode the captured
+// in-flight log into the held snapshot and only then hand it to the
+// runtime. The deferred ack is the correctness hinge — checkpoint
+// completion (which truncates in-flight and causal logs up to cp)
+// implies every pre-barrier message was consumed AND captured, so
+// nothing the truncation drops is lost. A crash before sealing simply
+// restores from the previous checkpoint, whose logs are still intact.
+//
+//clonos:mainthread
+func (t *Task) sealCapture() {
+	if t.crashPoint(faultinject.PointUnalignedSeal) {
+		return
+	}
+	snap := t.pendingSnap
+	t.capturing = false
+	t.pendingSnap = nil
+	chans := make([]statestore.InFlightChannel, 0, len(t.capChans))
+	for i := range t.capChans {
+		c := &t.capChans[i]
+		if len(c.msgs) == 0 && len(c.prefix) == 0 {
+			continue
+		}
+		chans = append(chans, statestore.InFlightChannel{
+			Channel: t.inIDs[i],
+			Prefix:  c.prefix,
+			Msgs:    c.msgs,
+		})
+	}
+	t.capChans = nil
+	if len(chans) > 0 {
+		snap.InFlight = statestore.EncodeInFlight(chans)
+		t.metrics.inflightLogged.Add(uint64(len(snap.InFlight)))
+	}
+	t.env.onSnapshot(snap)
+}
+
+// abandonCapture drops an unaligned capture whose checkpoint was
+// superseded by a newer barrier: the coordinator aborted it, and a
+// half-captured snapshot must never be acked (restoring it would lose
+// the uncaptured remainder of the logged channels). The snapshot side
+// effects (epoch roll, barrier broadcast) already happened and stand, as
+// with any aligned snapshot whose checkpoint later aborts.
+//
+//clonos:mainthread
+func (t *Task) abandonCapture(newCp types.CheckpointID) {
+	t.env.recordEvent(EventAlignSuperseded, t.id,
+		fmt.Sprintf("unaligned capture of cp %d superseded by cp %d", t.captureCp, newCp))
+	t.capturing = false
+	t.pendingSnap = nil
+	t.capChans = nil
+	t.capLeft = 0
+}
+
+// preloadInFlight injects a restored unaligned snapshot's logged input
+// ahead of live traffic: each captured channel's deserializer is seeded
+// with the partial-element prefix and its endpoint is preloaded with the
+// captured messages. Preloaded messages bypass the accept path (their
+// determinant deltas are re-ingested by handleBuffer, but the audit
+// plane's delivery records for them were truncated with the checkpoint,
+// so re-running OnDeliver would raise false seq-continuity violations).
+// Runs at the top of run(), where endpoints and deserializers exist in
+// both recovery orders (standby activation and global restart) and
+// before any determinant-guided or live consumption.
+//
+//clonos:mainthread
+func (t *Task) preloadInFlight() {
+	if len(t.restoredInFlight) == 0 {
+		return
+	}
+	chans := t.restoredInFlight
+	t.restoredInFlight = nil
+	for _, ch := range chans {
+		idx := -1
+		for i, id := range t.inIDs {
+			if id == ch.Channel {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.fail(fmt.Errorf("task %v: restored in-flight log names unknown channel %v", t.id, ch.Channel))
+			return
+		}
+		if t.audit != nil {
+			// The preload rewinds this channel to the epoch boundary
+			// without passing the endpoint accept path; tell the auditor
+			// so its marker floor re-seeds (see Auditor.OnPreload).
+			t.audit.OnPreload(t.id, ch.Channel)
+		}
+		if len(ch.Prefix) > 0 {
+			t.desers[idx].Feed(ch.Prefix)
+		}
+		if len(ch.Msgs) == 0 {
+			continue
+		}
+		msgs := make([]*netstack.Message, 0, len(ch.Msgs))
+		for _, im := range ch.Msgs {
+			m := netstack.NewMessage()
+			m.Channel = ch.Channel
+			m.Seq = im.Seq
+			m.Epoch = im.Epoch
+			m.Data = im.Data
+			m.Delta = im.Delta
+			m.Replayed = true
+			msgs = append(msgs, m)
+		}
+		t.gate.Endpoint(idx).Preload(msgs)
+	}
+}
+
 // snapshot takes the task's checkpoint: forward the barrier, roll epochs
 // on every log, persist state, and ack the coordinator.
 //
 //clonos:mainthread
 func (t *Task) snapshot(cp types.CheckpointID) {
+	if snap := t.buildSnapshot(cp); snap != nil {
+		t.env.onSnapshot(snap)
+	}
+}
+
+// buildSnapshot performs the synchronous part of a checkpoint — forward
+// the barrier, roll epochs on every log, serialize state — and returns
+// the snapshot WITHOUT handing it to the runtime (nil when a crash point
+// fired or serialization failed). Aligned checkpoints ack immediately
+// via snapshot; unaligned ones hold the snapshot open while the
+// in-flight capture completes (see beginUnalignedCapture).
+//
+//clonos:mainthread
+func (t *Task) buildSnapshot(cp types.CheckpointID) *checkpoint.TaskSnapshot {
 	if t.crashPoint(faultinject.PointSnapshotPreBarrier) {
-		return
+		return nil
 	}
 	syncStart := time.Now()
 	// Forward the barrier as the last element of epoch cp on every
@@ -1125,7 +1431,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	for _, oc := range t.allOut {
 		if err := oc.writer.Flush(); err != nil {
 			t.fail(err)
-			return
+			return nil
 		}
 		oc.startEpoch(cp + 1)
 	}
@@ -1134,7 +1440,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		mainBase = t.causal.StartEpochMainAt(cp + 1)
 	}
 	if t.crashPoint(faultinject.PointSnapshotPreState) {
-		return
+		return nil
 	}
 	var stateBytes []byte
 	var err error
@@ -1149,12 +1455,12 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	}
 	if err != nil {
 		t.fail(err)
-		return
+		return nil
 	}
 	timerBytes, err := t.timerSvc.Snapshot()
 	if err != nil {
 		t.fail(err)
-		return
+		return nil
 	}
 	var fp uint64
 	if t.audit != nil {
@@ -1164,7 +1470,7 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		fp, err = audit.Fingerprint(t.store, timerBytes, t.chanWms, t.curWm)
 		if err != nil {
 			t.fail(err)
-			return
+			return nil
 		}
 	}
 	snap := &checkpoint.TaskSnapshot{
@@ -1179,6 +1485,14 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 		ChanWms:        make(map[types.ChannelID]int64, len(t.inIDs)),
 		CurWm:          t.curWm,
 		Fingerprint:    fp,
+	}
+	if len(t.pendingBatch) > 0 {
+		// A source snapshotting mid-batch: Poll already advanced the
+		// offsets over these elements but they have not entered the
+		// stream yet — they belong to epoch cp+1 while the offsets place
+		// them in epoch cp. Persist them so restore re-emits them
+		// instead of skipping straight to the post-batch offsets.
+		snap.SourceBacklog = append([]types.Element(nil), t.pendingBatch...)
 	}
 	for i, id := range t.inIDs {
 		snap.ChanWms[id] = t.chanWms[i]
@@ -1202,9 +1516,9 @@ func (t *Task) snapshot(cp types.CheckpointID) {
 	t.metrics.snapshots.Inc()
 	t.metrics.snapshotBytes.Add(uint64(len(stateBytes) + len(timerBytes)))
 	if t.crashPoint(faultinject.PointSnapshotPrePersist) {
-		return
+		return nil
 	}
-	t.env.onSnapshot(snap)
+	return snap
 }
 
 // handleMail processes one asynchronous event on the main thread.

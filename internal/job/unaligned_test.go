@@ -1,0 +1,246 @@
+package job
+
+// Tests for unaligned (overload-tolerant) checkpointing: capture under
+// sustained backpressure, recovery from a snapshot carrying an in-flight
+// section (audit-armed, so any seq/epoch/hash divergence the logged-buffer
+// replay introduced would surface), budget-triggered conversion of a stuck
+// aligned checkpoint, and the alignment-stall budget the bench-smoke CI
+// leg pins.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"clonos/internal/audit"
+	"clonos/internal/kafkasim"
+	"clonos/internal/obs"
+	"clonos/internal/operator"
+	"clonos/internal/types"
+)
+
+// slowKeySumPipeline is keySumPipeline with a per-record processing delay
+// in the reduce stage, so a fast generator keeps its input queues loaded —
+// the sustained-backpressure regime where barrier alignment stalls and
+// unaligned capture has genuine in-flight data to log.
+func slowKeySumPipeline(topic *kafkasim.Topic, sink *kafkasim.SinkTopic, p int, delay time.Duration) *Graph {
+	g := NewGraph()
+	src := g.AddVertex("src", p, &operator.KafkaSource{SourceName: "kafka", Topic: topic, WatermarkEvery: 25})
+	sum := g.AddVertex("sum", p, nil, operator.KeyedReduce("sum", func(ctx operator.Context, acc any, e types.Element) (any, error) {
+		time.Sleep(delay)
+		s, _ := acc.(statefulValue)
+		s.Total += e.Value.(int64)
+		return s, nil
+	}))
+	sinkV := g.AddVertex("sink", 1, nil, operator.NewKafkaSink("sink", sink))
+	g.Connect(src, sum, PartitionHash, nil, nil)
+	g.Connect(sum, sinkV, PartitionHash, nil, nil)
+	return g
+}
+
+// sumCounter folds a per-subtask counter family over a vertex.
+func sumCounter(reg *obs.Registry, name, vertex string, p int) uint64 {
+	var total uint64
+	for s := 0; s < p; s++ {
+		total += reg.Counter(name, "", obs.Labels{"vertex": vertex, "subtask": strconv.Itoa(s)}).Value()
+	}
+	return total
+}
+
+// TestUnalignedBackpressureRecovery drives the overloaded pipeline in
+// always-on unaligned mode, waits for checkpoints whose snapshots carry
+// logged in-flight input, then kills a reduce task so recovery restores
+// one — the preloaded buffers replay into the deserializer before live
+// input resumes. The armed audit plane turns any divergence the logged
+// replay could introduce (lost/duplicated buffers, reordered seqs, state
+// drift) into a failure, and the final sums pin exactly-once end to end.
+func TestUnalignedBackpressureRecovery(t *testing.T) {
+	// Sized so the overloaded reduce stage stays busy for seconds: a
+	// too-short run finishes before checkpoint 2 and the reduce tasks drop
+	// out of the ack set with no snapshot to inspect.
+	const (
+		n    = 20000
+		keys = 7
+	)
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := slowKeySumPipeline(topic, sink, 2, 150*time.Microsecond)
+	cfg := quickConfig(ModeClonos)
+	cfg.UnalignedCheckpoints = true
+	cfg.ServiceSeed = 7
+	aud := audit.New()
+	cfg.Audit = aud
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 20000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % keys, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	if !r.WaitForCheckpoint(2, 30*time.Second) {
+		t.Fatalf("no unaligned checkpoint completed: %v", r.Errors())
+	}
+	// The completed checkpoint's reduce-task snapshots must exist; under
+	// this load at least one carries a logged in-flight section.
+	cp := r.LatestCompletedCheckpoint()
+	inflight := 0
+	for s := int32(0); s < 2; s++ {
+		snap, ok := r.snaps.Get(cp, types.TaskID{Vertex: 1, Subtask: s})
+		if !ok {
+			t.Fatalf("no snapshot for sum[%d] at completed cp %d", s, cp)
+		}
+		inflight += len(snap.InFlight)
+	}
+	if inflight == 0 {
+		t.Errorf("cp %d: no reduce-task snapshot carries an in-flight section under backpressure", cp)
+	}
+
+	victim := types.TaskID{Vertex: 1, Subtask: 0}
+	if err := r.InjectFailure(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFinished(90 * time.Second) {
+		t.Fatalf("job did not finish after recovery; errors: %v\n%s", r.Errors(), r.DebugString())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	checkSums(t, finalSums(sink), expectedSums(n, keys), "after unaligned recovery")
+	if v := aud.Total(); v != 0 {
+		t.Errorf("audit plane detected %d violation(s) after logged-buffer replay: %v", v, aud.ByInvariant())
+	}
+	sawUnaligned := false
+	for _, ev := range r.Events() {
+		if ev.Kind == EventUnalignedSnapshot {
+			sawUnaligned = true
+			break
+		}
+	}
+	if !sawUnaligned {
+		t.Error("no unaligned-snapshot event recorded in always-on unaligned mode")
+	}
+	if b := sumCounter(r.Obs(), "clonos_checkpoint_inflight_logged_bytes_total", "sum", 2); b == 0 {
+		t.Error("no in-flight bytes logged by the reduce tasks under backpressure")
+	}
+}
+
+// TestAlignmentBudgetConversion runs DEFAULT (aligned) checkpointing with
+// a tight AlignmentBudget under the same overload: pending alignments must
+// convert to unaligned capture instead of gating channels for the whole
+// backlog, and the converted checkpoints must stay exactly-once under the
+// armed audit plane.
+func TestAlignmentBudgetConversion(t *testing.T) {
+	const (
+		n    = 5000
+		keys = 5
+	)
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := slowKeySumPipeline(topic, sink, 2, 150*time.Microsecond)
+	cfg := quickConfig(ModeClonos)
+	cfg.AlignmentBudget = 2 * time.Millisecond
+	cfg.ServiceSeed = 11
+	aud := audit.New()
+	cfg.Audit = aud
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 20000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % keys, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("job did not finish; errors: %v\n%s", r.Errors(), r.DebugString())
+	}
+	for _, e := range r.Errors() {
+		t.Errorf("task error: %v", e)
+	}
+	checkSums(t, finalSums(sink), expectedSums(n, keys), "after budget conversion")
+	if v := aud.Total(); v != 0 {
+		t.Errorf("audit plane detected %d violation(s): %v", v, aud.ByInvariant())
+	}
+	converted := false
+	for _, ev := range r.Events() {
+		if ev.Kind == EventUnalignedSnapshot {
+			converted = true
+			break
+		}
+	}
+	if !converted {
+		t.Error("no alignment converted to unaligned capture despite the 2ms budget under overload")
+	}
+}
+
+// TestUnalignedStallBudget is the bench-smoke pin for the overloaded
+// scenario: with unaligned checkpointing armed, checkpoints must complete
+// WITHOUT ever gating an input channel, and the alignment time collapses
+// to the first-barrier handling cost. Aligned mode under this load blocks
+// channels for the whole barrier skew; the pinned budget here is the
+// improvement unaligned mode exists to buy.
+func TestUnalignedStallBudget(t *testing.T) {
+	const (
+		n    = 4000
+		keys = 5
+	)
+	topic := kafkasim.NewTopic("in", 2)
+	sink := kafkasim.NewSinkTopic(true)
+	g := slowKeySumPipeline(topic, sink, 2, 150*time.Microsecond)
+	cfg := quickConfig(ModeClonos)
+	cfg.UnalignedCheckpoints = true
+	cfg.ServiceSeed = 13
+	r, err := NewRuntime(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	gen := kafkasim.NewGenerator(topic, 20000, func(i int64) (kafkasim.Record, bool) {
+		return kafkasim.Record{Key: uint64(i) % keys, Ts: i, Value: i}, i < n
+	})
+	gen.Start()
+	defer gen.Stop()
+
+	if !r.WaitForCheckpoint(1, 30*time.Second) {
+		t.Fatalf("no checkpoint completed under overload: %v", r.Errors())
+	}
+	if !r.WaitFinished(60 * time.Second) {
+		t.Fatalf("job did not finish; errors: %v", r.Errors())
+	}
+	checkSums(t, finalSums(sink), expectedSums(n, keys), "overloaded unaligned run")
+
+	reg := r.Obs()
+	for s := 0; s < 2; s++ {
+		lbl := obs.Labels{"vertex": "sum", "subtask": strconv.Itoa(s)}
+		if c := reg.Histogram("clonos_checkpoint_blocked_channel_seconds", "", obs.DefDurationBuckets, lbl).Count(); c != 0 {
+			t.Errorf("sum[%d]: %d channel-blocked observations; unaligned mode must never gate a channel", s, c)
+		}
+		h := reg.Histogram("clonos_checkpoint_align_seconds", "", obs.DefDurationBuckets, lbl)
+		if cnt := h.Count(); cnt > 0 {
+			// Alignment-stall budget: mean first-barrier-to-snapshot time
+			// must stay far below the multi-hundred-ms barrier skew the
+			// overloaded aligned baseline pays.
+			if mean := h.Sum() / float64(cnt); mean > 0.05 {
+				t.Errorf("sum[%d]: mean alignment stall %.3fs exceeds the 50ms unaligned budget", s, mean)
+			}
+		}
+	}
+}

@@ -151,6 +151,23 @@ func (d *Deserializer) advanceLocked(k int) {
 	}
 }
 
+// PendingTail returns a copy of the buffered-but-undecoded bytes (the
+// partial element straddling the last consumed message boundary, if any)
+// without consuming them. An unaligned checkpoint logs this prefix so the
+// restored task can Feed it back before replaying the logged in-flight
+// messages — the first replayed element may complete an element whose head
+// was already received when the snapshot was taken.
+func (d *Deserializer) PendingTail() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending == 0 {
+		return nil
+	}
+	out := make([]byte, d.pending)
+	d.peekLocked(out)
+	return out
+}
+
 // Pending reports the buffered byte count awaiting completion.
 func (d *Deserializer) Pending() int {
 	d.mu.Lock()

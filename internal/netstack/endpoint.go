@@ -39,6 +39,12 @@ type Endpoint struct {
 	mu       sync.Mutex
 	sendCond *sync.Cond
 	queue    []*Message
+	// preload holds in-flight messages restored from an unaligned
+	// checkpoint's logged-buffer section. They are served before the live
+	// queue, never count against credit, and survive AcceptFrom's queue
+	// drop (the replay request re-anchors LIVE traffic at the first
+	// post-checkpoint seq; the preloaded prefix sits logically before it).
+	preload []*Message
 	// lastPushed is the seq of the newest message accepted into the
 	// queue; the successor is the only seq Push will accept next.
 	lastPushed uint64
@@ -237,10 +243,36 @@ func (ep *Endpoint) AddOnAccept(f func(*Message)) {
 	ep.onAccept = append(ep.onAccept, f)
 }
 
+// Preload queues restored in-flight messages ahead of all live traffic.
+// The messages bypass the accept path entirely: no FIFO/seq admission, no
+// onAccept hooks (their determinant deltas and audit stream records were
+// already covered when the checkpoint logged them), no credit accounting.
+func (ep *Endpoint) Preload(msgs []*Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	ep.mu.Lock()
+	ep.preload = append(ep.preload, msgs...)
+	notify := ep.notify
+	ep.mu.Unlock()
+	if notify != nil {
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Pop removes and returns the oldest queued message, or nil if empty.
+// Preloaded messages drain before live traffic.
 func (ep *Endpoint) Pop() *Message {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	if len(ep.preload) > 0 {
+		m := ep.preload[0]
+		ep.preload = ep.preload[1:]
+		return m
+	}
 	if len(ep.queue) == 0 {
 		return nil
 	}
@@ -250,11 +282,11 @@ func (ep *Endpoint) Pop() *Message {
 	return m
 }
 
-// Len reports the queued message count.
+// Len reports the queued message count, including preloaded messages.
 func (ep *Endpoint) Len() int {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	return len(ep.queue)
+	return len(ep.queue) + len(ep.preload)
 }
 
 // LastPushed reports the seq of the newest message accepted into the queue
@@ -308,6 +340,7 @@ func (ep *Endpoint) Break() {
 	defer ep.mu.Unlock()
 	ep.broken = true
 	ep.dropQueueLocked()
+	ep.dropPreloadLocked()
 	ep.sendCond.Broadcast()
 }
 
@@ -324,5 +357,14 @@ func (ep *Endpoint) Close() {
 	defer ep.mu.Unlock()
 	ep.closed = true
 	ep.dropQueueLocked()
+	ep.dropPreloadLocked()
 	ep.sendCond.Broadcast()
+}
+
+// dropPreloadLocked discards preloaded messages (dead receiver).
+func (ep *Endpoint) dropPreloadLocked() {
+	for _, m := range ep.preload {
+		m.Release()
+	}
+	ep.preload = nil
 }

@@ -126,10 +126,28 @@ func TestSnapshotVersionRejected(t *testing.T) {
 	if err == nil {
 		t.Fatal("future-version snapshot restored without error")
 	}
-	want := fmt.Sprintf("statestore: unsupported snapshot version %d (want %d)", snapshotVersion+1, snapshotVersion)
+	want := fmt.Sprintf("statestore: unsupported snapshot version %d (want %d..%d)", snapshotVersion+1, minSnapshotVersion, snapshotVersion)
 	if err.Error() != want {
 		t.Fatalf("rejection message %q, want pinned %q", err.Error(), want)
 	}
+}
+
+// TestSnapshotPriorVersionAccepted proves a version-2 image (the layout is
+// unchanged; only the 'F' in-flight kind was added in 3) still restores —
+// the committed legacy baseline must keep loading.
+func TestSnapshotPriorVersionAccepted(t *testing.T) {
+	src := NewStore()
+	populate(src)
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap[3] = minSnapshotVersion // rewrite the header to the oldest accepted version
+	s := NewStore()
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("version-%d snapshot rejected: %v", minSnapshotVersion, err)
+	}
+	storesEqual(t, src, s)
 }
 
 // TestSnapshotMalformedHeaderRejected covers a 0x00-leading buffer that

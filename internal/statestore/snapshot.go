@@ -10,15 +10,18 @@ import (
 	"clonos/internal/codec"
 )
 
-// Snapshot wire format (version 2, the binary frame):
+// Snapshot wire format (version 3, the binary frame):
 //
-//	magic    0x00 'C' ('S' full | 'D' delta) version
+//	magic    0x00 'C' ('S' full | 'D' delta | 'F' in-flight) version
 //	full:    uvarint nStates, then per state (sorted by name):
 //	         uvarint len(name) | name | uvarint nEntries,
 //	         then per entry (sorted by key): uvarint key | framed value
 //	delta:   the changes section in full-snapshot layout, then a deletes
 //	         section: uvarint nStates, per state name | uvarint nKeys |
 //	         sorted uvarint keys
+//	in-flight: see inflight.go — the logged pre-barrier input of an
+//	         unaligned checkpoint, one section per not-yet-barriered
+//	         channel (deserializer prefix + captured messages).
 //
 // Values are codec.EncodeAnyFramed frames (type tag | uvarint len |
 // payload), so registered types encode through the reflection-free tier
@@ -26,13 +29,19 @@ import (
 // distinguishes the frame from legacy gob images: a gob stream begins
 // with a message byte count, which is never zero, so Restore/ApplyDelta
 // can decode pre-binary snapshots with the old reflective path.
+//
+// Version 3 added the 'F' in-flight kind; the 'S'/'D' layouts are
+// unchanged, so readers accept version 2 images of those kinds (the
+// committed legacy baseline) alongside version-3 ones.
 const (
-	snapshotVersion  = 2
-	magicKindFull    = 'S'
-	magicKindDelta   = 'D'
-	legacyFirstByte  = 0x00
-	snapshotHeadLen  = 4
-	magicChecksByte1 = 'C'
+	snapshotVersion    = 3
+	minSnapshotVersion = 2
+	magicKindFull      = 'S'
+	magicKindDelta     = 'D'
+	magicKindInFlight  = 'F'
+	legacyFirstByte    = 0x00
+	snapshotHeadLen    = 4
+	magicChecksByte1   = 'C'
 )
 
 func appendMagic(dst []byte, kind byte) []byte {
@@ -48,8 +57,8 @@ func checkMagic(b []byte, kind byte) (bool, error) {
 	if len(b) < snapshotHeadLen || b[1] != magicChecksByte1 || b[2] != kind {
 		return false, fmt.Errorf("statestore: malformed snapshot header % x", b[:min(len(b), snapshotHeadLen)])
 	}
-	if b[3] != snapshotVersion {
-		return false, fmt.Errorf("statestore: unsupported snapshot version %d (want %d)", b[3], snapshotVersion)
+	if b[3] < minSnapshotVersion || b[3] > snapshotVersion {
+		return false, fmt.Errorf("statestore: unsupported snapshot version %d (want %d..%d)", b[3], minSnapshotVersion, snapshotVersion)
 	}
 	return true, nil
 }
