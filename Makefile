@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet lint race bench bench-smoke bench-json bench-matrix matrix-smoke fault-sweep fault-sweep-unaligned
+.PHONY: build check vet lint lint-json race bench bench-smoke bench-json bench-matrix matrix-smoke fault-sweep fault-sweep-unaligned
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,19 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own go/analysis suite (clonos-vet; see DESIGN.md
-# "Static invariants"): buffer ownership, main-thread confinement,
-# crash-point bookkeeping, and the no-sleep-poll / determinism rules.
+# "Static invariants"): interprocedural buffer ownership, main-thread
+# confinement, snapshot completeness, determinism taint, crash-point
+# bookkeeping, no-sleep-poll test hygiene, and the gob-codec guard.
+# Test files are analyzed too.
 lint:
 	$(GO) run ./cmd/clonos-vet ./...
+
+# lint-json is the machine-readable variant CI uploads as an artifact on
+# failure: the same findings as `make lint` written to findings.json as
+# the JSON array documented in internal/lint/findings (human-readable
+# lines still go to stderr; exit status is unchanged).
+lint-json:
+	$(GO) run ./cmd/clonos-vet -json ./... > findings.json
 
 # Packages whose tests drive full jobs with scaled heartbeat and
 # checkpoint timings. Under the race detector's 5-20x slowdown they

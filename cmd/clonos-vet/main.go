@@ -1,16 +1,18 @@
 // Command clonos-vet is the repo's multichecker: it runs the
-// internal/lint analyzers (bufown, mainthread, crashpoint, nosleepwait,
-// gobcodec) over the requested packages and exits nonzero on any
-// diagnostic.
+// internal/lint analyzers (bufown, mainthread, snapcov, detflow,
+// crashpoint, nosleepwait, gobcodec) over the requested packages and
+// exits nonzero on any diagnostic.
 //
 // Usage:
 //
-//	clonos-vet [-list] [patterns...]   (default pattern: ./...)
+//	clonos-vet [-list] [-json] [patterns...]   (default pattern: ./...)
 //
 // Run it via `make lint`. Diagnostics print as
-// file:line:col: message (analyzer); suppress an individual line — after
-// review, see DESIGN.md "Static invariants" — with
-// `//clonos:allow <analyzer>`.
+// file:line:col: message (analyzer); with -json the same findings are
+// additionally written to stdout as the JSON array documented in
+// internal/lint/findings (human-readable lines move to stderr). Suppress
+// an individual line — after review, see DESIGN.md "Static invariants" —
+// with `//clonos:allow <analyzer>`.
 package main
 
 import (
@@ -23,15 +25,20 @@ import (
 	"clonos/internal/lint/analysis"
 	"clonos/internal/lint/bufown"
 	"clonos/internal/lint/crashpoint"
+	"clonos/internal/lint/detflow"
+	"clonos/internal/lint/findings"
 	"clonos/internal/lint/gobcodec"
 	"clonos/internal/lint/load"
 	"clonos/internal/lint/mainthread"
 	"clonos/internal/lint/nosleepwait"
+	"clonos/internal/lint/snapcov"
 )
 
 var suite = []*analysis.Analyzer{
 	bufown.Analyzer,
 	mainthread.Analyzer,
+	snapcov.Analyzer,
+	detflow.Analyzer,
 	crashpoint.Analyzer,
 	nosleepwait.Analyzer,
 	gobcodec.Analyzer,
@@ -40,6 +47,7 @@ var suite = []*analysis.Analyzer{
 func main() {
 	listOnly := flag.Bool("list", false, "list the analyzers and exit")
 	noTests := flag.Bool("notests", false, "skip _test.go files (crashpoint and nosleepwait lose coverage)")
+	jsonOut := flag.Bool("json", false, "write findings to stdout as JSON (see internal/lint/findings); human-readable lines go to stderr")
 	flag.Parse()
 	if *listOnly {
 		for _, a := range suite {
@@ -89,8 +97,30 @@ func main() {
 		}
 		return pi.Offset < pj.Offset
 	})
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
 	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+		fmt.Fprintf(human, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+	if *jsonOut {
+		fs := make([]findings.Finding, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fs = append(fs, findings.Finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer.Name,
+				Message:  d.Message,
+			})
+		}
+		findings.Sort(fs)
+		if err := findings.Encode(os.Stdout, fs); err != nil {
+			fmt.Fprintln(os.Stderr, "clonos-vet: encoding findings:", err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

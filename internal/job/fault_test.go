@@ -64,18 +64,20 @@ func waitOutcome(r *Runtime, backstop time.Duration) (finished, wedged bool) {
 	defer hard.Stop()
 	for {
 		ch := r.progressCh()
-		select {
-		case <-r.allDone:
-			return true, false
-		default:
-		}
 		evs := r.Events()
 		if len(evs) > 0 {
 			last := evs[len(evs)-1]
 			switch last.Kind {
 			case EventTaskStall, EventAlignmentStall, EventEpochStall:
 				if time.Since(last.Time) > grace {
-					return false, true
+					// A run that finished while its last stall aged out is
+					// finished, not wedged.
+					select {
+					case <-r.allDone:
+						return true, false
+					default:
+						return false, true
+					}
 				}
 			}
 		}

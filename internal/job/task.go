@@ -52,6 +52,12 @@ type mailEvent struct {
 // Task is one parallel instance of a vertex: the main-thread loop, its
 // timer and flusher threads, input gate, output channels, state, and the
 // causal subsystem.
+//
+// The snapcov analyzer verifies that every checked state field below
+// round-trips through the pair named here (or is explicitly declared
+// scratch with a reason).
+//
+//clonos:state mainthread snapshot=buildSnapshot restore=restore
 type Task struct {
 	id     types.TaskID
 	vertex *Vertex
@@ -92,32 +98,44 @@ type Task struct {
 	// Main-thread execution state (no locking: main loop only). The
 	// line-annotated fields publish atomic shadows below for off-thread
 	// readers; the mainthread analyzer enforces the split.
-	epoch   types.EpochID
+	epoch types.EpochID
+	// offset restarts at 0 on restore: the durable source position lives
+	// in the keyed state store and guided replay re-polls from the epoch
+	// boundary, so the live counter is never persisted in the snapshot.
+	//clonos:ephemeral restore resets to 0; durable source position lives in the keyed state store
 	offset  uint64  //clonos:mainthread
 	curWm   int64   //clonos:mainthread
 	chanWms []int64 //clonos:mainthread
 	// wmMin is the running minimum over chanWms, maintained incrementally
 	// so each watermark element costs O(1) instead of a full channel scan
 	// (rescans happen only when the minimum channel itself advances).
-	wmMin        int64
-	aligning     bool
-	alignCp      types.CheckpointID //clonos:mainthread
+	wmMin    int64
+	aligning bool
+	//clonos:ephemeral alignment scratch; no alignment is in progress across a snapshot/restore boundary
+	alignCp types.CheckpointID //clonos:mainthread
 	barriersSeen []bool
 	barriersLeft int
 	eosSeen      []bool
 	eosLeft      int
 	rebalanceCtr *statestore.KeyedState
 	replay       *replayCursor
-	pendingBatch []types.Element
+	// pendingBatch holds source elements polled but not yet emitted; a
+	// mid-batch snapshot persists them as SourceBacklog so restore
+	// re-emits them instead of skipping to the post-batch offsets.
+	pendingBatch []types.Element //clonos:mainthread
 	sourceDone   bool
 	// sinceMarker counts source records since the last latency marker.
 	// Reset to 0 at every epoch roll so the count-based marker cadence is
 	// deterministic per epoch and guided replay re-emits markers at the
 	// identical stream positions.
+	//clonos:ephemeral reset to 0 at every epoch roll; marker cadence restarts at the restored epoch boundary
 	sinceMarker int //clonos:mainthread
 	recordsIn   atomic.Uint64
 	recordsOut  atomic.Uint64
 	// alignStart is when the pending alignment's first barrier arrived.
+	// Wall-clock is safe here: the stopwatch only feeds stall detection
+	// and metrics, never replayed state or encoded bytes.
+	//clonos:ephemeral alignment stopwatch for stall detection and metrics; never snapshotted or replayed
 	alignStart time.Time //clonos:mainthread
 	// blockStart records when each input channel was blocked for the
 	// pending alignment (zero = not blocked). Main thread only.
@@ -1558,6 +1576,8 @@ func (t *Task) fireTimer(tm timers.Timer) {
 // runSourceLive drives a source vertex: poll the source, emit elements
 // one at a time (so RPC/TIMER offsets are exact), and serve the mailbox
 // between elements.
+//
+//clonos:mainthread
 func (t *Task) runSourceLive() {
 	for !t.crashed.Load() {
 		if t.loopTick() {

@@ -21,6 +21,8 @@ type Record struct {
 }
 
 // Partition is one FIFO, offset-addressable log.
+//
+//clonos:external simulated broker log, durable outside the recovery domain; tasks re-read it by offset instead of snapshotting it
 type Partition struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -146,6 +148,8 @@ type DeltaChunk struct {
 // making the sink idempotent — valid here because Clonos' causally guided
 // replay regenerates byte-identical output, unlike plain re-execution of
 // nondeterministic operators (§5.5).
+//
+//clonos:external simulated downstream sink, durable outside the recovery domain; producer-sequence dedup (not snapshots) keeps it consistent across recovery
 type SinkTopic struct {
 	mu      sync.Mutex
 	records []SinkRecord

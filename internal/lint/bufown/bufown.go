@@ -32,6 +32,20 @@
 // An annotated function with a single Buffer/Message result is treated as
 // an arming call at its call sites (it returns an owned reference).
 //
+// Unannotated functions get an inferred ownership summary: the analyzer
+// runs a silent pass over every declaration, classifies each tracked
+// parameter from what the body does with it on every exit path
+// (consumed everywhere → the call transfers ownership; consumed on
+// non-error paths only → on-success transfer; stored, captured or
+// returned → escape, tracking stops; merely read → borrow, the caller
+// still owns it), and records whether a single tracked result is always
+// a freshly armed value (the call arms at its call sites). Summaries are
+// exported as analysis facts, so helper handoffs resolve across package
+// boundaries without per-call annotations. A parameter that the body
+// releases on some paths but leaves owned at another non-error exit is
+// itself reported: that split contract is exactly how cross-function
+// leaks hide.
+//
 // Anything the analyzer cannot follow — storing into a field, slice or
 // map, capturing in a closure, returning, passing to an annotated callee
 // — ends tracking for that value ("escape"): the analysis is deliberately
@@ -87,11 +101,49 @@ var argConsumeFuncs = map[string]bool{
 	"(*" + bufferPath + ".Pool).Donate": true,
 }
 
-// ownFact is the exported annotation of one function declaration.
+// paramMode is the inferred ownership contract of one tracked parameter.
+type paramMode uint8
+
+const (
+	// modeBorrow: the body only reads the value; the caller keeps
+	// ownership and must still release it.
+	modeBorrow paramMode = iota
+	// modeConsume: the body consumes the value on every path; the call
+	// transfers ownership (and a later release by the caller is a
+	// double release).
+	modeConsume
+	// modeConsumeOnSuccess: consumed on every non-error path, left to
+	// the caller on error paths (the Endpoint.Push shape).
+	modeConsumeOnSuccess
+	// modeEscape: the body stores, captures or returns the value;
+	// ownership is no longer tractable, tracking stops at the call.
+	modeEscape
+)
+
+// ownFact is the exported ownership summary of one function declaration:
+// either declared by a //clonos:owns-transfer annotation, or inferred
+// from the body.
 type ownFact struct {
-	ownsParams bool // tracked pointer params transfer in
+	ownsParams bool // annotated: tracked pointer params transfer in
 	onSuccess  bool // ...only when the call returns a nil error
 	ownsResult bool // single tracked result transfers out (arming call)
+	inferred   bool // summary was inferred, not annotated
+	// params holds the inferred per-parameter modes, indexed by the
+	// signature parameter position; nil for annotated declarations.
+	params []paramMode
+}
+
+// paramMode resolves the mode of argument i at a call site. Variadic
+// tails and anything out of range fall back to borrow (the historical
+// default for unknown callees).
+func (f ownFact) paramMode(sig *types.Signature, i int) paramMode {
+	if f.params == nil || sig == nil || i >= len(f.params) {
+		return modeBorrow
+	}
+	if sig.Variadic() && i >= sig.Params().Len()-1 {
+		return modeBorrow
+	}
+	return f.params[i]
 }
 
 // trackedKind names the tracked type of a value, or "" if untracked.
@@ -138,7 +190,38 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 	}
 
-	// Phase 2: analyze every non-test function body.
+	// Phase 2: infer ownership summaries for every unannotated
+	// declaration, so call sites in this package and in importing
+	// packages (facts flow dependency-first) resolve helper handoffs
+	// without per-call annotations. Inference itself reports split
+	// contracts: a parameter consumed on one path but left owned at
+	// another non-error exit.
+	inf := &inferrer{pass: pass, decls: map[types.Object]*ast.FuncDecl{}, inProgress: map[types.Object]bool{}}
+	var order []types.Object
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				inf.decls[obj] = fd
+				order = append(order, obj)
+			}
+		}
+	}
+	for _, obj := range order {
+		inf.fact(obj)
+	}
+
+	// Phase 3: analyze every non-test function body. Annotated
+	// parameters are seeded with the declared contract; unannotated
+	// tracked parameters are seeded leak-exempt, which keeps the
+	// double-release and use-after-release checks live inside helpers
+	// without second-guessing the inferred exit classification.
 	for _, f := range pass.Files {
 		if pass.TestFiles[f] {
 			continue
@@ -151,17 +234,20 @@ func run(pass *analysis.Pass) (any, error) {
 			a := &funcAnalysis{pass: pass, reported: map[token.Pos]bool{}}
 			var seed []seedParam
 			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-				if fact, ok := pass.Facts[obj].(ownFact); ok && fact.ownsParams {
+				fact, _ := pass.Facts[obj].(ownFact)
+				if sig, ok := obj.Type().(*types.Signature); ok {
+					a.returnsError = sigReturnsError(sig)
+				}
+				leakExempt := true
+				if fact.ownsParams {
 					a.onSuccess = fact.onSuccess
-					if sig, ok := obj.Type().(*types.Signature); ok {
-						a.returnsError = sigReturnsError(sig)
-					}
-					for _, field := range fd.Type.Params.List {
-						for _, name := range field.Names {
-							po := pass.TypesInfo.Defs[name]
-							if po != nil && trackedKind(po.Type()) != "" {
-								seed = append(seed, seedParam{obj: po, pos: name.Pos()})
-							}
+					leakExempt = false
+				}
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						po := pass.TypesInfo.Defs[name]
+						if po != nil && trackedKind(po.Type()) != "" {
+							seed = append(seed, seedParam{obj: po, pos: name.Pos(), leakExempt: leakExempt})
 						}
 					}
 				}
@@ -183,8 +269,9 @@ func sigReturnsError(sig *types.Signature) bool {
 }
 
 type seedParam struct {
-	obj types.Object
-	pos token.Pos
+	obj        types.Object
+	pos        token.Pos
+	leakExempt bool
 }
 
 // varState is the abstract ownership state of one tracked variable.
@@ -194,7 +281,11 @@ type varState struct {
 	released   bool
 	releasedAt token.Pos
 	armPos     token.Pos
-	param      bool // seeded from an owns-transfer parameter
+	param      bool // seeded from a function parameter
+	// leakExempt parameters (unannotated declarations) are tracked for
+	// double-release and use-after-release only; whether they must be
+	// consumed is the inference phase's judgement, not checkExit's.
+	leakExempt bool
 }
 
 // state maps tracked objects to their ownership state; nil means the
@@ -254,6 +345,24 @@ type funcAnalysis struct {
 	reported     map[token.Pos]bool // leak dedupe by arm position
 	frames       []*loopFrame
 	bailed       bool
+	// silent suppresses all reports (set during inference runs).
+	silent bool
+	// factOf, when non-nil, resolves callee facts on demand (used during
+	// inference so same-package callees declared later still resolve).
+	factOf func(types.Object) ownFact
+	// rec collects exit snapshots and return classifications during an
+	// inference run; nil during the checking phase and in closures.
+	rec   *inferRec
+	seeds []seedParam
+}
+
+// fact resolves the ownership summary of a callee.
+func (a *funcAnalysis) fact(obj types.Object) ownFact {
+	if a.factOf != nil {
+		return a.factOf(obj)
+	}
+	f, _ := a.pass.Facts[obj].(ownFact)
+	return f
 }
 
 func (a *funcAnalysis) analyze(body *ast.BlockStmt, seed []seedParam) {
@@ -269,16 +378,17 @@ func (a *funcAnalysis) analyze(body *ast.BlockStmt, seed []seedParam) {
 	if a.bailed {
 		return
 	}
+	a.seeds = seed
 	st := state{}
 	for _, sp := range seed {
-		st[sp.obj] = &varState{kind: trackedKind(sp.obj.Type()), count: 1, armPos: sp.pos, param: true}
+		st[sp.obj] = &varState{kind: trackedKind(sp.obj.Type()), count: 1, armPos: sp.pos, param: true, leakExempt: sp.leakExempt}
 	}
 	out := a.block(body, st)
 	a.checkExit(out, body.End(), "end of function", false)
 }
 
 func (a *funcAnalysis) report(pos token.Pos, format string, args ...any) {
-	if a.pass.Allowed(pos) {
+	if a.silent || a.pass.Allowed(pos) {
 		return
 	}
 	a.pass.Reportf(pos, format, args...)
@@ -291,8 +401,11 @@ func (a *funcAnalysis) checkExit(st state, pos token.Pos, what string, errorExit
 	if st == nil {
 		return
 	}
+	if a.rec != nil {
+		a.rec.snapshotExit(a.seeds, st, pos, what, errorExit)
+	}
 	for _, v := range st {
-		if v.count <= 0 || v.released {
+		if v.count <= 0 || v.released || v.leakExempt {
 			continue
 		}
 		if v.param && a.onSuccess && errorExit {
@@ -353,6 +466,9 @@ func (a *funcAnalysis) stmt(s ast.Stmt, st state) state {
 	case *ast.GoStmt:
 		return a.deferOrGo(s.Call, st)
 	case *ast.ReturnStmt:
+		if a.rec != nil {
+			a.rec.recordReturn(a, s, st)
+		}
 		for _, r := range s.Results {
 			a.escapeIdent(r, st)
 			st = a.evalExpr(r, st)
@@ -479,36 +595,49 @@ func (a *funcAnalysis) caseBranches(body *ast.BlockStmt, st state, exhaustive bo
 	return out
 }
 
-// loop analyzes a loop body once. Values owned at loop entry that the
-// body touches are poisoned first (their per-iteration balance cannot be
-// tracked structurally); values armed inside the body are leak-checked at
+// loop analyzes a loop body once. Values owned at loop entry keep their
+// state through the analysis; afterwards, any entry value whose ownership
+// the body disturbed (released, re-armed, escaped) is poisoned at the
+// loop exit, because the iteration count is unknown. Undisturbed values
+// stay tracked, so a helper that merely loops over b.Data does not hide
+// a later leak of b. Values armed inside the body are leak-checked at
 // every iteration end. infinite marks `for {}` loops, whose only normal
 // exits are breaks.
 func (a *funcAnalysis) loop(st state, body func(state) state, infinite bool) state {
-	if st != nil {
-		// poison outer tracked vars (loop may run 0..N times)
-		for obj, v := range st {
-			_ = obj
-			v.count = 0
-			v.released = false
-		}
+	if st == nil {
+		return nil
 	}
+	entry := st.clone()
 	fr := &loopFrame{isLoop: true, armedBefore: map[types.Object]bool{}}
-	for obj := range st {
+	for obj := range entry {
 		fr.armedBefore[obj] = true
 	}
 	a.frames = append(a.frames, fr)
-	out := body(st.clone())
+	out := body(entry.clone())
 	a.frames = a.frames[:len(a.frames)-1]
 	if out != nil {
 		a.checkIterationLeaks(out, fr, token.NoPos)
 	}
+	disturbed := map[types.Object]bool{}
+	mark := func(iter state) {
+		if iter == nil {
+			return
+		}
+		for obj, ve := range entry {
+			vi, ok := iter[obj]
+			if !ok || vi.count != ve.count || vi.released != ve.released {
+				disturbed[obj] = true
+			}
+		}
+	}
+	mark(out)
 	var exit state
 	if !infinite {
-		exit = st
+		exit = entry.clone()
 	}
 	for _, bs := range fr.breakStates {
 		// body-armed vars still owned at a break leak with the iteration
+		mark(bs)
 		a.checkIterationLeaks(bs, fr, token.NoPos)
 		exit = merge(exit, pruneBodyVars(bs, fr))
 	}
@@ -516,7 +645,13 @@ func (a *funcAnalysis) loop(st state, body func(state) state, infinite bool) sta
 		return nil // for{} with no break: unreachable after
 	}
 	if exit == nil {
-		exit = st
+		exit = entry.clone()
+	}
+	for obj := range disturbed {
+		if v, ok := exit[obj]; ok {
+			v.count = 0
+			v.released = false
+		}
 	}
 	return exit
 }
@@ -651,7 +786,7 @@ func (a *funcAnalysis) assignOne(lhs, rhs ast.Expr, st state) state {
 		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
 			obj := a.objOf(id)
 			if obj != nil {
-				if old, ok := st[obj]; ok && old.count > 0 && !old.released && !a.reported[old.armPos] {
+				if old, ok := st[obj]; ok && old.count > 0 && !old.released && !old.leakExempt && !a.reported[old.armPos] {
 					a.reported[old.armPos] = true
 					a.report(old.armPos, "%s armed here is overwritten while still owned (line %d)",
 						old.kind, a.pass.Fset.Position(rhs.Pos()).Line)
@@ -670,7 +805,7 @@ func (a *funcAnalysis) assignOne(lhs, rhs ast.Expr, st state) state {
 	st = a.evalExpr(rhs, st)
 	if id, ok := lhs.(*ast.Ident); ok {
 		if obj := a.objOf(id); obj != nil {
-			if old, ok := st[obj]; ok && old.count > 0 && !old.released && !a.reported[old.armPos] {
+			if old, ok := st[obj]; ok && old.count > 0 && !old.released && !old.leakExempt && !a.reported[old.armPos] {
 				a.reported[old.armPos] = true
 				a.report(old.armPos, "%s armed here is overwritten while still owned (line %d)",
 					old.kind, a.pass.Fset.Position(rhs.Pos()).Line)
@@ -709,7 +844,7 @@ func (a *funcAnalysis) armedCall(e ast.Expr, st state) (bool, string) {
 		}
 		return false, ""
 	}
-	if fact, ok := a.pass.Facts[types.Object(fn)].(ownFact); ok && fact.ownsResult {
+	if fact := a.fact(types.Object(fn)); fact.ownsResult {
 		sig := fn.Type().(*types.Signature)
 		return true, trackedKind(sig.Results().At(0).Type())
 	}
@@ -813,7 +948,7 @@ func (a *funcAnalysis) evalExpr(e ast.Expr, st state) state {
 			}
 			return true
 		})
-		sub := &funcAnalysis{pass: a.pass, reported: map[token.Pos]bool{}}
+		sub := &funcAnalysis{pass: a.pass, reported: map[token.Pos]bool{}, silent: a.silent, factOf: a.factOf}
 		sub.analyze(e.Body, nil)
 		return st
 	case *ast.Ident:
@@ -883,14 +1018,17 @@ func (a *funcAnalysis) evalCall(call *ast.CallExpr, st state) state {
 		st = a.evalExpr(sel.X, st)
 	}
 	// Arguments: pool hand-ins consume, annotated callees take ownership,
-	// anything else is a plain use.
+	// and inferred summaries decide the rest (consume, conditional
+	// transfer, escape, or plain borrow).
 	var fact ownFact
+	var sig *types.Signature
 	consumeArgs := false
 	if fn != nil {
-		fact, _ = a.pass.Facts[types.Object(fn)].(ownFact)
+		fact = a.fact(types.Object(fn))
 		consumeArgs = argConsumeFuncs[fn.FullName()]
+		sig, _ = fn.Type().(*types.Signature)
 	}
-	for _, arg := range call.Args {
+	for i, arg := range call.Args {
 		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
 			if obj := a.objOf(id); obj != nil {
 				if v, tracked := st[obj]; tracked {
@@ -901,7 +1039,15 @@ func (a *funcAnalysis) evalCall(call *ast.CallExpr, st state) state {
 						a.useCheck(id, v)
 						delete(st, obj) // ownership transferred (or conditionally; stop tracking)
 					default:
-						a.useCheck(id, v)
+						switch fact.paramMode(sig, i) {
+						case modeConsume:
+							a.consume(id, v, call)
+						case modeConsumeOnSuccess, modeEscape:
+							a.useCheck(id, v)
+							delete(st, obj)
+						default:
+							a.useCheck(id, v)
+						}
 					}
 					continue
 				}
@@ -973,4 +1119,217 @@ func (a *funcAnalysis) escapeIdent(e ast.Expr, st state) {
 			delete(st, obj)
 		}
 	}
+}
+
+// --- ownership inference ---------------------------------------------------
+
+// paramStatus is the state of one seeded parameter at one function exit.
+type paramStatus uint8
+
+const (
+	psUnknown  paramStatus = iota // poisoned: balance indeterminate
+	psOwned                       // still holds the caller's reference
+	psConsumed                    // released on this path
+	psEscaped                     // stored/captured/returned: untracked
+)
+
+// exitSnap records the parameter states at one reachable function exit.
+type exitSnap struct {
+	errorExit bool
+	pos       token.Pos
+	what      string
+	status    map[types.Object]paramStatus
+}
+
+// inferRec collects the observations of one silent inference run.
+type inferRec struct {
+	wantResult bool // the signature has a single tracked result
+	exits      []exitSnap
+	retOwned   int // returns of a freshly owned value
+	retOther   int // returns of anything else (param, alias, unknown)
+}
+
+func (r *inferRec) snapshotExit(seeds []seedParam, st state, pos token.Pos, what string, errorExit bool) {
+	snap := exitSnap{errorExit: errorExit, pos: pos, what: what, status: map[types.Object]paramStatus{}}
+	for _, sp := range seeds {
+		v, ok := st[sp.obj]
+		switch {
+		case !ok:
+			snap.status[sp.obj] = psEscaped
+		case v.released:
+			snap.status[sp.obj] = psConsumed
+		case v.count > 0:
+			snap.status[sp.obj] = psOwned
+		default:
+			snap.status[sp.obj] = psUnknown
+		}
+	}
+	r.exits = append(r.exits, snap)
+}
+
+// recordReturn classifies the returned value for ownsResult inference.
+// Only single-expression returns of the tracked result type can arm the
+// call site; nil returns are neutral.
+func (r *inferRec) recordReturn(a *funcAnalysis, s *ast.ReturnStmt, st state) {
+	if !r.wantResult {
+		return
+	}
+	if len(s.Results) != 1 {
+		r.retOther++ // bare return with a named result: not inferable
+		return
+	}
+	e := ast.Unparen(s.Results[0])
+	if isNil(e) {
+		return
+	}
+	if armed, _ := a.armedCall(e, st); armed {
+		r.retOwned++
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := a.objOf(id); obj != nil {
+			if v, ok := st[obj]; ok && !v.param && v.count > 0 && !v.released {
+				r.retOwned++
+				return
+			}
+		}
+	}
+	r.retOther++
+}
+
+// inferrer computes ownership summaries for unannotated declarations on
+// demand, memoizing them as facts. Recursion collapses to the zero fact
+// (borrow semantics), which is the historical call-site default.
+type inferrer struct {
+	pass       *analysis.Pass
+	decls      map[types.Object]*ast.FuncDecl
+	inProgress map[types.Object]bool
+}
+
+func (inf *inferrer) fact(obj types.Object) ownFact {
+	if f, ok := inf.pass.Facts[obj].(ownFact); ok {
+		return f
+	}
+	fd := inf.decls[obj]
+	if fd == nil || fd.Body == nil || inf.inProgress[obj] {
+		return ownFact{}
+	}
+	inf.inProgress[obj] = true
+	f := inf.infer(obj, fd)
+	delete(inf.inProgress, obj)
+	inf.pass.Facts[obj] = f
+	return f
+}
+
+func (inf *inferrer) infer(obj types.Object, fd *ast.FuncDecl) ownFact {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return ownFact{}
+	}
+	var seeds []seedParam
+	idx := map[types.Object]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if po := inf.pass.TypesInfo.Defs[name]; po != nil && trackedKind(po.Type()) != "" {
+				seeds = append(seeds, seedParam{obj: po, pos: name.Pos()})
+				idx[po] = i
+			}
+			i++
+		}
+	}
+	wantResult := sig.Results().Len() == 1 && trackedKind(sig.Results().At(0).Type()) != ""
+	if len(seeds) == 0 && !wantResult {
+		return ownFact{}
+	}
+	rec := &inferRec{wantResult: wantResult}
+	a := &funcAnalysis{
+		pass:         inf.pass,
+		silent:       true,
+		rec:          rec,
+		returnsError: sigReturnsError(sig),
+		reported:     map[token.Pos]bool{},
+		factOf:       inf.fact,
+	}
+	a.analyze(fd.Body, seeds)
+	if a.bailed {
+		return ownFact{inferred: true} // goto: nothing inferable
+	}
+	fact := ownFact{inferred: true}
+	if len(seeds) > 0 {
+		fact.params = make([]paramMode, sig.Params().Len())
+		for _, sp := range seeds {
+			mode, leak := classifyParam(rec, sp.obj)
+			fact.params[idx[sp.obj]] = mode
+			if leak != nil && !inf.pass.Allowed(sp.pos) {
+				inf.pass.Reportf(sp.pos,
+					"%s parameter %s is released on some paths but still owned at %s (line %d); "+
+						"release it on every path or declare the contract with //clonos:owns-transfer",
+					trackedKind(sp.obj.Type()), sp.obj.Name(), leak.what,
+					inf.pass.Fset.Position(leak.pos).Line)
+			}
+		}
+	}
+	if wantResult && rec.retOwned > 0 && rec.retOther == 0 {
+		fact.ownsResult = true
+	}
+	return fact
+}
+
+// classifyParam folds the exit snapshots of one parameter into a call
+// contract. A parameter consumed on one non-error path but left owned at
+// another non-error exit is the cross-function leak shape; the offending
+// exit is returned so the inferrer can report it.
+func classifyParam(rec *inferRec, obj types.Object) (paramMode, *exitSnap) {
+	if len(rec.exits) == 0 {
+		return modeEscape, nil // no reachable exit (for{} without break)
+	}
+	var consumedNonError, consumedError, fuzzy int
+	var ownedNonError *exitSnap
+	ownedError := false
+	for i := range rec.exits {
+		ex := &rec.exits[i]
+		switch ex.status[obj] {
+		case psConsumed:
+			if ex.errorExit {
+				consumedError++
+			} else {
+				consumedNonError++
+			}
+		case psOwned:
+			if ex.errorExit {
+				ownedError = true
+			} else if ownedNonError == nil {
+				ownedNonError = ex
+			}
+		default:
+			fuzzy++
+		}
+	}
+	if consumedNonError == 0 && consumedError == 0 {
+		if fuzzy > 0 {
+			return modeEscape, nil
+		}
+		return modeBorrow, nil // owned at every exit: read-only
+	}
+	if fuzzy > 0 {
+		return modeEscape, nil
+	}
+	if consumedNonError > 0 {
+		if ownedNonError != nil {
+			return modeConsume, ownedNonError // split contract: report
+		}
+		if ownedError {
+			return modeConsumeOnSuccess, nil
+		}
+		return modeConsume, nil
+	}
+	// Consumed only on error exits (drop-on-failure): the caller keeps
+	// ownership on success but not on error — inexpressible, stop
+	// tracking at call sites.
+	return modeEscape, nil
 }

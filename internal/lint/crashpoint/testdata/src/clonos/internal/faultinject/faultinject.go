@@ -7,6 +7,7 @@ const (
 	PointNever  = "task/never"    // want `crash point PointNever \("task/never"\) is never exercised by non-test code`
 	PointRogue  = "task/rogue"    // want `crash point PointRogue \("task/rogue"\) is missing from the points registry`
 	PointLoud   = "replay/loud"
+	PointSeam   = "replay/seam"
 )
 
 type PointInfo struct {
@@ -19,6 +20,7 @@ var points = []PointInfo{
 	{PointDouble, 0},
 	{PointNever, 0},
 	{PointLoud, 0},
+	{PointSeam, 0},
 }
 
 // MirroredMarks pairs crash points with the obs tracer mark emitted at
@@ -27,4 +29,5 @@ var MirroredMarks = map[string]string{
 	PointGood:   "good",
 	PointDouble: "mismatch", // want `mirrored mark "mismatch" does not match crash point PointDouble \("align/double"\): want "double" or "align-double"`
 	PointLoud:   "replay-loud", // want `mirrored mark "replay-loud" for crash point PointLoud is never emitted via \.Mark`
+	PointSeam:   "replay-seam", // dashed whole-name form, emitted in d: ok
 }

@@ -19,6 +19,12 @@ func step() {
 	sp.Mark("good")
 }
 
+func seam() {
+	crashPoint(faultinject.PointSeam)
+	var sp span
+	sp.Mark("replay-seam")
+}
+
 func align() {
 	crashPoint(faultinject.PointDouble)
 }

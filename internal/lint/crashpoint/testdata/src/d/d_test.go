@@ -6,3 +6,10 @@ import "clonos/internal/faultinject"
 func sweepAll() []string {
 	return []string{faultinject.PointGood, faultinject.PointDouble, faultinject.PointNever}
 }
+
+// Test-file Mark calls never satisfy a MirroredMarks pairing: PointLoud
+// stays flagged even though this emits its mark.
+func emitLoudInTest() {
+	var sp span
+	sp.Mark("replay-loud")
+}

@@ -1,0 +1,14 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata", detflow.Analyzer,
+		"clonos/internal/causal", "clonos/internal/job",
+		"clonos/internal/checkpoint", "clonos/internal/operator")
+}

@@ -1,4 +1,7 @@
-// Stub of the deterministic causal package for nosleepwait fixtures.
+// Stub of the deterministic causal package for detflow fixtures: the
+// strict tier bans direct wall-clock and randomness outright, and the
+// Append* functions double as the sanctioned determinant sinks the job
+// fixture logs through.
 package causal
 
 import (
@@ -10,6 +13,12 @@ type Determinant struct {
 	Seq   uint64
 	Stamp int64
 }
+
+// AppendTimestamp logs a TS determinant (sanctioned wrapper).
+func AppendTimestamp(ms int64) {}
+
+// AppendRNG logs an RNG seed determinant (sanctioned wrapper).
+func AppendRNG(seed int64) {}
 
 func badStamp(d *Determinant) {
 	d.Stamp = time.Now().UnixNano() // want `time\.Now in deterministic protocol package clonos/internal/causal`
@@ -30,5 +39,5 @@ func okDuration() time.Duration { return 5 * time.Millisecond }
 func okSeeded(d *Determinant, stamp int64) { d.Stamp = stamp }
 
 func okAllowed() int64 {
-	return time.Now().UnixNano() //clonos:allow nosleepwait — diagnostic log only
+	return time.Now().UnixNano() //clonos:allow detflow — diagnostic log only
 }

@@ -1,0 +1,23 @@
+// Package checkpoint is a taint-tier fixture with only legal uses: the
+// coordinator's wall-clock interval timing never reaches an encoder.
+package checkpoint
+
+import "time"
+
+type coordinator struct {
+	lastProgress time.Time
+	interval     time.Duration
+	epoch        uint64
+}
+
+// okControlPlane reads the clock to pace checkpoint triggering — a
+// control-plane decision, not replayed state.
+func (c *coordinator) okControlPlane() bool {
+	now := time.Now()
+	due := now.Sub(c.lastProgress) > c.interval
+	if due {
+		c.lastProgress = now
+		c.epoch++
+	}
+	return due
+}

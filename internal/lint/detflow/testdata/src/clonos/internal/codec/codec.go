@@ -1,0 +1,6 @@
+// Stub of the codec package: any call into it is a replay-sensitive sink
+// for the detflow taint tier.
+package codec
+
+// EncodeAppend mimics the real encode entry point.
+func EncodeAppend(dst []byte, v any) ([]byte, error) { return dst, nil }

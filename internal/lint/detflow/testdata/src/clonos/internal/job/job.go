@@ -1,0 +1,146 @@
+// Package job exercises the detflow taint tier and the order rules: the
+// clock is legal for control-plane timing, but its value must be logged
+// as a determinant before reaching replayed state or encoded bytes.
+package job
+
+import (
+	"math/rand"
+	"time"
+
+	"clonos/internal/causal"
+	"clonos/internal/codec"
+)
+
+type task struct {
+	curWm int64 //clonos:mainthread
+	//clonos:ephemeral alignment stopwatch, control-plane only
+	alignStart time.Time //clonos:mainthread
+	buf        []byte
+	mailbox    chan int
+	control    chan int
+	abort      chan struct{}
+}
+
+// badEncode stamps wall-clock time straight into the encode path.
+func (t *task) badEncode() error {
+	ms := time.Now().UnixMilli()
+	var err error
+	t.buf, err = codec.EncodeAppend(t.buf, ms) // want `flows into the codec encode path`
+	return err
+}
+
+// badDerived: taint survives arithmetic and conversions.
+func (t *task) badDerived() error {
+	seed := rand.Int63()
+	bucket := int64(seed % 16)
+	var err error
+	t.buf, err = codec.EncodeAppend(t.buf, bucket+1) // want `flows into the codec encode path`
+	return err
+}
+
+// okLogged logs the stamp as a determinant first: replay sees the same
+// value, so the downstream encode is deterministic.
+func (t *task) okLogged() error {
+	ms := time.Now().UnixMilli()
+	causal.AppendTimestamp(ms)
+	var err error
+	t.buf, err = codec.EncodeAppend(t.buf, ms)
+	return err
+}
+
+// badState stores a wall-clock read in replayed main-thread state.
+func (t *task) badState() {
+	t.curWm = time.Now().UnixMilli() // want `stored in main-thread state field curWm`
+}
+
+// okEphemeral: the alignment stopwatch is declared ephemeral scratch.
+func (t *task) okEphemeral() {
+	t.alignStart = time.Now()
+}
+
+// okControl: clock reads that never reach a sink are control-plane.
+func (t *task) okControl(budget time.Duration) bool {
+	return time.Since(t.alignStart) > budget
+}
+
+// badRangeEncode feeds map iteration order into the encoder.
+func (t *task) badRangeEncode(m map[uint64]int64) {
+	for _, v := range m { // want `map iteration order reaches EncodeAppend`
+		t.buf, _ = codec.EncodeAppend(t.buf, v)
+	}
+}
+
+// okSortedRange collects keys first; the collection loop has no encoder.
+func (t *task) okSortedRange(m map[uint64]int64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		t.buf, _ = codec.EncodeAppend(t.buf, m[k])
+	}
+}
+
+func sortKeys(k []uint64) {}
+
+// badSelect binds data from two channels on a replay path.
+//
+//clonos:mainthread
+func (t *task) badSelect() int {
+	select { // want `select binds values from 2 channels in a replay path`
+	case v := <-t.mailbox:
+		return v
+	case v := <-t.control:
+		return v
+	}
+}
+
+// okSingleBound: one bound data channel plus a control signal.
+//
+//clonos:mainthread
+func (t *task) okSingleBound() int {
+	select {
+	case v := <-t.mailbox:
+		return v
+	case <-t.abort:
+		return -1
+	}
+}
+
+// okDeclared documents why the arrival order is harmless on replay.
+//
+//clonos:mainthread
+func (t *task) okDeclared() int {
+	//clonos:det-source both channels carry the same replicated feed, merged idempotently
+	select {
+	case v := <-t.mailbox:
+		return v
+	case v := <-t.control:
+		return v
+	}
+}
+
+// badBareDeclared has the annotation but no justification.
+//
+//clonos:mainthread
+func (t *task) badBareDeclared() int {
+	//clonos:det-source
+	select { // want `//clonos:det-source needs a reason`
+	case v := <-t.mailbox:
+		return v
+	case v := <-t.control:
+		return v
+	}
+}
+
+// okUnannotated functions are not replay paths; the select rule only
+// applies to annotated main-thread functions.
+func (t *task) okUnannotated() int {
+	select {
+	case v := <-t.mailbox:
+		return v
+	case v := <-t.control:
+		return v
+	}
+}

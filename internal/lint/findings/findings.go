@@ -1,0 +1,63 @@
+// Package findings defines the machine-readable output of
+// `clonos-vet -json`: a stable, tool-friendly projection of the
+// analyzers' diagnostics that CI can upload as an artifact and scripts
+// can consume without parsing the human-readable lines.
+//
+// The output is a single JSON array (never null — an empty run encodes
+// as `[]`), one object per diagnostic, with exactly these fields:
+//
+//	{
+//	  "file":     string,  // path as reported by the loader (repo-relative for ./... runs)
+//	  "line":     int,     // 1-based line number
+//	  "col":      int,     // 1-based byte column, as in go vet output
+//	  "analyzer": string,  // analyzer name, e.g. "bufown", "snapcov"
+//	  "message":  string   // the human-readable diagnostic text
+//	}
+//
+// The array is sorted by (file, line, col, analyzer) so diffs between
+// runs are meaningful. Adding a field is a compatible change; renaming
+// or removing one is not — the schema test pins the current shape.
+package findings
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Finding is one diagnostic in the clonos-vet -json output.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Sort orders findings by (file, line, col, analyzer) in place.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Encode writes the findings as the documented JSON array. A nil or
+// empty slice encodes as `[]`, never null.
+func Encode(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

@@ -1,0 +1,89 @@
+package findings_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clonos/internal/lint/findings"
+)
+
+// TestSchema validates the encoded output against the documented schema:
+// a JSON array of objects with exactly the five documented fields, with
+// the documented types.
+func TestSchema(t *testing.T) {
+	in := []findings.Finding{
+		{File: "internal/job/task.go", Line: 42, Col: 7, Analyzer: "snapcov", Message: "state field x is not captured"},
+		{File: "cmd/clonos-vet/main.go", Line: 3, Col: 1, Analyzer: "bufown", Message: "leak"},
+	}
+	findings.Sort(in)
+	var buf bytes.Buffer
+	if err := findings.Encode(&buf, in); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("output is not a JSON array of objects: %v\n%s", err, buf.String())
+	}
+	if len(raw) != len(in) {
+		t.Fatalf("got %d findings, want %d", len(raw), len(in))
+	}
+	wantKeys := map[string]string{
+		"file":     "string",
+		"line":     "number",
+		"col":      "number",
+		"analyzer": "string",
+		"message":  "string",
+	}
+	for i, obj := range raw {
+		if len(obj) != len(wantKeys) {
+			t.Errorf("finding %d has %d fields, want exactly %d: %v", i, len(obj), len(wantKeys), obj)
+		}
+		for key, kind := range wantKeys {
+			v, ok := obj[key]
+			if !ok {
+				t.Errorf("finding %d is missing field %q", i, key)
+				continue
+			}
+			switch kind {
+			case "string":
+				if _, ok := v.(string); !ok {
+					t.Errorf("finding %d field %q: got %T, want string", i, key, v)
+				}
+			case "number":
+				f, ok := v.(float64)
+				if !ok {
+					t.Errorf("finding %d field %q: got %T, want number", i, key, v)
+				} else if f != float64(int(f)) || f < 1 {
+					t.Errorf("finding %d field %q: got %v, want a 1-based integer", i, key, f)
+				}
+			}
+		}
+	}
+
+	// Sorted by (file, line, col, analyzer).
+	if raw[0]["file"].(string) != "cmd/clonos-vet/main.go" {
+		t.Errorf("findings are not sorted by file: first is %q", raw[0]["file"])
+	}
+
+	// Round-trip back into the typed form.
+	var back []findings.Finding
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back) != len(in) || back[0] != in[0] || back[1] != in[1] {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, in)
+	}
+}
+
+// TestEmptyEncodesAsArray pins the no-findings shape: `[]`, not null.
+func TestEmptyEncodesAsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := findings.Encode(&buf, nil); err != nil {
+		t.Fatalf("Encode(nil): %v", err)
+	}
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != "[]" {
+		t.Errorf("Encode(nil) = %q, want []", got)
+	}
+}

@@ -28,3 +28,18 @@ func OkNil() codec.Codec { return nil }
 func OkAllowed() codec.Codec {
 	return codec.GobCodec{} //clonos:allow gobcodec — legacy decode baseline
 }
+
+// BadVar hardwires the fallback at package scope.
+var BadVar codec.Codec = codec.GobCodec{} // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+
+// BadElement hides the literal inside a composite element.
+func BadElement() []codec.Codec {
+	return []codec.Codec{codec.GobCodec{}} // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+}
+
+// BadField hides it in a struct field.
+type edge struct{ c codec.Codec }
+
+func BadField() edge {
+	return edge{c: codec.GobCodec{}} // want `bare codec\.GobCodec construction reintroduces the reflection tax`
+}

@@ -1,22 +1,23 @@
-// Package nosleepwait enforces two timing disciplines:
+// Package nosleepwait enforces the test-side timing discipline: tests
+// must not busy-wait. PR 4 added event-driven waits (WaitForCheckpoint,
+// WaitForEvent, tracer subscriptions) precisely so tests observe protocol
+// progress instead of guessing at it; a poll loop is both slow and flaky
+// under -race scheduling. The analyzer flags, in _test.go files:
 //
-//  1. Tests must not poll with time.Sleep. PR 4 added event-driven waits
-//     (WaitForCheckpoint, WaitForEvent, tracer subscriptions) precisely so
-//     tests observe protocol progress instead of guessing at it; a
-//     sleep-poll loop is both slow and flaky under -race scheduling. The
-//     analyzer flags time.Sleep calls inside "poll loops" in _test.go
-//     files: small for-loops whose body does nothing but sleep and
-//     re-check a condition. A plain one-shot sleep (e.g. letting a
-//     background goroutine start) is not flagged — only the loop shape.
+//   - time.Sleep poll loops: small for-loops whose body does nothing but
+//     sleep and re-check a condition. A plain one-shot sleep (e.g.
+//     letting a background goroutine start) is not flagged — only the
+//     loop shape.
+//   - time.After / time.Tick poll loops: the same shape with the sleep
+//     spelled as a timer-channel receive, including `for range
+//     time.Tick(d)` and selects whose every arm is a timer receive. A
+//     select that also waits on a real event channel is event-driven and
+//     is not flagged (a timeout arm is legitimate).
+//   - busy selects: a select with an empty `default:` inside a loop,
+//     which spins the scheduler instead of blocking.
 //
-//  2. Protocol packages must be deterministic. The causal-recovery
-//     guarantee rests on replayed execution reproducing the original
-//     byte-for-byte, so the packages on that path (causal, inflight,
-//     codec, statestore, types) may not read wall-clock time or
-//     process-local randomness directly; nondeterminism must enter
-//     through the services layer, where it is logged as a determinant.
-//     The analyzer bans time.Now / time.Since and any math/rand use in
-//     those packages' non-test files.
+// The determinism rules for protocol packages (no bare wall-clock or
+// math/rand on the replayed path) live in the detflow analyzer.
 //
 // Suppress a deliberate exception with `//clonos:allow nosleepwait` on
 // the flagged line.
@@ -24,6 +25,7 @@ package nosleepwait
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"clonos/internal/lint/analysis"
@@ -32,114 +34,185 @@ import (
 // Analyzer is the nosleepwait analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "nosleepwait",
-	Doc: "no time.Sleep poll loops in tests (use event-driven waits); no " +
-		"bare wall-clock or math/rand in deterministic protocol packages",
+	Doc: "no poll loops in tests: time.Sleep / time.After / time.Tick busy-waits " +
+		"and empty-default selects must become event-driven waits",
 	Run: run,
 }
 
-// protocolPkgs lists the packages on the replayed execution path, which
-// must stay free of direct nondeterminism. internal/services is the
-// sanctioned entry point for time and randomness; internal/checkpoint's
-// coordinator interval timing and internal/timers are wall-clock by
-// design (they feed determinants, not replayed state).
-var protocolPkgs = map[string]bool{
-	"clonos/internal/causal":     true,
-	"clonos/internal/inflight":   true,
-	"clonos/internal/codec":      true,
-	"clonos/internal/statestore": true,
-	"clonos/internal/types":      true,
-}
-
 func run(pass *analysis.Pass) (any, error) {
-	protocol := protocolPkgs[pass.Pkg.Path()]
 	for _, f := range pass.Files {
 		if pass.TestFiles[f] {
 			checkPollLoops(pass, f)
-			continue
-		}
-		if protocol {
-			checkDeterminism(pass, f)
 		}
 	}
 	return nil, nil
 }
 
-// checkPollLoops flags time.Sleep calls that form a busy-wait: a for
-// statement whose body does nothing but sleep and re-check a condition
-// (every statement is either the sleep or an if; the loop exits via its
-// condition or a break/return inside an if). A loop that does real work
-// between sleeps — a paced producer, a rate limiter — is not a poll.
+const pollHint = "wait on an event instead (WaitForCheckpoint, WaitForEvent, or a channel)"
+
+// checkPollLoops flags busy-waits in one test file.
 func checkPollLoops(pass *analysis.Pass, f *ast.File) {
+	reported := map[token.Pos]bool{}
 	ast.Inspect(f, func(n ast.Node) bool {
-		loop, ok := n.(*ast.ForStmt)
-		if !ok {
-			return true
-		}
-		var sleeps []*ast.CallExpr
-		hasExit := loop.Cond != nil
-		for _, s := range loop.Body.List {
-			switch s := s.(type) {
-			case *ast.ExprStmt:
-				call, ok := s.X.(*ast.CallExpr)
-				if !ok || !isCallTo(pass, call, "time", "Sleep") {
-					return true // non-sleep work: not a poll loop
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			checkPollFor(pass, n)
+			checkBusySelects(pass, n.Body, reported)
+		case *ast.RangeStmt:
+			if call, what := timerCall(pass, n.X); call != nil {
+				if !pass.Allowed(call.Pos()) {
+					pass.Reportf(call.Pos(), "%s poll loop in test: %s", what, pollHint)
 				}
-				sleeps = append(sleeps, call)
-			case *ast.IfStmt:
-				ast.Inspect(s, func(m ast.Node) bool {
-					switch m.(type) {
-					case *ast.BranchStmt, *ast.ReturnStmt:
-						hasExit = true
-					}
-					return true
-				})
-			default:
-				return true // assignments, selects, etc.: not a pure poll
 			}
-		}
-		if len(sleeps) == 0 || !hasExit {
-			return true
-		}
-		for _, call := range sleeps {
-			if pass.Allowed(call.Pos()) {
-				continue
-			}
-			pass.Reportf(call.Pos(),
-				"time.Sleep poll loop in test: wait on an event instead (WaitForCheckpoint, WaitForEvent, or a channel)")
+			checkBusySelects(pass, n.Body, reported)
 		}
 		return true
 	})
 }
 
-// checkDeterminism bans direct wall-clock and randomness in protocol
-// package non-test files.
-func checkDeterminism(pass *analysis.Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
+// checkPollFor flags a for statement whose body does nothing but wait on
+// the clock and re-check a condition (every statement is a sleep, a
+// timer receive, a timer-only select, or an if; the loop exits via its
+// condition or a break/return inside a branch). A loop that does real
+// work between waits — a paced producer, a rate limiter — is not a poll.
+func checkPollFor(pass *analysis.Pass, loop *ast.ForStmt) {
+	type wait struct {
+		call *ast.CallExpr
+		what string
+	}
+	var waits []wait
+	hasExit := loop.Cond != nil
+	scanExits := func(s ast.Stmt) {
+		ast.Inspect(s, func(m ast.Node) bool {
+			switch m.(type) {
+			case *ast.BranchStmt, *ast.ReturnStmt:
+				hasExit = true
+			}
+			return true
+		})
+	}
+	for _, s := range loop.Body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isCallTo(pass, call, "time", "Sleep") {
+				waits = append(waits, wait{call, "time.Sleep"})
+				continue
+			}
+			if call, what := timerRecv(pass, s.X); call != nil {
+				waits = append(waits, wait{call, what})
+				continue
+			}
+			return // non-wait work: not a poll loop
+		case *ast.IfStmt:
+			scanExits(s)
+		case *ast.SelectStmt:
+			calls, ok := timerOnlySelect(pass, s)
+			if !ok {
+				return // waits on a real channel: event-driven
+			}
+			for _, c := range calls {
+				waits = append(waits, wait{c.call, c.what})
+			}
+			scanExits(s)
+		default:
+			return // assignments, nested loops, etc.: not a pure poll
+		}
+	}
+	if len(waits) == 0 || !hasExit {
+		return
+	}
+	for _, w := range waits {
+		if pass.Allowed(w.call.Pos()) {
+			continue
+		}
+		pass.Reportf(w.call.Pos(), "%s poll loop in test: %s", w.what, pollHint)
+	}
+}
+
+// checkBusySelects flags selects with an empty default clause inside a
+// loop body: with no channel ready the select returns immediately and
+// the enclosing loop spins.
+func checkBusySelects(pass *analysis.Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
 			return true
 		}
-		obj := pass.TypesInfo.Uses[id]
-		if obj == nil || obj.Pkg() == nil {
-			return true
-		}
-		var what string
-		switch obj.Pkg().Path() {
-		case "time":
-			if obj.Name() == "Now" || obj.Name() == "Since" {
-				what = "time." + obj.Name()
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm != nil || len(cc.Body) > 0 {
+				continue
 			}
-		case "math/rand", "math/rand/v2":
-			what = "rand." + obj.Name()
+			key := cc.Pos()
+			if reported[key] || pass.Allowed(cc.Pos()) {
+				continue
+			}
+			reported[key] = true
+			pass.Reportf(cc.Pos(),
+				"select with empty default in a test loop busy-spins: %s", pollHint)
 		}
-		if what == "" || pass.Allowed(id.Pos()) {
-			return true
-		}
-		pass.Reportf(id.Pos(),
-			"%s in deterministic protocol package %s: nondeterminism must flow through internal/services determinants",
-			what, pass.Pkg.Path())
 		return true
 	})
+}
+
+type timerWait struct {
+	call *ast.CallExpr
+	what string
+}
+
+// timerOnlySelect reports whether every arm of the select is a receive
+// from time.After / time.Tick (ok=true, with the timer calls). A default
+// clause or a real channel arm makes the select event-driven or
+// nonblocking, which is not the poll shape handled here.
+func timerOnlySelect(pass *analysis.Pass, sel *ast.SelectStmt) ([]timerWait, bool) {
+	var calls []timerWait
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return nil, false // default clause: checkBusySelects territory
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				recv = comm.Rhs[0]
+			}
+		}
+		call, what := timerRecv(pass, recv)
+		if call == nil {
+			return nil, false
+		}
+		calls = append(calls, timerWait{call, what})
+	}
+	return calls, len(calls) > 0
+}
+
+// timerRecv matches `<-time.After(...)` / `<-time.Tick(...)`.
+func timerRecv(pass *analysis.Pass, e ast.Expr) (*ast.CallExpr, string) {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return nil, ""
+	}
+	return timerCall(pass, ue.X)
+}
+
+// timerCall matches a call to time.After or time.Tick.
+func timerCall(pass *analysis.Pass, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	for _, name := range [...]string{"After", "Tick"} {
+		if isCallTo(pass, call, "time", name) {
+			return call, "time." + name
+		}
+	}
+	return nil, ""
 }
 
 func isCallTo(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoSleepWait(t *testing.T) {
-	analysistest.Run(t, "testdata", nosleepwait.Analyzer, "c", "clonos/internal/causal")
+	analysistest.Run(t, "testdata", nosleepwait.Analyzer, "c")
 }

@@ -60,3 +60,87 @@ func okSuppressed() {
 
 func recordTick(int) {}
 func notifyTick(int) {}
+
+// --- timer-channel polls ---------------------------------------------------
+
+func pollAfter() {
+	for !ready {
+		<-time.After(10 * time.Millisecond) // want `time\.After poll loop in test`
+	}
+}
+
+func pollTickRange() {
+	for range time.Tick(time.Millisecond) { // want `time\.Tick poll loop in test`
+		if ready {
+			return
+		}
+	}
+}
+
+func pollSelectAfter() bool {
+	for i := 0; i < 50; i++ {
+		select {
+		case <-time.After(time.Millisecond): // want `time\.After poll loop in test`
+			if ready {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// okTimeout waits on a real event channel; the timeout arm is the
+// sanctioned guard against a hung test, not a poll.
+func okTimeout() bool {
+	for i := 0; i < 3; i++ {
+		select {
+		case <-events:
+			return true
+		case <-time.After(time.Second):
+		}
+	}
+	return false
+}
+
+// --- busy selects ----------------------------------------------------------
+
+func spinUntilReady() {
+	for !ready {
+		select {
+		case <-events:
+		default: // want `select with empty default in a test loop busy-spins`
+		}
+	}
+}
+
+// okDrain is the nonblocking drain idiom: the default does real work
+// (it exits the loop), so the select cannot spin.
+func okDrain() int {
+	n := 0
+	for {
+		select {
+		case <-events:
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// okOneShotPeek: an empty default outside any loop is a single
+// nonblocking peek, not a spin.
+func okOneShotPeek() {
+	select {
+	case <-events:
+	default:
+	}
+}
+
+func okSuppressedSpin() {
+	for !ready {
+		select {
+		case <-events:
+		default: //clonos:allow nosleepwait — scheduler-pressure probe
+		}
+	}
+}

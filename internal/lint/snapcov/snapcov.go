@@ -1,0 +1,547 @@
+// Package snapcov verifies snapshot completeness: every mutable piece of
+// task/operator/source state must round-trip through the checkpoint, or be
+// explicitly declared safe to lose. The two costliest recovery bugs in
+// this repo's history — the watermark-merge state missing from
+// TaskSnapshot (PR 1) and the mid-batch SourceBacklog loss (PR 9) — were
+// both a mutable main-thread field the snapshot/restore pair forgot; this
+// analyzer turns that bug shape into a compile-time error.
+//
+// Coverage is declared with a small annotation vocabulary:
+//
+//   - `//clonos:state snapshot=<method> restore=<method>` on a struct
+//     declares its persistence pair. Every checked field must be
+//     referenced in the snapshot method (transitively through
+//     same-package helpers) and written in the restore method.
+//   - `//clonos:ephemeral <reason>` on a field exempts it: the state is
+//     re-derived after restore (replay cursors, alignment scratch). The
+//     reason is mandatory.
+//   - `//clonos:external <reason>` on a struct exempts it wholesale: the
+//     state is durable outside the recovery domain (the simulated Kafka
+//     cluster). The reason is mandatory.
+//   - a `codec.RegisterType(T{}, tCodec{})` call declares that T's fields
+//     are persisted by tCodec; every field of T must be referenced in
+//     tCodec.EncodeAppend and in tCodec.Decode.
+//
+// Checked fields are seeded two ways: every `//clonos:mainthread` field
+// anywhere in the module (the task-goroutine state that snapshots must
+// capture), and — in the state-bearing engine packages internal/operator,
+// internal/services, and internal/kafkasim — every field a method of the
+// struct mutates.
+package snapcov
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"clonos/internal/lint/analysis"
+)
+
+// Analyzer is the snapcov analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapcov",
+	Doc: "every mutable task/operator state field round-trips through its " +
+		"snapshot/restore pair or codec, or is declared //clonos:ephemeral <reason>",
+	Run: run,
+}
+
+const (
+	markerState      = "clonos:state"
+	markerEphemeral  = "clonos:ephemeral"
+	markerExternal   = "clonos:external"
+	markerMainthread = "clonos:mainthread"
+)
+
+// seedPkgs are the engine packages whose method-mutated struct fields are
+// checked even without //clonos:mainthread markers: operator accumulators,
+// the causal-services registry, and the simulated Kafka cluster.
+var seedPkgs = map[string]bool{
+	"clonos/internal/operator": true,
+	"clonos/internal/services": true,
+	"clonos/internal/kafkasim": true,
+}
+
+// registerTypeFunc is the codec-registry entry point whose call sites
+// declare a (state type, codec) persistence pair.
+const registerTypeFunc = "clonos/internal/codec.RegisterType"
+
+type fieldInfo struct {
+	name       *ast.Ident
+	obj        types.Object
+	mainthread bool
+	ephemeral  bool
+	ephReason  string
+}
+
+type stateAnn struct {
+	snapshot, restore string
+	bad               string // non-empty: parse error description
+}
+
+type structInfo struct {
+	ts        *ast.TypeSpec
+	obj       types.Object // the type name object
+	fields    []*fieldInfo
+	state     *stateAnn
+	external  bool
+	extReason string
+	mutated   map[types.Object]bool // fields assigned through a receiver
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	seed := seedPkgs[pass.Pkg.Path()]
+
+	structs := map[types.Object]*structInfo{} // type name object -> info
+	var order []*structInfo
+	funcIndex := map[types.Object]*ast.FuncDecl{}
+	methods := map[types.Object]map[string]*ast.FuncDecl{} // type -> name -> decl
+
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					si := collectStruct(pass, d, ts, st)
+					structs[si.obj] = si
+					order = append(order, si)
+				}
+			case *ast.FuncDecl:
+				if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+					funcIndex[obj] = d
+				}
+				if tn := receiverTypeName(pass, d); tn != nil {
+					m := methods[tn]
+					if m == nil {
+						m = map[string]*ast.FuncDecl{}
+						methods[tn] = m
+					}
+					m[d.Name.Name] = d
+				}
+			}
+		}
+	}
+
+	collectMutations(pass, structs)
+	regs := collectRegistrations(pass, structs, methods)
+
+	// Annotation hygiene: mandatory reasons and well-formed grammar.
+	for _, si := range order {
+		name := si.ts.Name.Name
+		if si.external && si.extReason == "" {
+			reportf(pass, si.ts.Name.Pos(),
+				"//clonos:external on %s needs a reason: why is this state durable outside the recovery domain?", name)
+		}
+		if si.state != nil && si.state.bad != "" {
+			reportf(pass, si.ts.Name.Pos(),
+				"malformed //clonos:state annotation on %s: %s (grammar: //clonos:state snapshot=<method> restore=<method>)",
+				name, si.state.bad)
+		}
+		for _, fi := range si.fields {
+			if fi.ephemeral && fi.ephReason == "" {
+				reportf(pass, fi.name.Pos(),
+					"//clonos:ephemeral on %s.%s needs a reason: why is this state safe to lose across recovery?", name, fi.name.Name)
+			}
+		}
+	}
+
+	// Codec-registered state types: every field must round-trip.
+	codecCovered := map[types.Object]bool{}
+	for _, r := range regs {
+		si := structs[r.stateType]
+		if si == nil {
+			continue
+		}
+		codecCovered[r.stateType] = true
+		enc := collectUses(pass, funcIndex, r.encode)
+		dec := collectUses(pass, funcIndex, r.decode)
+		for _, fi := range si.fields {
+			if fi.ephemeral {
+				continue
+			}
+			if !enc.uses[fi.obj] {
+				reportf(pass, fi.name.Pos(),
+					"field %s of codec-registered state type %s is not encoded by %s.EncodeAppend; every state field must round-trip through the codec or be //clonos:ephemeral <reason>",
+					fi.name.Name, si.ts.Name.Name, r.codecName)
+			}
+			if !dec.uses[fi.obj] {
+				reportf(pass, fi.name.Pos(),
+					"field %s of codec-registered state type %s is not rebuilt by %s.Decode; every state field must round-trip through the codec or be //clonos:ephemeral <reason>",
+					fi.name.Name, si.ts.Name.Name, r.codecName)
+			}
+		}
+	}
+
+	// Snapshot/restore pairs and uncovered mutable state.
+	for _, si := range order {
+		name := si.ts.Name.Name
+		if si.state != nil && si.state.bad == "" {
+			snapFD := methods[si.obj][si.state.snapshot]
+			restFD := methods[si.obj][si.state.restore]
+			if snapFD == nil {
+				reportf(pass, si.ts.Name.Pos(),
+					"snapshot method %s named by //clonos:state on %s not found in this package", si.state.snapshot, name)
+			}
+			if restFD == nil {
+				reportf(pass, si.ts.Name.Pos(),
+					"restore method %s named by //clonos:state on %s not found in this package", si.state.restore, name)
+			}
+			if snapFD == nil || restFD == nil {
+				continue
+			}
+			snap := collectUses(pass, funcIndex, snapFD)
+			rest := collectUses(pass, funcIndex, restFD)
+			for _, fi := range si.fields {
+				if fi.ephemeral || !(fi.mainthread || (seed && si.mutated[fi.obj])) {
+					continue
+				}
+				if !snap.uses[fi.obj] {
+					reportf(pass, fi.name.Pos(),
+						"state field %s is not captured by snapshot method %s; persist it in the snapshot or annotate //clonos:ephemeral <reason>",
+						fi.name.Name, si.state.snapshot)
+				}
+				if !rest.writes[fi.obj] {
+					reportf(pass, fi.name.Pos(),
+						"state field %s is not restored by restore method %s; read it back from the snapshot or annotate //clonos:ephemeral <reason>",
+						fi.name.Name, si.state.restore)
+				}
+			}
+			continue
+		}
+		if si.external || codecCovered[si.obj] {
+			continue
+		}
+		for _, fi := range si.fields {
+			if fi.ephemeral || !(fi.mainthread || (seed && si.mutated[fi.obj])) {
+				continue
+			}
+			reportf(pass, fi.name.Pos(),
+				"mutable state field %s.%s has no snapshot coverage: declare //clonos:state snapshot=<m> restore=<m>, register a codec for %s, annotate the field //clonos:ephemeral <reason>, or mark the struct //clonos:external <reason>",
+				name, fi.name.Name, name)
+		}
+	}
+	return nil, nil
+}
+
+func reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if pass.Allowed(pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// collectStruct gathers a struct declaration's fields and annotations.
+// Single-spec GenDecls attach the doc comment to the GenDecl, so both
+// comment homes are consulted.
+func collectStruct(pass *analysis.Pass, gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType) *structInfo {
+	si := &structInfo{ts: ts, obj: pass.TypesInfo.Defs[ts.Name], mutated: map[types.Object]bool{}}
+	doc := ts.Doc
+	if doc == nil {
+		doc = gd.Doc
+	}
+	if args, ok := annotation(markerState, doc); ok {
+		si.state = parseState(args)
+	}
+	if reason, ok := annotation(markerExternal, doc); ok {
+		si.external, si.extReason = true, reason
+	}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			fi := &fieldInfo{name: name, obj: pass.TypesInfo.Defs[name]}
+			_, fi.mainthread = annotation(markerMainthread, field.Doc, field.Comment)
+			if reason, ok := annotation(markerEphemeral, field.Doc, field.Comment); ok {
+				fi.ephemeral, fi.ephReason = true, reason
+			}
+			si.fields = append(si.fields, fi)
+		}
+	}
+	return si
+}
+
+// annotation scans the comment groups for `//clonos:<marker>` and returns
+// the rest of that comment line (the annotation's arguments), trimmed.
+func annotation(marker string, groups ...*ast.CommentGroup) (string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			i := strings.Index(c.Text, marker)
+			if i < 0 {
+				continue
+			}
+			rest := c.Text[i+len(marker):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // longer marker, e.g. clonos:statestore
+			}
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func parseState(args string) *stateAnn {
+	a := &stateAnn{}
+	for _, tok := range strings.Fields(args) {
+		switch {
+		case tok == "mainthread":
+			// documentation token: the pair runs on the task goroutine
+		case strings.HasPrefix(tok, "snapshot="):
+			a.snapshot = strings.TrimPrefix(tok, "snapshot=")
+		case strings.HasPrefix(tok, "restore="):
+			a.restore = strings.TrimPrefix(tok, "restore=")
+		default:
+			a.bad = "unknown token " + tok
+			return a
+		}
+	}
+	if a.snapshot == "" || a.restore == "" {
+		a.bad = "both snapshot= and restore= are required"
+	}
+	return a
+}
+
+// receiverTypeName resolves a method's receiver base type name object.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// collectMutations records, per struct, the fields assigned through a
+// method receiver (including index writes and ++/--): the mutable state
+// the seed-package rule requires coverage for.
+func collectMutations(pass *analysis.Pass, structs map[types.Object]*structInfo) {
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			si := structs[receiverTypeName(pass, fd)]
+			if si == nil {
+				continue
+			}
+			recv := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recv == nil {
+				continue
+			}
+			mark := func(e ast.Expr) {
+				if obj := recvField(pass, e, recv); obj != nil {
+					si.mutated[obj] = true
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(n.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// recvField returns the receiver field an lvalue expression writes
+// through: the selector whose base resolves to the receiver variable.
+func recvField(pass *analysis.Pass, expr ast.Expr, recv types.Object) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+				return pass.TypesInfo.Uses[e.Sel]
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+type registration struct {
+	stateType types.Object // named struct type being persisted
+	codecName string
+	encode    *ast.FuncDecl
+	decode    *ast.FuncDecl
+}
+
+// collectRegistrations finds codec.RegisterType(T{}, tCodec{}) calls and
+// resolves both sides to declarations in this package.
+func collectRegistrations(pass *analysis.Pass, structs map[types.Object]*structInfo,
+	methods map[types.Object]map[string]*ast.FuncDecl) []registration {
+	var regs []registration
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.FullName() != registerTypeFunc {
+				return true
+			}
+			stateObj := namedStructObj(pass.TypesInfo.Types[call.Args[0]].Type)
+			codecObj := namedStructObj(pass.TypesInfo.Types[call.Args[1]].Type)
+			if stateObj == nil || codecObj == nil || structs[stateObj] == nil {
+				return true
+			}
+			m := methods[codecObj]
+			if m == nil || m["EncodeAppend"] == nil || m["Decode"] == nil {
+				return true // codec declared elsewhere: out of scope
+			}
+			regs = append(regs, registration{
+				stateType: stateObj,
+				codecName: codecObj.Name(),
+				encode:    m["EncodeAppend"],
+				decode:    m["Decode"],
+			})
+			return true
+		})
+	}
+	return regs
+}
+
+// namedStructObj unwraps pointers, slices, arrays, and map values down to
+// a named struct's type name object (nil when the base is not one).
+func namedStructObj(t types.Type) types.Object {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u.Obj()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// useSet is the field usage of a function closure: uses holds every field
+// object referenced (selectors and composite-literal keys both resolve
+// through types.Info.Uses); writes holds fields that are an assignment
+// target, ++/-- operand, or &-taken (decode-into-pointer idiom).
+type useSet struct {
+	uses   map[types.Object]bool
+	writes map[types.Object]bool
+}
+
+// collectUses walks the root functions and, transitively, every
+// same-package function they mention, gathering field uses and writes.
+func collectUses(pass *analysis.Pass, funcIndex map[types.Object]*ast.FuncDecl, roots ...*ast.FuncDecl) *useSet {
+	us := &useSet{uses: map[types.Object]bool{}, writes: map[types.Object]bool{}}
+	visited := map[*ast.FuncDecl]bool{}
+	var walk func(fd *ast.FuncDecl)
+	markWrite := func(e ast.Expr) {
+		if obj := writtenField(pass, e); obj != nil {
+			us.writes[obj] = true
+		}
+	}
+	walk = func(fd *ast.FuncDecl) {
+		if fd == nil || fd.Body == nil || visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					us.uses[obj] = true
+				}
+				if fn, ok := obj.(*types.Func); ok {
+					walk(funcIndex[fn])
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					markWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				markWrite(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					markWrite(n.X)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return us
+}
+
+// writtenField resolves an lvalue to the field it stores into, peeling
+// index/star/slice wrappers: t.chanWms[i] = x writes chanWms.
+func writtenField(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package snapcov_test
+
+import (
+	"testing"
+
+	"clonos/internal/lint/analysistest"
+	"clonos/internal/lint/snapcov"
+)
+
+func TestSnapcov(t *testing.T) {
+	analysistest.Run(t, "testdata", snapcov.Analyzer,
+		"a", "pr1", "pr9", "clonos/internal/operator", "clonos/internal/kafkasim")
+}

@@ -1,0 +1,100 @@
+// Package a exercises the //clonos:state snapshot/restore pair rules in a
+// non-seed package: only //clonos:mainthread fields are checked.
+package a
+
+type snap struct {
+	Wms     []int64
+	Seq     uint64
+	Backlog []int64
+}
+
+// okTask persists every confined field (chanWms through a helper).
+//
+//clonos:state mainthread snapshot=build restore=restore
+type okTask struct {
+	curWm   int64   //clonos:mainthread
+	chanWms []int64 //clonos:mainthread
+	//clonos:ephemeral recomputed from the replayed main log
+	offset  uint64 //clonos:mainthread
+	mailbox chan int // unconfined infrastructure: not checked
+}
+
+//clonos:mainthread
+func (t *okTask) build() *snap {
+	s := &snap{Seq: uint64(t.curWm)}
+	t.fillWms(s)
+	return s
+}
+
+//clonos:mainthread
+func (t *okTask) fillWms(s *snap) {
+	s.Wms = append([]int64(nil), t.chanWms...)
+}
+
+//clonos:mainthread
+func (t *okTask) restore(s *snap) {
+	t.curWm = int64(s.Seq)
+	for i := range s.Wms {
+		t.chanWms[i] = s.Wms[i]
+	}
+	t.offset = 0
+}
+
+// dropTask's pair forgets chanWms on both sides.
+//
+//clonos:state snapshot=build restore=restore
+type dropTask struct {
+	curWm   int64   //clonos:mainthread
+	chanWms []int64 //clonos:mainthread // want `chanWms is not captured by snapshot method build` `chanWms is not restored by restore method restore`
+}
+
+func (t *dropTask) build() *snap       { return &snap{Seq: uint64(t.curWm)} }
+func (t *dropTask) restore(s *snap)    { t.curWm = int64(s.Seq) }
+func (t *dropTask) advance(wm int64)   { t.curWm = wm }
+
+// readOnlyRestore reads the field in restore but never writes it back.
+//
+//clonos:state snapshot=build restore=restore
+type readOnlyRestore struct {
+	curWm int64 //clonos:mainthread // want `curWm is not restored by restore method restore`
+}
+
+func (t *readOnlyRestore) build() *snap { return &snap{Seq: uint64(t.curWm)} }
+func (t *readOnlyRestore) restore(s *snap) {
+	if t.curWm != 0 { // a read is not a restore
+		return
+	}
+}
+
+// missingMethods names a pair that does not exist.
+//
+//clonos:state snapshot=encode restore=decode
+type missingMethods struct { // want `snapshot method encode named by //clonos:state on missingMethods not found` `restore method decode named by //clonos:state on missingMethods not found`
+	curWm int64 //clonos:mainthread
+}
+
+// halfGrammar omits restore=.
+//
+//clonos:state snapshot=build
+type halfGrammar struct { // want `malformed //clonos:state annotation on halfGrammar: both snapshot= and restore= are required`
+	curWm int64 //clonos:mainthread // want `mutable state field halfGrammar.curWm has no snapshot coverage`
+}
+
+func (t *halfGrammar) build() *snap { return &snap{Seq: uint64(t.curWm)} }
+
+// bareReason has an //clonos:ephemeral with no justification.
+//
+//clonos:state snapshot=build restore=restore
+type bareReason struct {
+	//clonos:ephemeral
+	scratch int // want `//clonos:ephemeral on bareReason.scratch needs a reason`
+	curWm   int64 //clonos:mainthread
+}
+
+func (t *bareReason) build() *snap    { return &snap{Seq: uint64(t.curWm)} }
+func (t *bareReason) restore(s *snap) { t.curWm = int64(s.Seq) }
+
+// undeclared carries confined state but no coverage declaration at all.
+type undeclared struct {
+	curWm int64 //clonos:mainthread // want `mutable state field undeclared.curWm has no snapshot coverage`
+}

@@ -1,0 +1,12 @@
+// Package codec stubs the real registry under its import path so the
+// snapcov fixtures can declare (state type, codec) persistence pairs.
+package codec
+
+// Codec is the persistence contract state types register against.
+type Codec interface {
+	EncodeAppend(dst []byte, v any) ([]byte, error)
+	Decode(b []byte) (any, error)
+}
+
+// RegisterType mimics clonos/internal/codec.RegisterType.
+func RegisterType(v any, c Codec) {}

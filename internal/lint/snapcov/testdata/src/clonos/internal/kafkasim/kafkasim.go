@@ -1,0 +1,17 @@
+// Package kafkasim is a seed-package fixture for the //clonos:external
+// hygiene rule: the exemption must say why the state is durable.
+package kafkasim
+
+//clonos:external
+type sink struct { // want `//clonos:external on sink needs a reason`
+	n int64
+}
+
+func (s *sink) add() { s.n++ }
+
+//clonos:external deduplicating sink topic; the measured output survives the job
+type okSink struct {
+	n int64
+}
+
+func (s *okSink) add() { s.n++ }

@@ -1,0 +1,27 @@
+// Package pr1 pins the PR 1 bug shape: the per-channel watermark merge
+// state (ChanWms) was dropped from the task snapshot, so a recovered task
+// re-merged stale watermarks and diverged from the original byte stream.
+// Deleting the field from the encode path must be a vet error.
+package pr1
+
+type taskSnapshot struct {
+	CurWm int64
+	// ChanWms is the field PR 1 had to add back; this snapshot omits it.
+}
+
+//clonos:state mainthread snapshot=buildSnapshot restore=restore
+type task struct {
+	curWm   int64   //clonos:mainthread
+	chanWms []int64 //clonos:mainthread // want `state field chanWms is not captured by snapshot method buildSnapshot` `state field chanWms is not restored by restore method restore`
+}
+
+//clonos:mainthread
+func (t *task) buildSnapshot() *taskSnapshot {
+	return &taskSnapshot{CurWm: t.curWm}
+}
+
+//clonos:mainthread
+func (t *task) restore(s *taskSnapshot) {
+	t.curWm = s.CurWm
+	// chanWms is neither captured nor written back: exactly the PR 1 hole.
+}

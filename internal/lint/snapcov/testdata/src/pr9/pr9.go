@@ -1,0 +1,32 @@
+// Package pr9 pins the PR 9 bug shape: a source task's partially-consumed
+// input batch (pendingBatch, persisted as SourceBacklog) was not written
+// into the snapshot, so a failure between batch fetch and batch drain
+// silently lost the unconsumed records on failover.
+package pr9
+
+type rec struct {
+	Key uint64
+	Ts  int64
+}
+
+type snapshot struct {
+	Offset uint64
+	// SourceBacklog omitted: mid-batch records vanish on recovery.
+}
+
+//clonos:state mainthread snapshot=buildSnapshot restore=restore
+type source struct {
+	//clonos:ephemeral re-derived from the replayed main log after restore
+	offset       uint64 //clonos:mainthread
+	pendingBatch []rec  //clonos:mainthread // want `state field pendingBatch is not captured by snapshot method buildSnapshot` `state field pendingBatch is not restored by restore method restore`
+}
+
+//clonos:mainthread
+func (s *source) buildSnapshot() *snapshot {
+	return &snapshot{Offset: s.offset}
+}
+
+//clonos:mainthread
+func (s *source) restore(sn *snapshot) {
+	s.offset = sn.Offset
+}

@@ -50,17 +50,23 @@ type Services struct {
 	// Timestamp service caching (§4.2 "Wall-Clock Time"): the cached
 	// value refreshes at most once per granularity via a logged timer,
 	// cutting determinant volume by orders of magnitude.
-	granMs      int64
-	cached      int64
+	granMs int64
+	//clonos:ephemeral cache of a logged TIME determinant; replay re-fills it from the causal log
+	cached int64
+	//clonos:ephemeral invalidated at restore; the next read re-arms the cache from a logged determinant
 	cachedValid bool
-	readSince   bool
-	armRefresh  func(whenMs int64)
+	//clonos:ephemeral refresh bookkeeping; the logged timer determinant re-derives it during replay
+	readSince  bool
+	armRefresh func(whenMs int64)
 
 	// RNG service: one seed per epoch, drawn lazily and logged.
-	rng       *rand.Rand
+	//clonos:ephemeral re-seeded from the logged RNGSEED determinant at the restored epoch
+	rng *rand.Rand
+	//clonos:ephemeral cleared at every epoch roll so the first draw re-logs (or replays) a seed
 	seedFresh bool
 	seedFn    func() int64
 
+	//clonos:ephemeral registration counter; operators re-register custom services in open order after restore
 	nextCustom uint16
 }
 
@@ -281,6 +287,8 @@ func (c *Custom) Apply(input []byte) ([]byte, error) {
 // change on every call (a per-URL version counter), so re-executing a call
 // during recovery would observe a different answer — exactly the
 // divergence causal logging must mask.
+//
+//clonos:external stands in for systems outside the recovery domain; tasks never snapshot it, they log the observed responses as determinants
 type ExternalWorld struct {
 	mu       sync.Mutex
 	versions map[string]uint64
